@@ -1,0 +1,320 @@
+// Package autoglobe_test holds the benchmark harness that regenerates
+// every table and figure of the paper's evaluation. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the reproduced rows or series once (on its
+// first iteration) and then reports the cost of regenerating it.
+package autoglobe_test
+
+import (
+	"fmt"
+	"testing"
+
+	"autoglobe/internal/controller"
+	"autoglobe/internal/experiments"
+	"autoglobe/internal/fuzzy"
+	"autoglobe/internal/service"
+	"autoglobe/internal/simulator"
+)
+
+// printed ensures each benchmark's reproduction output appears once,
+// even though the testing framework re-invokes benchmarks with growing
+// iteration counts.
+var printed = map[string]bool{}
+
+func printOnce(b *testing.B, vs ...any) {
+	if printed[b.Name()] {
+		return
+	}
+	printed[b.Name()] = true
+	for _, v := range vs {
+		fmt.Println(v)
+	}
+}
+
+// BenchmarkFigure03Fuzzification regenerates Figure 3: fuzzifying a
+// crisp CPU load of 0.6 onto the cpuLoad linguistic variable
+// (medium = 0.5, high = 0.2).
+func BenchmarkFigure03Fuzzification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure3(0.6)
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkFigure05Inference regenerates Figure 5 / the Section 3
+// worked example: max–min inference with leftmost-maximum
+// defuzzification yielding scaleUp = 0.6, scaleOut = 0.3.
+func BenchmarkFigure05Inference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r, experiments.RuleBases())
+		}
+	}
+}
+
+// BenchmarkFigure10LoadCurves regenerates Figure 10: the LES and BW
+// load curves over one day.
+func BenchmarkFigure10LoadCurves(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure10()
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkTable04InitialAllocation regenerates Table 4 (initial users
+// and instances) and validates it against the Figure 11 hardware.
+func BenchmarkTable04InitialAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkTable05Table06Constraints regenerates the scenario
+// constraint tables.
+func BenchmarkTable05Table06Constraints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cm := experiments.Constraints(service.ConstrainedMobility)
+		fm := experiments.Constraints(service.FullMobility)
+		if i == 0 {
+			printOnce(b, cm, fm)
+		}
+	}
+}
+
+func scenarioFigure(b *testing.B, figure string, m service.Mobility, fi bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.RunScenarioFigure(figure, m, fi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if fi {
+				printOnce(b, f.FICurves())
+			} else {
+				printOnce(b, f)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure12StaticAllServers regenerates Figure 12: CPU load of
+// all servers in the static scenario at +15 % users.
+func BenchmarkFigure12StaticAllServers(b *testing.B) {
+	scenarioFigure(b, "Figure 12", service.Static, false)
+}
+
+// BenchmarkFigure13CMAllServers regenerates Figure 13 (constrained
+// mobility).
+func BenchmarkFigure13CMAllServers(b *testing.B) {
+	scenarioFigure(b, "Figure 13", service.ConstrainedMobility, false)
+}
+
+// BenchmarkFigure14FMAllServers regenerates Figure 14 (full mobility).
+func BenchmarkFigure14FMAllServers(b *testing.B) {
+	scenarioFigure(b, "Figure 14", service.FullMobility, false)
+}
+
+// BenchmarkFigure15FIStatic regenerates Figure 15: the FI application
+// servers' load curves in the static scenario.
+func BenchmarkFigure15FIStatic(b *testing.B) {
+	scenarioFigure(b, "Figure 15", service.Static, true)
+}
+
+// BenchmarkFigure16FICM regenerates Figure 16: FI under constrained
+// mobility, with the controller's scale-out/scale-in annotations.
+func BenchmarkFigure16FICM(b *testing.B) {
+	scenarioFigure(b, "Figure 16", service.ConstrainedMobility, true)
+}
+
+// BenchmarkFigure17FIFM regenerates Figure 17: FI under full mobility,
+// with moves and scale-ups in the action log.
+func BenchmarkFigure17FIFM(b *testing.B) {
+	scenarioFigure(b, "Figure 17", service.FullMobility, true)
+}
+
+// BenchmarkTable07MaxUsers regenerates the headline Table 7: the
+// maximum relative user population per scenario (paper: 100 % static,
+// 115 % constrained mobility, 135 % full mobility).
+func BenchmarkTable07MaxUsers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table7(experiments.Table7Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkTable07Stability repeats the Table 7 sweep across three
+// noise seeds, the robustness companion to BenchmarkTable07MaxUsers.
+func BenchmarkTable07Stability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table7Stability([]uint64{1, 2, 3}, experiments.Table7Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkAblationDefuzzifier compares defuzzification methods.
+func BenchmarkAblationDefuzzifier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateDefuzzifier(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkAblationInference compares max–min against max–product
+// inference.
+func BenchmarkAblationInference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateInference(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkAblationWatchTime compares observation windows.
+func BenchmarkAblationWatchTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateWatchTime(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkAblationProtection compares protection times.
+func BenchmarkAblationProtection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateProtection(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkAblationCrispBaseline compares the fuzzy controller against
+// a naive crisp threshold controller and against no controller.
+func BenchmarkAblationCrispBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateCrispBaseline(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkAblationForecast compares reactive control against the
+// proactive forecast extension.
+func BenchmarkAblationForecast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblateForecast(48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkSLAEnforcement evaluates a uniform 5 % degradation SLA
+// against all three scenarios — the paper's closing QoS direction.
+func BenchmarkSLAEnforcement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.CompareSLA(1.15, 0.05, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkFuzzyInference measures one action-selection inference cycle
+// over the default serviceOverloaded rule base — the controller's inner
+// loop.
+func BenchmarkFuzzyInference(b *testing.B) {
+	rb := controller.DefaultActionRules()["serviceOverloaded"]
+	engine := fuzzy.NewEngine(nil)
+	inputs := map[string]float64{
+		controller.VarCPULoad:            0.85,
+		controller.VarMemLoad:            0.40,
+		controller.VarPerformanceIndex:   2,
+		controller.VarInstanceLoad:       0.80,
+		controller.VarServiceLoad:        0.75,
+		controller.VarInstancesOnServer:  2,
+		controller.VarInstancesOfService: 3,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Infer(rb, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuleParsing measures parsing the full default rule sources.
+func BenchmarkRuleParsing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		controller.DefaultActionRules()
+	}
+}
+
+// BenchmarkSimulatorDay measures one simulated day of the full-mobility
+// scenario — the unit of cost of every figure reproduction.
+func BenchmarkSimulatorDay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := simulator.PaperConfig(service.FullMobility, 1.15)
+		cfg.Hours = 24
+		sim, err := simulator.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command landscape-designer computes a statically optimized
+// pre-assignment of services to servers (the paper's planned landscape
+// designer tool) for the paper's installation, or for a landscape
+// described in the declarative XML language.
+//
+// Usage:
+//
+//	landscape-designer                          # paper landscape, Table 4 demands
+//	landscape-designer -multiplier 1.35
+//	landscape-designer -landscape my.xml        # uses declared users as demand
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/designer"
+	"autoglobe/internal/service"
+	"autoglobe/internal/spec"
+	"autoglobe/internal/workload"
+)
+
+func main() {
+	var (
+		landscape  = flag.String("landscape", "", "XML landscape description (default: the paper's installation)")
+		multiplier = flag.Float64("multiplier", 1.0, "scale expected demands")
+	)
+	flag.Parse()
+
+	var (
+		plan *designer.Plan
+		err  error
+	)
+	if *landscape != "" {
+		plan, err = planFromXML(*landscape, *multiplier)
+	} else {
+		plan, err = planPaper(*multiplier)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(plan)
+}
+
+func planPaper(multiplier float64) (*designer.Plan, error) {
+	cl := cluster.Paper()
+	cat := service.PaperCatalog(service.FullMobility)
+	users := service.PaperUsers()
+	instances := map[string]int{"FI": 3, "LES": 4, "PP": 2, "HR": 1, "CRM": 1, "BW": 2}
+	var demands []designer.Demand
+	for svcName, u := range users {
+		svc, _ := cat.Get(svcName)
+		n := instances[svcName]
+		demands = append(demands, designer.Demand{
+			Service:          svcName,
+			Instances:        n,
+			UnitsPerInstance: u * multiplier * workload.DefaultPeakActivity / float64(svc.UsersPerUnit) / float64(n),
+		})
+	}
+	cost := workload.DefaultCostModel()
+	erpPeak := (600*0.8 + 900 + 450 + 300*0.9) * multiplier * workload.DefaultPeakActivity / 150
+	demands = append(demands,
+		designer.Demand{Service: "CI-ERP", Instances: 1,
+			UnitsPerInstance: (600 + 900 + 450 + 300) * multiplier * workload.DefaultPeakActivity / 150 * cost.CIShare},
+		designer.Demand{Service: "CI-CRM", Instances: 1,
+			UnitsPerInstance: 300 * multiplier * workload.DefaultPeakActivity / 150 * cost.CIShare},
+		designer.Demand{Service: "CI-BW", Instances: 1,
+			UnitsPerInstance: 60 * multiplier * workload.DefaultPeakActivity / 15 * cost.CIShare},
+		designer.Demand{Service: "DB-ERP", Instances: 1, UnitsPerInstance: erpPeak * cost.DBShare},
+		designer.Demand{Service: "DB-CRM", Instances: 1,
+			UnitsPerInstance: 300 * 1.1 * multiplier * workload.DefaultPeakActivity / 150 * cost.DBShare},
+		designer.Demand{Service: "DB-BW", Instances: 1,
+			UnitsPerInstance: 60 * 8 * multiplier * workload.DefaultPeakActivity / 15 * cost.DBShare},
+	)
+	return designer.Design(cl, cat, demands)
+}
+
+func planFromXML(path string, multiplier float64) (*designer.Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	l, err := spec.Parse(f)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := l.BuildCluster()
+	if err != nil {
+		return nil, err
+	}
+	cat, err := l.BuildCatalog()
+	if err != nil {
+		return nil, err
+	}
+	var demands []designer.Demand
+	for _, s := range l.Services {
+		n := len(s.Instances)
+		if n == 0 {
+			n = 1
+		}
+		perUnit := s.UsersPerUnit
+		if perUnit == 0 {
+			perUnit = 150
+		}
+		demands = append(demands, designer.Demand{
+			Service:          s.Name,
+			Instances:        n,
+			UnitsPerInstance: s.Users * multiplier * workload.DefaultPeakActivity / float64(perUnit) / float64(n),
+		})
+	}
+	return designer.Design(cl, cat, demands)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "landscape-designer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command loadgen emits the simulation's workload curves — the data
+// behind Figure 10 — as CSV, one row per simulated minute.
+//
+// Usage:
+//
+//	loadgen                          # all paper services, one day
+//	loadgen -services LES,BW -days 2
+//	loadgen -multiplier 1.15 -users  # absolute active users instead of fractions
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"autoglobe/internal/workload"
+)
+
+func main() {
+	var (
+		services   = flag.String("services", "FI,LES,PP,HR,CRM,BW", "comma-separated services")
+		days       = flag.Int("days", 1, "days to emit")
+		multiplier = flag.Float64("multiplier", 1.0, "user population multiplier")
+		users      = flag.Bool("users", false, "emit absolute active users (with noise) instead of activity fractions")
+		seed       = flag.Uint64("seed", 1, "noise seed (with -users)")
+		step       = flag.Int("step", 1, "minutes per row")
+	)
+	flag.Parse()
+	names := strings.Split(*services, ",")
+	gen := workload.PaperGenerator(*multiplier, *seed)
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	header := append([]string{"minute"}, names...)
+	if err := w.Write(header); err != nil {
+		fatal(err)
+	}
+	for m := 0; m < *days*workload.MinutesPerDay; m += *step {
+		row := []string{strconv.Itoa(m)}
+		for _, svc := range names {
+			var v float64
+			if *users {
+				v = gen.ActiveUsers(svc, m)
+			} else {
+				v = gen.ActiveFraction(svc, m)
+			}
+			row = append(row, strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		if err := w.Write(row); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

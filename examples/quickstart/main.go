@@ -1,0 +1,103 @@
+// Quickstart: build a tiny virtualized landscape, feed the monitoring
+// pipeline a sustained overload, and watch the fuzzy controller pick and
+// execute a remedy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/controller"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+)
+
+func main() {
+	// 1. Pool the hardware: two small blades and one powerful server.
+	cl := cluster.MustNew(
+		cluster.Host{Name: "blade1", Category: "blade", PerformanceIndex: 1,
+			CPUs: 1, ClockMHz: 933, CacheKB: 512, MemoryMB: 2048, SwapMB: 2048, TempMB: 20480},
+		cluster.Host{Name: "blade2", Category: "blade", PerformanceIndex: 1,
+			CPUs: 1, ClockMHz: 933, CacheKB: 512, MemoryMB: 2048, SwapMB: 2048, TempMB: 20480},
+		cluster.Host{Name: "big1", Category: "server", PerformanceIndex: 9,
+			CPUs: 4, ClockMHz: 2800, CacheKB: 2048, MemoryMB: 12288, SwapMB: 12288, TempMB: 20480},
+	)
+
+	// 2. Describe the service declaratively: an interactive application
+	// server that may be scaled and moved.
+	cat := service.MustCatalog(&service.Service{
+		Name: "shop", Type: service.TypeInteractive,
+		MinInstances: 1,
+		Allowed: map[service.Action]bool{
+			service.ActionScaleIn: true, service.ActionScaleOut: true,
+			service.ActionScaleUp: true, service.ActionScaleDown: true,
+			service.ActionMove: true,
+		},
+		MemoryMBPerInstance: 1024, UsersPerUnit: 150, RequestWeight: 1,
+	})
+
+	// 3. Deploy one instance on a small blade.
+	dep := service.NewDeployment(cl, cat)
+	inst, err := dep.Start("shop", "blade1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst.Users = 140
+	fmt.Printf("deployed %s on %s with %.0f users\n", inst.ID, inst.Host, inst.Users)
+
+	// 4. Wire the monitoring pipeline (paper parameters: 70 % overload
+	// threshold, 10 min watchTime) and the fuzzy controller.
+	arch := archive.New(0)
+	lms, err := monitor.NewSystem(monitor.PaperParams(), arch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lms.Register(archive.HostEntity("blade1"), monitor.Server, 1)
+	ctl, err := controller.New(controller.Config{}, dep, arch,
+		controller.NewDeploymentExecutor(dep, controller.RebalanceUsers))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Feed a sustained overload: blade1 runs at 92 % CPU. The load
+	// monitoring system observes it for the watchTime before confirming
+	// a real overload (short peaks would be filtered out).
+	for minute := 0; minute <= 10; minute++ {
+		// Keep the controller's other inputs fresh too.
+		arch.Record(archive.InstanceEntity(inst.ID), archive.Sample{Minute: minute, CPU: 0.90})
+		arch.Record(archive.ServiceEntity("shop"), archive.Sample{Minute: minute, CPU: 0.55})
+		arch.Record(archive.HostEntity("blade2"), archive.Sample{Minute: minute, CPU: 0.30})
+		arch.Record(archive.HostEntity("big1"), archive.Sample{Minute: minute, CPU: 0.05})
+
+		trigger, err := lms.Observe(archive.HostEntity("blade1"), minute, 0.92, 0.5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if trigger == nil {
+			fmt.Printf("minute %2d: blade1 at 92%% — observing\n", minute)
+			continue
+		}
+		trigger.Entity = "blade1"
+		fmt.Printf("minute %2d: confirmed %s\n", minute, trigger)
+
+		// 6. The controller selects an action (scale-up: hot service on
+		// a weak host) and a target host, and executes.
+		decision, err := ctl.HandleTrigger(*trigger)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if decision == nil {
+			fmt.Println("controller found no applicable action")
+			continue
+		}
+		fmt.Printf("controller decided: %s (applicability %.2f, host score %.2f)\n",
+			decision, decision.Applicability, decision.HostScore)
+	}
+
+	moved, _ := dep.Instance(inst.ID)
+	fmt.Printf("instance now runs on %s — overload remedied\n", moved.Host)
+}

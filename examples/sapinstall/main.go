@@ -1,0 +1,75 @@
+// sapinstall reproduces the paper's evaluation workflow end to end: it
+// simulates the SAP installation of Figure 9/11 under all three
+// scenarios at +15 % users, prints the per-scenario outcome (the story
+// of Figures 12–14), shows the FI application servers' behaviour with
+// the controller's action annotations (Figures 15–17), and finishes
+// with a console snapshot.
+//
+//	go run ./examples/sapinstall
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autoglobe/internal/console"
+	"autoglobe/internal/service"
+	"autoglobe/internal/simulator"
+)
+
+func main() {
+	const multiplier = 1.15
+
+	for _, m := range []service.Mobility{
+		service.Static, service.ConstrainedMobility, service.FullMobility,
+	} {
+		cfg := simulator.PaperConfig(m, multiplier)
+		cfg.RecordServices = []string{"FI"}
+		sim, err := simulator.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("=== %s scenario, %.0f%% users ===\n", m, multiplier*100)
+		fmt.Println(res)
+		counts := res.ActionCounts()
+		if len(counts) > 0 {
+			fmt.Print("  actions:")
+			for _, a := range service.Actions() {
+				if counts[a] > 0 {
+					fmt.Printf(" %s×%d", a, counts[a])
+				}
+			}
+			fmt.Println()
+		}
+		// The FI story of Figures 15–17: how many distinct hosts did FI
+		// instances visit, and how bad was the worst FI episode?
+		var worstFI float64
+		for key, pts := range res.ServiceHostSeries {
+			_ = key
+			for _, p := range pts {
+				if p.Load > worstFI {
+					worstFI = p.Load
+				}
+			}
+		}
+		fmt.Printf("  FI ran on %d distinct hosts; worst FI instance load %.0f%%\n",
+			len(res.ServiceHostSeries), worstFI*100)
+		verdict := "handles the load"
+		if res.Overloaded(simulator.DefaultOverloadBudget, simulator.DefaultStreakBudget) {
+			verdict = "is OVERLOADED"
+		}
+		fmt.Printf("  verdict: the installation %s at %.0f%%\n\n", verdict, multiplier*100)
+
+		// Console snapshot for the last scenario.
+		if m == service.FullMobility {
+			fmt.Println(console.ServerView(sim.Deployment(), sim.Archive()))
+			fmt.Println()
+			fmt.Println(console.MessageView(sim.Controller().Events(), 10))
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// webshop shows AutoGlobe administering a landscape other than the
+// paper's SAP installation: a web shop with a storefront, a search
+// service and a checkout service sharing one database on a small blade
+// pool. The landscape is described in the declarative XML language, the
+// workload peaks in the evening (shoppers after work), and a flash-sale
+// burst tests the controller's reaction.
+//
+//	go run ./examples/webshop
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autoglobe/internal/console"
+	"autoglobe/internal/service"
+	"autoglobe/internal/simulator"
+	"autoglobe/internal/spec"
+	"autoglobe/internal/workload"
+)
+
+const landscapeXML = `<?xml version="1.0"?>
+<landscape name="webshop">
+  <servers>
+    <server name="web1" category="blade" performanceIndex="1" cpus="1" clockMHz="2000" cacheKB="512" memoryMB="2048" swapMB="2048" tempMB="20480"/>
+    <server name="web2" category="blade" performanceIndex="1" cpus="1" clockMHz="2000" cacheKB="512" memoryMB="2048" swapMB="2048" tempMB="20480"/>
+    <server name="web3" category="blade" performanceIndex="1" cpus="1" clockMHz="2000" cacheKB="512" memoryMB="2048" swapMB="2048" tempMB="20480"/>
+    <server name="web4" category="blade" performanceIndex="2" cpus="2" clockMHz="2000" cacheKB="512" memoryMB="4096" swapMB="4096" tempMB="20480"/>
+    <server name="dbhost" category="server" performanceIndex="6" cpus="4" clockMHz="2800" cacheKB="2048" memoryMB="12288" swapMB="12288" tempMB="40960"/>
+  </servers>
+  <services>
+    <service name="storefront" type="interactive" subsystem="shop" minInstances="1" memoryMBPerInstance="1024" baseLoad="0.05" usersPerUnit="150" requestWeight="1.0" users="260">
+      <allowedActions>
+        <action>scaleIn</action><action>scaleOut</action>
+        <action>scaleUp</action><action>scaleDown</action><action>move</action>
+      </allowedActions>
+      <instances><instance host="web1"/><instance host="web2"/></instances>
+    </service>
+    <service name="search" type="interactive" subsystem="shop" minInstances="1" memoryMBPerInstance="1024" baseLoad="0.05" usersPerUnit="150" requestWeight="1.5" users="120">
+      <allowedActions>
+        <action>scaleIn</action><action>scaleOut</action><action>move</action>
+      </allowedActions>
+      <instances><instance host="web3"/></instances>
+    </service>
+    <service name="checkout" type="interactive" subsystem="shop" minInstances="1" memoryMBPerInstance="1024" baseLoad="0.05" usersPerUnit="150" requestWeight="2.0" users="90">
+      <allowedActions>
+        <action>scaleIn</action><action>scaleOut</action><action>move</action>
+      </allowedActions>
+      <instances><instance host="web4"/></instances>
+    </service>
+    <service name="DB-shop" type="database" subsystem="shop" minInstances="1" maxInstances="1" minPerformanceIndex="5" memoryMBPerInstance="6144" baseLoad="0.02">
+      <instances><instance host="dbhost"/></instances>
+    </service>
+  </services>
+</landscape>`
+
+func main() {
+	landscape, err := spec.ParseString(landscapeXML)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := landscape.BuildDeployment()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Evening-heavy shopping curve with a lunch bump and a 20:00 flash
+	// sale.
+	shopping := workload.MustProfile("shopping",
+		workload.Point{Minute: 0, Value: 0.06},
+		workload.Point{Minute: 7 * 60, Value: 0.10},
+		workload.Point{Minute: 12 * 60, Value: 0.45},
+		workload.Point{Minute: 14 * 60, Value: 0.30},
+		workload.Point{Minute: 18 * 60, Value: 0.70},
+		workload.Point{Minute: 19*60 + 45, Value: 0.75},
+		workload.Point{Minute: 20 * 60, Value: 1.00}, // flash sale
+		workload.Point{Minute: 21 * 60, Value: 0.95},
+		workload.Point{Minute: 22*60 + 30, Value: 0.30},
+	)
+	gen := workload.MustGenerator(workload.Jitter{Seed: 7, Amplitude: 0.04},
+		workload.Source{Service: "storefront", Users: 260, Profile: shopping},
+		workload.Source{Service: "search", Users: 120, Profile: shopping},
+		workload.Source{Service: "checkout", Users: 90, Profile: shopping},
+	)
+
+	cfg := simulator.PaperConfig(service.FullMobility, 1.0)
+	cfg.Hours = 48
+	cfg.RecordServices = []string{"storefront"}
+	sim, err := simulator.NewCustom(cfg, dep, gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("web shop under AutoGlobe,", cfg.Hours, "hours with a nightly flash sale:")
+	fmt.Println(res)
+	fmt.Println()
+	counts := res.ActionCounts()
+	for _, a := range service.Actions() {
+		if counts[a] > 0 {
+			fmt.Printf("  %-10s ×%d\n", a, counts[a])
+		}
+	}
+	fmt.Println()
+	fmt.Println(console.ServiceView(sim.Deployment(), sim.Archive()))
+}

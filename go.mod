@@ -1,0 +1,3 @@
+module autoglobe
+
+go 1.22

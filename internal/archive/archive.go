@@ -1,0 +1,241 @@
+// Package archive implements AutoGlobe's load archive: "a persistent
+// aggregated view of historic load data. This data is used to calculate
+// the average load of services during their watchTime and to initialize
+// all resource variables of the fuzzy controller."
+//
+// The archive keeps, per monitored entity, a bounded window of raw
+// per-minute samples plus an aggregated day profile (running mean per
+// minute of day across all observed days). The day profile is the input
+// of the load-forecasting extension (paper Section 7).
+package archive
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MinutesPerDay mirrors workload.MinutesPerDay without importing it.
+const MinutesPerDay = 24 * 60
+
+// Entity key helpers: the archive stores hosts, services and service
+// instances in one namespace; monitors and the controller must agree on
+// the keys.
+
+// HostEntity returns the archive key for a host.
+func HostEntity(name string) string { return "host/" + name }
+
+// ServiceEntity returns the archive key for a service (aggregated over
+// its instances).
+func ServiceEntity(name string) string { return "svc/" + name }
+
+// InstanceEntity returns the archive key for a service instance.
+func InstanceEntity(id string) string { return "inst/" + id }
+
+// Sample is one recorded measurement.
+type Sample struct {
+	Minute int     // absolute simulation minute
+	CPU    float64 // CPU load in [0, 1] (may exceed 1 for raw demand)
+	Mem    float64 // memory load in [0, 1]
+}
+
+// entityLog is the per-entity state.
+type entityLog struct {
+	samples []Sample // ring buffer, oldest first
+	head    int      // index of oldest element when full
+	full    bool
+
+	daySum   [MinutesPerDay]float64
+	dayCount [MinutesPerDay]int
+}
+
+// Archive stores aggregated historic load data per entity. The zero
+// value is not usable; construct with New.
+type Archive struct {
+	retention int // raw samples kept per entity
+	entities  map[string]*entityLog
+}
+
+// DefaultRetention keeps three simulated days of per-minute samples,
+// comfortably covering the paper's 80-hour runs' recent history.
+const DefaultRetention = 3 * MinutesPerDay
+
+// New returns an archive retaining the given number of raw samples per
+// entity (DefaultRetention if retention <= 0).
+func New(retention int) *Archive {
+	if retention <= 0 {
+		retention = DefaultRetention
+	}
+	return &Archive{retention: retention, entities: make(map[string]*entityLog)}
+}
+
+func (a *Archive) log(entity string) *entityLog {
+	l, ok := a.entities[entity]
+	if !ok {
+		l = &entityLog{samples: make([]Sample, 0, a.retention)}
+		a.entities[entity] = l
+	}
+	return l
+}
+
+// Record stores a measurement for an entity. Samples must be recorded in
+// non-decreasing minute order per entity.
+func (a *Archive) Record(entity string, s Sample) error {
+	l := a.log(entity)
+	if last, ok := a.latest(l); ok && s.Minute < last.Minute {
+		return fmt.Errorf("archive: %q: sample at minute %d after minute %d", entity, s.Minute, last.Minute)
+	}
+	if len(l.samples) < a.retention {
+		l.samples = append(l.samples, s)
+	} else {
+		l.samples[l.head] = s
+		l.head = (l.head + 1) % a.retention
+		l.full = true
+	}
+	mod := ((s.Minute % MinutesPerDay) + MinutesPerDay) % MinutesPerDay
+	l.daySum[mod] += s.CPU
+	l.dayCount[mod]++
+	return nil
+}
+
+func (a *Archive) latest(l *entityLog) (Sample, bool) {
+	if len(l.samples) == 0 {
+		return Sample{}, false
+	}
+	if !l.full {
+		return l.samples[len(l.samples)-1], true
+	}
+	idx := (l.head - 1 + a.retention) % a.retention
+	return l.samples[idx], true
+}
+
+// Latest returns the most recent sample of an entity.
+func (a *Archive) Latest(entity string) (Sample, bool) {
+	l, ok := a.entities[entity]
+	if !ok {
+		return Sample{}, false
+	}
+	return a.latest(l)
+}
+
+// Window returns the samples of an entity with from <= Minute <= to, in
+// chronological order.
+func (a *Archive) Window(entity string, from, to int) []Sample {
+	l, ok := a.entities[entity]
+	if !ok {
+		return nil
+	}
+	ordered := a.ordered(l)
+	lo := sort.Search(len(ordered), func(i int) bool { return ordered[i].Minute >= from })
+	hi := sort.Search(len(ordered), func(i int) bool { return ordered[i].Minute > to })
+	if lo >= hi {
+		return nil
+	}
+	out := make([]Sample, hi-lo)
+	copy(out, ordered[lo:hi])
+	return out
+}
+
+// ordered returns the ring buffer in chronological order.
+func (a *Archive) ordered(l *entityLog) []Sample {
+	if !l.full {
+		return l.samples
+	}
+	out := make([]Sample, 0, len(l.samples))
+	out = append(out, l.samples[l.head:]...)
+	out = append(out, l.samples[:l.head]...)
+	return out
+}
+
+// AverageCPU returns the mean CPU load of an entity over the window
+// from..to (inclusive), which is how the controller initializes its load
+// variables with watchTime averages. ok is false when no samples fall in
+// the window.
+func (a *Archive) AverageCPU(entity string, from, to int) (avg float64, ok bool) {
+	w := a.Window(entity, from, to)
+	if len(w) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, s := range w {
+		sum += s.CPU
+	}
+	return sum / float64(len(w)), true
+}
+
+// AverageMem returns the mean memory load over the window.
+func (a *Archive) AverageMem(entity string, from, to int) (avg float64, ok bool) {
+	w := a.Window(entity, from, to)
+	if len(w) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, s := range w {
+		sum += s.Mem
+	}
+	return sum / float64(len(w)), true
+}
+
+// PercentileCPU returns the p-quantile (0 < p <= 1) of the CPU load
+// over the window from..to, with linear interpolation between order
+// statistics. Operators read tail quantiles (p95/p99) off the console
+// to judge response-time risk, which mean loads hide.
+func (a *Archive) PercentileCPU(entity string, from, to int, p float64) (float64, bool) {
+	if p <= 0 || p > 1 {
+		return 0, false
+	}
+	w := a.Window(entity, from, to)
+	if len(w) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, len(w))
+	for i, s := range w {
+		vals[i] = s.CPU
+	}
+	sort.Float64s(vals)
+	if len(vals) == 1 {
+		return vals[0], true
+	}
+	pos := p * float64(len(vals)-1)
+	lo := int(pos)
+	if lo >= len(vals)-1 {
+		return vals[len(vals)-1], true
+	}
+	frac := pos - float64(lo)
+	return vals[lo] + frac*(vals[lo+1]-vals[lo]), true
+}
+
+// DayProfile returns the aggregated mean CPU load per minute of day —
+// the "pattern" historic view used for load prediction. Minutes never
+// observed carry 0.
+func (a *Archive) DayProfile(entity string) []float64 {
+	out := make([]float64, MinutesPerDay)
+	l, ok := a.entities[entity]
+	if !ok {
+		return out
+	}
+	for m := 0; m < MinutesPerDay; m++ {
+		if l.dayCount[m] > 0 {
+			out[m] = l.daySum[m] / float64(l.dayCount[m])
+		}
+	}
+	return out
+}
+
+// Entities returns the names of all entities with recorded data, sorted.
+func (a *Archive) Entities() []string {
+	out := make([]string, 0, len(a.entities))
+	for e := range a.entities {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of raw samples currently retained for entity.
+func (a *Archive) Len(entity string) int {
+	l, ok := a.entities[entity]
+	if !ok {
+		return 0
+	}
+	return len(l.samples)
+}

@@ -1,0 +1,37 @@
+package archive
+
+import "testing"
+
+func BenchmarkRecord(b *testing.B) {
+	a := New(0)
+	for i := 0; i < b.N; i++ {
+		if err := a.Record("host/Blade1", Sample{Minute: i, CPU: 0.5, Mem: 0.4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAverageWatchWindow(b *testing.B) {
+	a := New(0)
+	for m := 0; m < 3*MinutesPerDay; m++ {
+		a.Record("h", Sample{Minute: m, CPU: 0.5})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The controller's typical query: a 10-minute watch window.
+		if _, ok := a.AverageCPU("h", 2*MinutesPerDay, 2*MinutesPerDay+10); !ok {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkDayProfile(b *testing.B) {
+	a := New(0)
+	for m := 0; m < 3*MinutesPerDay; m++ {
+		a.Record("h", Sample{Minute: m, CPU: 0.5})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.DayProfile("h")
+	}
+}

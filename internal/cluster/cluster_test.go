@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func validHost(name string) Host {
+	return Host{
+		Name: name, Category: "test", PerformanceIndex: 1,
+		CPUs: 1, ClockMHz: 1000, CacheKB: 512, MemoryMB: 1024, SwapMB: 1024, TempMB: 1024,
+	}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c, err := New(validHost("a"), validHost("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Host("a"); !ok {
+		t.Error("host a not found")
+	}
+	if _, ok := c.Host("z"); ok {
+		t.Error("unexpected host z")
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	c := MustNew(validHost("a"))
+	if err := c.Add(validHost("a")); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := MustNew(validHost("a"), validHost("b"))
+	if err := c.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after remove, want 1", c.Len())
+	}
+	if names := c.Names(); len(names) != 1 || names[0] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if err := c.Remove("a"); err == nil {
+		t.Fatal("removing a missing host succeeded")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Host{
+		{},
+		{Name: "x", PerformanceIndex: 0, CPUs: 1, MemoryMB: 1},
+		{Name: "x", PerformanceIndex: 1, CPUs: 0, MemoryMB: 1},
+		{Name: "x", PerformanceIndex: 1, CPUs: 1, MemoryMB: 0},
+		{Name: "x", PerformanceIndex: 1, CPUs: 1, MemoryMB: 1, SwapMB: -1},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d: host %+v validated", i, h)
+		}
+	}
+	if err := validHost("ok").Validate(); err != nil {
+		t.Errorf("valid host rejected: %v", err)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var c Cluster
+	if err := c.Add(validHost("a")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatal("zero-value cluster should accept hosts")
+	}
+}
+
+func TestHostsInsertionOrder(t *testing.T) {
+	c := MustNew(validHost("c"), validHost("a"), validHost("b"))
+	names := c.Names()
+	want := []string{"c", "a", "b"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestCategories(t *testing.T) {
+	h1, h2 := validHost("a"), validHost("b")
+	h2.Category = "other"
+	c := MustNew(h1, h2)
+	cats := c.Categories()
+	if len(cats) != 2 || cats[0] != "other" || cats[1] != "test" {
+		t.Fatalf("Categories = %v", cats)
+	}
+	if got := c.ByCategory("test"); len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("ByCategory(test) = %v", got)
+	}
+}
+
+// TestPaperLandscape checks the simulated hardware of Figure 11: 19 hosts,
+// three categories, total performance 8·1 + 8·2 + 3·9 = 51 standard-blade
+// units.
+func TestPaperLandscape(t *testing.T) {
+	c := Paper()
+	if c.Len() != 19 {
+		t.Fatalf("paper landscape has %d hosts, want 19", c.Len())
+	}
+	if got := c.TotalPerformance(); got != 51 {
+		t.Fatalf("total performance = %g, want 51", got)
+	}
+	if got := len(c.ByCategory("FSC-BX300")); got != 8 {
+		t.Errorf("BX300 count = %d, want 8", got)
+	}
+	if got := len(c.ByCategory("FSC-BX600")); got != 8 {
+		t.Errorf("BX600 count = %d, want 8", got)
+	}
+	if got := len(c.ByCategory("HP-Proliant-BL40p")); got != 3 {
+		t.Errorf("BL40p count = %d, want 3", got)
+	}
+	b1, ok := c.Host("Blade1")
+	if !ok || b1.PerformanceIndex != 1 || b1.MemoryMB != 2048 {
+		t.Errorf("Blade1 = %+v", b1)
+	}
+	db, ok := c.Host("DBServer3")
+	if !ok || db.PerformanceIndex != 9 || db.CPUs != 4 {
+		t.Errorf("DBServer3 = %+v", db)
+	}
+}
+
+func TestHostString(t *testing.T) {
+	h := validHost("a")
+	if s := h.String(); !strings.Contains(s, "a") || !strings.Contains(s, "PI=1") {
+		t.Errorf("String() = %q", s)
+	}
+}

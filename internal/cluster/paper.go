@@ -1,0 +1,66 @@
+package cluster
+
+import "fmt"
+
+// Paper returns the hardware landscape of the paper's simulation studies
+// (Figure 11):
+//
+//   - 8 FSC-BX300 blades, one Intel Pentium III 933 MHz, 2 GB memory,
+//     performance index 1 (Blade1…Blade8),
+//   - 8 FSC-BX600 blades, two Pentium III 933 MHz, 4 GB memory,
+//     performance index 2 (Blade9…Blade16),
+//   - 3 HP-Proliant BL40p servers, four Xeon MP 2.8 GHz, 12 GB memory,
+//     performance index 9 (DBServer1…DBServer3).
+//
+// Swap and temp sizes are not stated in the paper; we use memory-sized
+// swap and a fixed 50 GB temp volume (SAN-backed, ample for all hosts),
+// which keeps those server-selection inputs non-binding, as in the paper.
+func Paper() *Cluster {
+	c := &Cluster{hosts: make(map[string]Host)}
+	for i := 1; i <= 8; i++ {
+		mustAdd(c, Host{
+			Name:             fmt.Sprintf("Blade%d", i),
+			Category:         "FSC-BX300",
+			PerformanceIndex: 1,
+			CPUs:             1,
+			ClockMHz:         933,
+			CacheKB:          512,
+			MemoryMB:         2048,
+			SwapMB:           2048,
+			TempMB:           51200,
+		})
+	}
+	for i := 9; i <= 16; i++ {
+		mustAdd(c, Host{
+			Name:             fmt.Sprintf("Blade%d", i),
+			Category:         "FSC-BX600",
+			PerformanceIndex: 2,
+			CPUs:             2,
+			ClockMHz:         933,
+			CacheKB:          512,
+			MemoryMB:         4096,
+			SwapMB:           4096,
+			TempMB:           51200,
+		})
+	}
+	for i := 1; i <= 3; i++ {
+		mustAdd(c, Host{
+			Name:             fmt.Sprintf("DBServer%d", i),
+			Category:         "HP-Proliant-BL40p",
+			PerformanceIndex: 9,
+			CPUs:             4,
+			ClockMHz:         2800,
+			CacheKB:          2048,
+			MemoryMB:         12288,
+			SwapMB:           12288,
+			TempMB:           51200,
+		})
+	}
+	return c
+}
+
+func mustAdd(c *Cluster, h Host) {
+	if err := c.Add(h); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,87 @@
+package console
+
+import (
+	"strings"
+	"testing"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/controller"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+)
+
+func testWorld(t *testing.T) (*service.Deployment, *archive.Archive) {
+	t.Helper()
+	dep, err := service.BuildPaperDeployment(cluster.Paper(), service.ConstrainedMobility, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := archive.New(0)
+	arch.Record(archive.HostEntity("Blade1"), archive.Sample{Minute: 0, CPU: 0.42, Mem: 0.5})
+	arch.Record(archive.ServiceEntity("FI"), archive.Sample{Minute: 0, CPU: 0.33})
+	return dep, arch
+}
+
+func TestServerView(t *testing.T) {
+	dep, arch := testWorld(t)
+	v := ServerView(dep, arch)
+	for _, want := range []string{"SERVER VIEW", "FSC-BX300", "FSC-BX600", "HP-Proliant-BL40p", "Blade1", "DBServer3", "42%"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("server view missing %q:\n%s", want, v)
+		}
+	}
+	// Blade1 runs LES per the initial allocation.
+	for _, line := range strings.Split(v, "\n") {
+		if strings.Contains(line, "Blade1 ") && !strings.Contains(line, "LES") {
+			t.Errorf("Blade1 line missing its LES instance: %s", line)
+		}
+	}
+}
+
+func TestServiceView(t *testing.T) {
+	dep, arch := testWorld(t)
+	v := ServiceView(dep, arch)
+	for _, want := range []string{"SERVICE VIEW", "FI", "interactive", "DB-ERP", "database", "600", "33%"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("service view missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestServerDetail(t *testing.T) {
+	dep, arch := testWorld(t)
+	for m := 1; m < 200; m++ {
+		arch.Record(archive.HostEntity("Blade1"), archive.Sample{Minute: m, CPU: 0.5, Mem: 0.5})
+	}
+	v := ServerDetail(dep, arch, "Blade1", 200)
+	for _, want := range []string{"SERVER DETAIL", "933 MHz", "p95", "day profile", "LES"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("server detail missing %q:\n%s", want, v)
+		}
+	}
+	if got := ServerDetail(dep, arch, "ghost", 0); !strings.Contains(got, "unknown server") {
+		t.Errorf("unknown host detail = %q", got)
+	}
+}
+
+func TestMessageView(t *testing.T) {
+	events := []controller.Event{
+		{Minute: 10, Note: "ALERT something"},
+		{Minute: 20, Executed: true, Decision: &controller.Decision{
+			Action: service.ActionScaleOut, Service: "FI", TargetHost: "Blade6",
+			Trigger: monitor.Trigger{Minute: 20},
+		}},
+	}
+	v := MessageView(events, 0)
+	if !strings.Contains(v, "ALERT something") || !strings.Contains(v, "Out Blade6 (FI)") {
+		t.Errorf("message view incomplete:\n%s", v)
+	}
+	if got := MessageView(nil, 0); !strings.Contains(got, "no messages") {
+		t.Errorf("empty message view = %q", got)
+	}
+	limited := MessageView(events, 1)
+	if !strings.Contains(limited, "1 earlier message") {
+		t.Errorf("limit not applied:\n%s", limited)
+	}
+}

@@ -1,0 +1,175 @@
+package controller
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+)
+
+// world builds a small deployment with two app instances carrying users.
+func executorWorld(t *testing.T, policy RedistributePolicy) (*testbed, *service.Instance, *service.Instance) {
+	t.Helper()
+	tb := newTestbed(t, Config{})
+	tb.exec = NewDeploymentExecutor(tb.dep, policy)
+	if _, err := tb.dep.Start("db", "big1"); err != nil {
+		t.Fatal(err)
+	}
+	i1, err := tb.dep.Start("app", "weak1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := tb.dep.Start("app", "mid1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1.Users, i2.Users = 90, 180
+	return tb, i1, i2
+}
+
+func decision(a service.Action, svc, instID, target string) *Decision {
+	return &Decision{
+		Trigger: monitor.Trigger{Minute: 10},
+		Action:  a, Service: svc, InstanceID: instID, TargetHost: target,
+	}
+}
+
+// TestScaleInSpreadsByCapacity: the stopped instance's sessions
+// reconnect proportionally to the remaining hosts' performance.
+func TestScaleInSpreadsByCapacity(t *testing.T) {
+	tb, i1, i2 := executorWorld(t, StickyUsers)
+	i3, _ := tb.dep.Start("app", "mid2")
+	i3.Users = 60
+	// Stop the weak1 instance (90 users); mid1 (PI 2) and mid2 (PI 2)
+	// split them evenly.
+	if err := tb.exec.Execute(decision(service.ActionScaleIn, "app", i1.ID, "")); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i2.Users-225) > 1e-9 || math.Abs(i3.Users-105) > 1e-9 {
+		t.Errorf("users after scale-in: mid1=%g mid2=%g, want 225/105", i2.Users, i3.Users)
+	}
+	if got := tb.dep.UsersOf("app"); math.Abs(got-330) > 1e-9 {
+		t.Errorf("total users = %g, want 330", got)
+	}
+}
+
+// TestRebalanceWeightsByPerformance: full-mobility redistribution gives
+// a PI-2 host twice the sessions of a PI-1 host.
+func TestRebalanceWeightsByPerformance(t *testing.T) {
+	tb, i1, i2 := executorWorld(t, RebalanceUsers)
+	// Any action triggers the rebalance; use a priority bump.
+	if err := tb.exec.Execute(decision(service.ActionIncreasePriority, "app", i1.ID, "")); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i1.Users-90) > 1e-9 || math.Abs(i2.Users-180) > 1e-9 {
+		t.Errorf("rebalance = %g/%g, want 90/180 (1:2 by performance)", i1.Users, i2.Users)
+	}
+	_ = tb
+}
+
+// TestPostStepFailureRollsBack: when the final transactional step fails
+// (e.g. a federation rebind), the whole action is compensated and the
+// landscape is exactly as before.
+func TestPostStepFailureRollsBack(t *testing.T) {
+	tb, i1, i2 := executorWorld(t, RebalanceUsers)
+	exec := NewDeploymentExecutor(tb.dep, RebalanceUsers)
+	exec.PostStep = func(*Decision) error { return errors.New("binding layer down") }
+
+	// Scale-out: the started instance must be stopped again and users
+	// restored.
+	err := exec.Execute(decision(service.ActionScaleOut, "app", "", "mid2"))
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := tb.dep.CountOf("app"); got != 2 {
+		t.Errorf("instances after rolled-back scale-out = %d, want 2", got)
+	}
+	if i1.Users != 90 || i2.Users != 180 {
+		t.Errorf("users after rollback = %g/%g, want 90/180", i1.Users, i2.Users)
+	}
+
+	// Move: the instance must return to its original host.
+	err = exec.Execute(decision(service.ActionMove, "app", i1.ID, "mid2"))
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if got, _ := tb.dep.Instance(i1.ID); got.Host != "weak1" {
+		t.Errorf("instance on %s after rolled-back move, want weak1", got.Host)
+	}
+
+	// Scale-in: the stopped instance must be revived with its sessions.
+	err = exec.Execute(decision(service.ActionScaleIn, "app", i1.ID, ""))
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := tb.dep.CountOf("app"); got != 2 {
+		t.Errorf("instances after rolled-back scale-in = %d, want 2", got)
+	}
+	if got := tb.dep.UsersOf("app"); math.Abs(got-270) > 1e-9 {
+		t.Errorf("users after rolled-back scale-in = %g, want 270", got)
+	}
+	// The revived instance carries the original sessions on the
+	// original host.
+	var onWeak1 float64
+	for _, inst := range tb.dep.InstancesOf("app") {
+		if inst.Host == "weak1" {
+			onWeak1 = inst.Users
+		}
+	}
+	if math.Abs(onWeak1-90) > 1e-9 {
+		t.Errorf("revived instance has %g users, want 90", onWeak1)
+	}
+
+	// Priority: reverted.
+	before := i2.Priority
+	if err := exec.Execute(decision(service.ActionIncreasePriority, "app", i2.ID, "")); err == nil {
+		t.Fatal("expected failure")
+	}
+	if i2.Priority != before {
+		t.Errorf("priority changed despite rollback")
+	}
+	if err := tb.dep.Validate(); err != nil {
+		t.Errorf("deployment invalid after rollbacks: %v", err)
+	}
+}
+
+// TestStopActionStopsWholeService and compensates on failure.
+func TestStopActionTransactional(t *testing.T) {
+	cl := newTestbed(t, Config{})
+	cat := cl.dep.Catalog()
+	_ = cat
+	// Use a dedicated zero-minimum service so stop is legal.
+	tb := newTestbed(t, Config{})
+	dep := tb.dep
+	// app has MinInstances 1 → force stop path via ActionStop on a
+	// 2-instance set with MinInstances 1 is still "stop whole service";
+	// the feasibility gate normally prevents it, but the executor must
+	// handle it mechanically.
+	i1, _ := dep.Start("app", "weak1")
+	i2, _ := dep.Start("app", "mid1")
+	i1.Users, i2.Users = 10, 20
+	exec := NewDeploymentExecutor(dep, StickyUsers)
+	if err := exec.Execute(decision(service.ActionStop, "app", "", "")); err != nil {
+		t.Fatal(err)
+	}
+	if dep.CountOf("app") != 0 {
+		t.Fatalf("instances after stop = %d", dep.CountOf("app"))
+	}
+
+	// With a failing post step, everything is revived.
+	i1, _ = dep.Start("app", "weak1")
+	i2, _ = dep.Start("app", "mid1")
+	i1.Users, i2.Users = 10, 20
+	exec.PostStep = func(*Decision) error { return errors.New("nope") }
+	if err := exec.Execute(decision(service.ActionStop, "app", "", "")); err == nil {
+		t.Fatal("expected failure")
+	}
+	if dep.CountOf("app") != 2 {
+		t.Fatalf("instances after rolled-back stop = %d, want 2", dep.CountOf("app"))
+	}
+	if got := dep.UsersOf("app"); math.Abs(got-30) > 1e-9 {
+		t.Errorf("users after rolled-back stop = %g, want 30", got)
+	}
+}

@@ -1,0 +1,54 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+)
+
+// TestDecisionExplanation: a decision carries the firing rules that
+// produced it, strongest first.
+func TestDecisionExplanation(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	inst, err := tb.dep.Start("app", "weak1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.record(t, archive.HostEntity("weak1"), 0.90, 0.4)
+	tb.record(t, archive.InstanceEntity(inst.ID), 0.85, 0.4)
+	tb.record(t, archive.ServiceEntity("app"), 0.55, 0.4)
+	for _, h := range []string{"weak2", "mid1", "mid2", "big1", "big2"} {
+		tb.record(t, archive.HostEntity(h), 0.10, 0.1)
+	}
+	d, err := tb.ctl.HandleTrigger(trigger(monitor.ServiceOverloaded, "app"))
+	if err != nil || d == nil {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+	if d.Action != service.ActionScaleUp {
+		t.Fatalf("decision = %s", d.Action)
+	}
+	if len(d.Explanation) == 0 {
+		t.Fatal("decision has no explanation")
+	}
+	// The flagship scale-up rule must appear and be the strongest.
+	top := d.Explanation[0]
+	if !strings.Contains(top.Rule, "scaleUp IS applicable") {
+		t.Errorf("top rule does not assert scaleUp: %s", top.Rule)
+	}
+	for i := 1; i < len(d.Explanation); i++ {
+		if d.Explanation[i].Truth > d.Explanation[i-1].Truth {
+			t.Fatal("explanation not sorted by truth")
+		}
+	}
+	rendered := d.Explain()
+	if !strings.Contains(rendered, "IF") || !strings.Contains(rendered, "0.") {
+		t.Errorf("Explain() = %q", rendered)
+	}
+	empty := &Decision{}
+	if !strings.Contains(empty.Explain(), "no rule provenance") {
+		t.Error("empty explanation rendering wrong")
+	}
+}

@@ -1,0 +1,98 @@
+package controller
+
+import (
+	"testing"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+)
+
+// oscillationWorld sets up the classic ping-pong situation: one movable
+// instance between two equivalent hosts whose measured loads flip after
+// every move.
+func oscillationWorld(t *testing.T, cfg Config) (*testbed, *service.Instance) {
+	t.Helper()
+	tb := newTestbed(t, cfg)
+	inst, err := tb.dep.Start("app", "weak1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, inst
+}
+
+func recordFlip(t *testing.T, tb *testbed, inst *service.Instance, from, to int, hot string) {
+	t.Helper()
+	for m := from; m <= to; m++ {
+		for _, h := range []string{"weak1", "weak2"} {
+			load := 0.10
+			if h == hot {
+				load = 0.90
+			}
+			tb.arch.Record(archive.HostEntity(h), archive.Sample{Minute: m, CPU: load, Mem: 0.3})
+		}
+		for _, h := range []string{"mid1", "mid2", "big1", "big2"} {
+			tb.arch.Record(archive.HostEntity(h), archive.Sample{Minute: m, CPU: 0.95, Mem: 0.9})
+		}
+		tb.arch.Record(archive.InstanceEntity(inst.ID), archive.Sample{Minute: m, CPU: 0.45})
+		tb.arch.Record(archive.ServiceEntity("app"), archive.Sample{Minute: m, CPU: 0.45})
+	}
+}
+
+// TestProtectionPreventsOscillation: with the paper's 30-minute
+// protection, the service does not bounce back within the window; with
+// protection disabled it does — the exact instability the paper's
+// protection mode exists to prevent ("moving services back and forth").
+func TestProtectionPreventsOscillation(t *testing.T) {
+	// Without protection: the bounce happens.
+	tb, inst := oscillationWorld(t, Config{ProtectionMinutes: -1})
+	recordFlip(t, tb, inst, 0, 10, "weak1")
+	d1, err := tb.ctl.HandleTrigger(trigger(monitor.ServerOverloaded, "weak1"))
+	if err != nil || d1 == nil {
+		t.Fatalf("first trigger: d=%v err=%v", d1, err)
+	}
+	if d1.Action != service.ActionMove || d1.TargetHost != "weak2" {
+		t.Fatalf("first decision = %v, want move to weak2", d1)
+	}
+	recordFlip(t, tb, inst, 11, 21, "weak2")
+	tr2 := monitor.Trigger{Kind: monitor.ServerOverloaded, Entity: "weak2",
+		Minute: 21, WatchedFrom: 11, AvgLoad: 0.9}
+	d2, err := tb.ctl.HandleTrigger(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 == nil || d2.TargetHost != "weak1" {
+		t.Fatalf("without protection the instance should bounce back, got %v", d2)
+	}
+
+	// With the paper's protection: the second trigger is ignored.
+	tb, inst = oscillationWorld(t, Config{})
+	recordFlip(t, tb, inst, 0, 10, "weak1")
+	d1, err = tb.ctl.HandleTrigger(trigger(monitor.ServerOverloaded, "weak1"))
+	if err != nil || d1 == nil || d1.TargetHost != "weak2" {
+		t.Fatalf("first trigger: d=%v err=%v", d1, err)
+	}
+	recordFlip(t, tb, inst, 11, 21, "weak2")
+	d2, err = tb.ctl.HandleTrigger(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != nil {
+		t.Fatalf("protection mode should suppress the bounce, got %v", d2)
+	}
+	got, _ := tb.dep.Instance(inst.ID)
+	if got.Host != "weak2" {
+		t.Errorf("instance on %s, want weak2 (single move only)", got.Host)
+	}
+	// After protection expires the controller may act again.
+	recordFlip(t, tb, inst, 22, 50, "weak2")
+	tr3 := monitor.Trigger{Kind: monitor.ServerOverloaded, Entity: "weak2",
+		Minute: 45, WatchedFrom: 35, AvgLoad: 0.9}
+	d3, err := tb.ctl.HandleTrigger(tr3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == nil {
+		t.Error("controller still suppressed after protection expired")
+	}
+}

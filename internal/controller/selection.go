@@ -1,0 +1,356 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/fuzzy"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+)
+
+// SelectActions runs the action-selection fuzzy controller for a trigger
+// and returns the ordered, constraint-verified candidate list (Figure 7):
+// for service triggers it evaluates every instance of the service; for
+// server triggers it evaluates every service running on the host and
+// collects the possible actions of all of them. Candidates below the
+// applicability threshold or violating a constraint are discarded; the
+// rest are sorted by applicability in descending order.
+func (c *Controller) SelectActions(tr monitor.Trigger) ([]Candidate, error) {
+	var instances []*service.Instance
+	switch tr.Kind {
+	case monitor.ServerOverloaded, monitor.ServerIdle:
+		instances = c.dep.InstancesOn(tr.Entity)
+	case monitor.ServiceOverloaded, monitor.ServiceIdle:
+		instances = c.dep.InstancesOf(tr.Entity)
+	default:
+		return nil, fmt.Errorf("controller: unknown trigger kind %q", tr.Kind)
+	}
+
+	var candidates []Candidate
+	for _, inst := range instances {
+		if c.ServiceProtected(inst.Service, tr.Minute) {
+			continue
+		}
+		rb := c.ruleBaseFor(inst.Service, tr.Kind)
+		if rb == nil {
+			continue
+		}
+		inputs, err := c.actionInputs(tr, inst)
+		if err != nil {
+			return nil, err
+		}
+		res, err := c.engine.Infer(rb, inputs)
+		if err != nil {
+			return nil, err
+		}
+		svc, _ := c.dep.Catalog().Get(inst.Service)
+		rules := rb.Rules()
+		for name, value := range res.Outputs {
+			a := service.Action(name)
+			if value < c.cfg.MinApplicability {
+				continue
+			}
+			// "The fuzzy controller only considers actions that do not
+			// violate any given constraint."
+			if !svc.Supports(a) {
+				continue
+			}
+			if !c.feasible(a, inst.Service, inst.ID, tr.Minute) {
+				continue
+			}
+			candidates = append(candidates, Candidate{
+				Action:        a,
+				Service:       inst.Service,
+				InstanceID:    inst.ID,
+				Applicability: value,
+				Explanation:   explain(rules, res.Fired, name),
+			})
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Applicability != candidates[j].Applicability {
+			return candidates[i].Applicability > candidates[j].Applicability
+		}
+		if candidates[i].Action != candidates[j].Action {
+			return candidates[i].Action < candidates[j].Action
+		}
+		return candidates[i].InstanceID < candidates[j].InstanceID
+	})
+	return candidates, nil
+}
+
+// explain collects the rules asserting the named output variable that
+// fired, strongest first.
+func explain(rules []fuzzy.Rule, fired []float64, output string) []FiredRule {
+	var out []FiredRule
+	for i, r := range rules {
+		if fired[i] == 0 {
+			continue
+		}
+		for _, cons := range r.Consequents {
+			if cons.Var == output {
+				out = append(out, FiredRule{Rule: r.String(), Truth: fired[i]})
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Truth != out[j].Truth {
+			return out[i].Truth > out[j].Truth
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// ruleBaseFor returns the service-specific rule base if the
+// administrator registered one, the default for the trigger otherwise.
+func (c *Controller) ruleBaseFor(svc string, kind monitor.TriggerKind) *fuzzy.RuleBase {
+	if per, ok := c.cfg.ServiceRules[svc]; ok {
+		if rb, ok := per[kind]; ok {
+			return rb
+		}
+	}
+	return c.cfg.ActionRules[kind]
+}
+
+// avg returns the watch-window average CPU load of an archive entity,
+// falling back to the latest sample and then to 0 — "all variables of
+// the fuzzy controller regarding CPU or memory load are set to the
+// arithmetic means of the load values during the service specific
+// watchTime".
+func (c *Controller) avg(entity string, from, to int) float64 {
+	if v, ok := c.arch.AverageCPU(entity, from, to); ok {
+		return v
+	}
+	if s, ok := c.arch.Latest(entity); ok {
+		return s.CPU
+	}
+	return 0
+}
+
+func (c *Controller) avgMem(entity string, from, to int) float64 {
+	if v, ok := c.arch.AverageMem(entity, from, to); ok {
+		return v
+	}
+	if s, ok := c.arch.Latest(entity); ok {
+		return s.Mem
+	}
+	return 0
+}
+
+// actionInputs initializes the Table 1 input variables for one instance:
+// load variables from watch-window archive averages, the rest from
+// current measurements and meta data.
+func (c *Controller) actionInputs(tr monitor.Trigger, inst *service.Instance) (map[string]float64, error) {
+	h, ok := c.dep.Cluster().Host(inst.Host)
+	if !ok {
+		return nil, fmt.Errorf("controller: instance %q on unknown host %q", inst.ID, inst.Host)
+	}
+	from, to := tr.WatchedFrom, tr.Minute
+	return map[string]float64{
+		VarCPULoad:            c.avg(archive.HostEntity(h.Name), from, to),
+		VarMemLoad:            c.avgMem(archive.HostEntity(h.Name), from, to),
+		VarPerformanceIndex:   h.PerformanceIndex,
+		VarInstanceLoad:       c.avg(archive.InstanceEntity(inst.ID), from, to),
+		VarServiceLoad:        c.avg(archive.ServiceEntity(inst.Service), from, to),
+		VarInstancesOnServer:  float64(c.dep.CountOn(h.Name)),
+		VarInstancesOfService: float64(c.dep.CountOf(inst.Service)),
+	}, nil
+}
+
+// feasible verifies a candidate action against the declarative
+// constraints and the current allocation. It is called both before
+// sorting and "once more" before execution, because the controller
+// handles several exceptional situations concurrently.
+func (c *Controller) feasible(a service.Action, svcName, instID string, minute int) bool {
+	svc, ok := c.dep.Catalog().Get(svcName)
+	if !ok || !svc.Supports(a) {
+		return false
+	}
+	inst, haveInst := c.dep.Instance(instID)
+	switch a {
+	case service.ActionScaleIn:
+		return haveInst && c.dep.CountOf(svcName) > svc.MinInstances
+	case service.ActionScaleOut:
+		if svc.MaxInstances > 0 && c.dep.CountOf(svcName) >= svc.MaxInstances {
+			return false
+		}
+		return c.anyTarget(a, svcName, instID, minute)
+	case service.ActionScaleUp, service.ActionScaleDown, service.ActionMove:
+		return haveInst && c.anyTarget(a, svcName, instID, minute)
+	case service.ActionStop:
+		return svc.MinInstances == 0 && c.dep.CountOf(svcName) > 0
+	case service.ActionStart:
+		if svc.MaxInstances > 0 && c.dep.CountOf(svcName) >= svc.MaxInstances {
+			return false
+		}
+		return c.anyTarget(a, svcName, instID, minute)
+	case service.ActionIncreasePriority:
+		return haveInst && inst.Priority < 2
+	case service.ActionReducePriority:
+		return haveInst && inst.Priority > -2
+	}
+	return false
+}
+
+// targetAllowed checks the performance-index relation between the
+// instance's current host and a candidate target: scale-up requires a
+// strictly more powerful host, scale-down a strictly less powerful one,
+// move an equivalently powerful one. Placement actions (scale-out,
+// start) accept any performance level.
+func (c *Controller) targetAllowed(a service.Action, instID, target string) bool {
+	switch a {
+	case service.ActionScaleOut, service.ActionStart:
+		return true
+	}
+	inst, ok := c.dep.Instance(instID)
+	if !ok {
+		return false
+	}
+	src, ok := c.dep.Cluster().Host(inst.Host)
+	if !ok {
+		return false
+	}
+	dst, ok := c.dep.Cluster().Host(target)
+	if !ok {
+		return false
+	}
+	switch a {
+	case service.ActionScaleUp:
+		return dst.PerformanceIndex > src.PerformanceIndex
+	case service.ActionScaleDown:
+		return dst.PerformanceIndex < src.PerformanceIndex
+	case service.ActionMove:
+		return dst.PerformanceIndex == src.PerformanceIndex
+	}
+	return false
+}
+
+// candidateHosts lists the hosts on which the action could place the
+// service: placeable under the constraints, not in protection mode, and
+// with the right performance relation. "Initially, these are all servers
+// on which an instance of the service can be started and that are not
+// in protection mode."
+func (c *Controller) candidateHosts(a service.Action, svcName, instID string, minute int, exclude map[string]bool) []string {
+	var out []string
+	for _, name := range c.dep.Cluster().Names() {
+		if exclude[name] || c.HostProtected(name, minute) {
+			continue
+		}
+		if !c.targetAllowed(a, instID, name) {
+			continue
+		}
+		if err := c.dep.CanPlace(svcName, name); err != nil {
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// anyTarget reports whether at least one candidate host exists.
+func (c *Controller) anyTarget(a service.Action, svcName, instID string, minute int) bool {
+	return len(c.candidateHosts(a, svcName, instID, minute, nil)) > 0
+}
+
+// selectionInputs initializes the Table 3 input variables for one
+// candidate host with current measurements and meta data. Capacity
+// reserved for mission-critical tasks counts as CPU load, steering the
+// selection away from hosts a registered task is about to need.
+func (c *Controller) selectionInputs(host string, minute int) (map[string]float64, error) {
+	h, ok := c.dep.Cluster().Host(host)
+	if !ok {
+		return nil, fmt.Errorf("controller: unknown host %q", host)
+	}
+	var cpu, mem float64
+	if s, ok := c.arch.Latest(archive.HostEntity(host)); ok {
+		cpu, mem = s.CPU, s.Mem
+	}
+	if c.cfg.Reservations != nil {
+		cpu += c.cfg.Reservations.ReservedOn(host, minute)
+		if cpu > 1 {
+			cpu = 1
+		}
+	}
+	return map[string]float64{
+		VarCPULoad:           cpu,
+		VarMemLoad:           mem,
+		VarInstancesOnServer: float64(c.dep.CountOn(host)),
+		VarPerformanceIndex:  h.PerformanceIndex,
+		VarNumberOfCpus:      float64(h.CPUs),
+		VarCPUClock:          float64(h.ClockMHz),
+		VarCPUCache:          float64(h.CacheKB),
+		VarMemory:            float64(h.MemoryMB),
+		VarSwapSpace:         float64(h.SwapMB),
+		VarTempSpace:         float64(h.TempMB),
+	}, nil
+}
+
+// selectHost runs the server-selection fuzzy controller over all
+// candidate hosts and returns the most applicable one (its score as
+// second result), or "" when no host reaches the score threshold.
+func (c *Controller) selectHost(a service.Action, svcName, instID string, minute int, exclude map[string]bool) (string, float64) {
+	rb, ok := c.cfg.SelectionRules[a]
+	if !ok {
+		rb = c.cfg.SelectionRules[service.ActionScaleOut] // placement default
+	}
+	if rb == nil {
+		return "", 0
+	}
+	bestHost, bestScore, bestPI := "", -1.0, -1.0
+	for _, host := range c.candidateHosts(a, svcName, instID, minute, exclude) {
+		inputs, err := c.selectionInputs(host, minute)
+		if err != nil {
+			continue
+		}
+		res, err := c.engine.Infer(rb, inputs)
+		if err != nil {
+			continue
+		}
+		score := res.Outputs[VarScore]
+		if score < c.cfg.MinHostScore {
+			continue
+		}
+		h, _ := c.dep.Cluster().Host(host)
+		// Ties go to the more powerful host, then to the lexicographically
+		// smaller name, keeping decisions deterministic.
+		if score > bestScore ||
+			(score == bestScore && h.PerformanceIndex > bestPI) ||
+			(score == bestScore && h.PerformanceIndex == bestPI && host < bestHost) {
+			bestHost, bestScore, bestPI = host, score, h.PerformanceIndex
+		}
+	}
+	if bestHost == "" {
+		return "", 0
+	}
+	return bestHost, bestScore
+}
+
+// resolve turns a candidate into an executable decision by selecting a
+// target host where required. It returns nil when no suitable host
+// exists ("Another Action?" in Figure 6).
+func (c *Controller) resolve(tr monitor.Trigger, cand Candidate) (*Decision, error) {
+	d := &Decision{
+		Trigger:       tr,
+		Action:        cand.Action,
+		Service:       cand.Service,
+		InstanceID:    cand.InstanceID,
+		Applicability: cand.Applicability,
+		Explanation:   cand.Explanation,
+	}
+	if inst, ok := c.dep.Instance(cand.InstanceID); ok {
+		d.SourceHost = inst.Host
+	}
+	if !cand.Action.NeedsTarget() {
+		return d, nil
+	}
+	host, score := c.selectHost(cand.Action, cand.Service, cand.InstanceID, tr.Minute, nil)
+	if host == "" {
+		return nil, nil
+	}
+	d.TargetHost, d.HostScore = host, score
+	return d, nil
+}

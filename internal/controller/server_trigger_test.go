@@ -1,0 +1,127 @@
+package controller
+
+import (
+	"testing"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+)
+
+// multiServiceWorld: one crowded host running two services plus quiet
+// neighbours — the situation of Figure 7, where a server trigger
+// evaluates every service on the host and pools their candidates.
+func multiServiceWorld(t *testing.T) (*Controller, *service.Deployment, *archive.Archive,
+	*service.Instance, *service.Instance) {
+	t.Helper()
+	cl := cluster.MustNew(
+		host("crowded", 1, 4096),
+		host("spare1", 1, 4096), host("spare2", 2, 4096),
+	)
+	allowed := allActions()
+	cat := service.MustCatalog(
+		&service.Service{Name: "heavy", Type: service.TypeInteractive, MinInstances: 1,
+			Allowed: allowed, MemoryMBPerInstance: 1024, UsersPerUnit: 150, RequestWeight: 1},
+		&service.Service{Name: "light", Type: service.TypeInteractive, MinInstances: 1,
+			Allowed: allowed, MemoryMBPerInstance: 1024, UsersPerUnit: 150, RequestWeight: 1},
+	)
+	dep := service.NewDeployment(cl, cat)
+	heavy, err := dep.Start("heavy", "crowded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := dep.Start("light", "crowded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := archive.New(0)
+	ctl, err := New(Config{}, dep, arch, NewDeploymentExecutor(dep, StickyUsers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m <= 10; m++ {
+		arch.Record(archive.HostEntity("crowded"), archive.Sample{Minute: m, CPU: 0.95, Mem: 0.5})
+		arch.Record(archive.HostEntity("spare1"), archive.Sample{Minute: m, CPU: 0.10, Mem: 0.25})
+		arch.Record(archive.HostEntity("spare2"), archive.Sample{Minute: m, CPU: 0.10, Mem: 0.25})
+		arch.Record(archive.InstanceEntity(heavy.ID), archive.Sample{Minute: m, CPU: 0.60})
+		arch.Record(archive.InstanceEntity(light.ID), archive.Sample{Minute: m, CPU: 0.35})
+		arch.Record(archive.ServiceEntity("heavy"), archive.Sample{Minute: m, CPU: 0.60})
+		arch.Record(archive.ServiceEntity("light"), archive.Sample{Minute: m, CPU: 0.35})
+	}
+	return ctl, dep, arch, heavy, light
+}
+
+// TestServerTriggerPoolsAllServices: a serverOverloaded trigger
+// evaluates every service on the host ("we execute the fuzzy controller
+// for each service running on the server and subsequently collect the
+// possible actions of all services") and the pooled list covers both.
+func TestServerTriggerPoolsAllServices(t *testing.T) {
+	ctl, _, _, heavy, light := multiServiceWorld(t)
+	cands, err := ctl.SelectActions(trigger(monitor.ServerOverloaded, "crowded"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, c := range cands {
+		seen[c.Service] = true
+	}
+	if !seen["heavy"] || !seen["light"] {
+		t.Fatalf("candidate pool covers %v, want both services (Figure 7)", seen)
+	}
+	_ = heavy
+	_ = light
+}
+
+// TestServerTriggerRelievesHost: executing the pooled decision reduces
+// the number of tenants on the overloaded host.
+func TestServerTriggerRelievesHost(t *testing.T) {
+	ctl, dep, _, _, _ := multiServiceWorld(t)
+	d, err := ctl.HandleTrigger(trigger(monitor.ServerOverloaded, "crowded"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("no decision for crowded host")
+	}
+	switch d.Action {
+	case service.ActionMove, service.ActionScaleUp, service.ActionScaleOut, service.ActionScaleIn:
+	default:
+		t.Errorf("unexpected remedy %s", d.Action)
+	}
+	if d.Action == service.ActionMove || d.Action == service.ActionScaleUp {
+		if dep.CountOn("crowded") != 1 {
+			t.Errorf("crowded host still runs %d instances after %s", dep.CountOn("crowded"), d.Action)
+		}
+	}
+}
+
+// TestScaleDownVacatesPowerfulHost: an idle tenant with moderate load on
+// a powerful host is scaled down to smaller hardware.
+func TestScaleDownVacatesPowerfulHost(t *testing.T) {
+	tb := newTestbed(t, Config{})
+	inst, err := tb.dep.Start("app", "big2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Host mostly idle, instance has a real but modest footprint.
+	tb.record(t, archive.HostEntity("big2"), 0.08, 0.2)
+	tb.record(t, archive.InstanceEntity(inst.ID), 0.45, 0.2)
+	tb.record(t, archive.ServiceEntity("app"), 0.45, 0.2)
+	for _, h := range []string{"weak1", "weak2", "mid1", "mid2", "big1"} {
+		tb.record(t, archive.HostEntity(h), 0.10, 0.1)
+	}
+	tr := trigger(monitor.ServerIdle, "big2")
+	tr.AvgLoad = 0.08
+	d, err := tb.ctl.HandleTrigger(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || d.Action != service.ActionScaleDown {
+		t.Fatalf("decision = %v, want scaleDown", d)
+	}
+	dst, _ := tb.dep.Cluster().Host(d.TargetHost)
+	if dst.PerformanceIndex >= 9 {
+		t.Errorf("scale-down target %s has PI %g, want smaller hardware", d.TargetHost, dst.PerformanceIndex)
+	}
+}

@@ -1,0 +1,124 @@
+package controller
+
+import (
+	"autoglobe/internal/fuzzy"
+	"autoglobe/internal/service"
+)
+
+// Variable names of the action-selection controller (Table 1).
+const (
+	VarCPULoad            = "cpuLoad"
+	VarMemLoad            = "memLoad"
+	VarPerformanceIndex   = "performanceIndex"
+	VarInstanceLoad       = "instanceLoad"
+	VarServiceLoad        = "serviceLoad"
+	VarInstancesOnServer  = "instancesOnServer"
+	VarInstancesOfService = "instancesOfService"
+)
+
+// Additional variable names of the server-selection controller (Table 3).
+const (
+	VarNumberOfCpus = "numberOfCpus"
+	VarCPUClock     = "cpuClock"
+	VarCPUCache     = "cpuCache"
+	VarMemory       = "memory"
+	VarSwapSpace    = "swapSpace"
+	VarTempSpace    = "tempSpace"
+	// VarScore is the single output variable of the server-selection
+	// controller: the suitability of a candidate host.
+	VarScore = "score"
+)
+
+// performanceIndexVariable builds the linguistic variable for the
+// relative performance of hosts on [0, 10]: the paper landscape's PI-1
+// blades are fully "low", the PI-2 blades mostly low with some medium,
+// and the PI-9 database servers fully "high".
+func performanceIndexVariable() *fuzzy.Variable {
+	v := fuzzy.NewVariable(VarPerformanceIndex, 0, 10)
+	v.AddTerm("low", fuzzy.Trapezoid(0, 0, 1, 4))
+	v.AddTerm("medium", fuzzy.Trapezoid(1, 4, 5, 8))
+	v.AddTerm("high", fuzzy.Trapezoid(5, 8, 10, 10))
+	return v
+}
+
+// instancesOnServerVariable counts co-located instances on [0, 10].
+func instancesOnServerVariable() *fuzzy.Variable {
+	v := fuzzy.NewVariable(VarInstancesOnServer, 0, 10)
+	v.AddTerm("low", fuzzy.Trapezoid(0, 0, 1, 3))
+	v.AddTerm("medium", fuzzy.Trapezoid(1, 3, 3, 5))
+	v.AddTerm("high", fuzzy.Trapezoid(3, 5, 10, 10))
+	return v
+}
+
+// instancesOfServiceVariable counts a service's instances on [0, 20].
+func instancesOfServiceVariable() *fuzzy.Variable {
+	v := fuzzy.NewVariable(VarInstancesOfService, 0, 20)
+	v.AddTerm("few", fuzzy.Trapezoid(0, 0, 1, 3))
+	v.AddTerm("several", fuzzy.Trapezoid(1, 3, 4, 6))
+	v.AddTerm("many", fuzzy.Trapezoid(4, 6, 20, 20))
+	return v
+}
+
+// ActionVocabulary builds the vocabulary of the action-selection fuzzy
+// controller: the Table 1 inputs plus one applicability output variable
+// per Table 2 action.
+func ActionVocabulary() *fuzzy.Vocabulary {
+	vc := fuzzy.NewVocabulary()
+	vc.Add(fuzzy.StandardLoad(VarCPULoad))
+	vc.Add(fuzzy.StandardLoad(VarMemLoad))
+	vc.Add(fuzzy.StandardLoad(VarInstanceLoad))
+	vc.Add(fuzzy.StandardLoad(VarServiceLoad))
+	vc.Add(performanceIndexVariable())
+	vc.Add(instancesOnServerVariable())
+	vc.Add(instancesOfServiceVariable())
+	for _, a := range service.Actions() {
+		vc.Add(fuzzy.Applicability(string(a)))
+	}
+	return vc
+}
+
+// SelectionVocabulary builds the vocabulary of the server-selection
+// fuzzy controller: the Table 3 inputs plus the score output.
+func SelectionVocabulary() *fuzzy.Vocabulary {
+	vc := fuzzy.NewVocabulary()
+	vc.Add(fuzzy.StandardLoad(VarCPULoad))
+	vc.Add(fuzzy.StandardLoad(VarMemLoad))
+	vc.Add(performanceIndexVariable())
+	vc.Add(instancesOnServerVariable())
+
+	cpus := fuzzy.NewVariable(VarNumberOfCpus, 0, 8)
+	cpus.AddTerm("few", fuzzy.Trapezoid(0, 0, 1, 2))
+	cpus.AddTerm("some", fuzzy.Trapezoid(1, 2, 2, 4))
+	cpus.AddTerm("many", fuzzy.Trapezoid(2, 4, 8, 8))
+	vc.Add(cpus)
+
+	clock := fuzzy.NewVariable(VarCPUClock, 0, 4000)
+	clock.AddTerm("slow", fuzzy.Trapezoid(0, 0, 900, 1400))
+	clock.AddTerm("medium", fuzzy.Trapezoid(900, 1400, 1800, 2400))
+	clock.AddTerm("fast", fuzzy.Trapezoid(1800, 2600, 4000, 4000))
+	vc.Add(clock)
+
+	cache := fuzzy.NewVariable(VarCPUCache, 0, 4096)
+	cache.AddTerm("small", fuzzy.Trapezoid(0, 0, 512, 1024))
+	cache.AddTerm("large", fuzzy.Trapezoid(512, 1536, 4096, 4096))
+	vc.Add(cache)
+
+	mem := fuzzy.NewVariable(VarMemory, 0, 16384)
+	mem.AddTerm("small", fuzzy.Trapezoid(0, 0, 2048, 4096))
+	mem.AddTerm("medium", fuzzy.Trapezoid(2048, 4096, 6144, 10240))
+	mem.AddTerm("large", fuzzy.Trapezoid(6144, 10240, 16384, 16384))
+	vc.Add(mem)
+
+	swap := fuzzy.NewVariable(VarSwapSpace, 0, 16384)
+	swap.AddTerm("small", fuzzy.Trapezoid(0, 0, 2048, 4096))
+	swap.AddTerm("large", fuzzy.Trapezoid(2048, 6144, 16384, 16384))
+	vc.Add(swap)
+
+	tmp := fuzzy.NewVariable(VarTempSpace, 0, 102400)
+	tmp.AddTerm("scarce", fuzzy.Trapezoid(0, 0, 2048, 8192))
+	tmp.AddTerm("ample", fuzzy.Trapezoid(2048, 16384, 102400, 102400))
+	vc.Add(tmp)
+
+	vc.Add(fuzzy.Applicability(VarScore))
+	return vc
+}

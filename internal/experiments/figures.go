@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"autoglobe/internal/service"
+	"autoglobe/internal/simulator"
+	"autoglobe/internal/workload"
+)
+
+// Figure10Result holds the LES and BW load curves over one day.
+type Figure10Result struct {
+	// Hourly samples (24 values each) of the two curves, normalized to
+	// the paper's 0–80 load axis by the service populations at
+	// multiplier 1 (the paper plots absolute load).
+	LES, BW []float64
+}
+
+// Figure10 samples the two example load curves of Figure 10: the
+// three-peaked LES workday and the nocturnal BW batch profile.
+func Figure10() Figure10Result {
+	les := workload.Interactive(workload.DefaultPeakActivity)
+	bw := workload.BatchNight(workload.DefaultPeakActivity)
+	r := Figure10Result{}
+	for h := 0; h < 24; h++ {
+		// Scale to the figure's axis: LES peaks near 75, BW near 75.
+		r.LES = append(r.LES, les.At(h*60)*100)
+		r.BW = append(r.BW, bw.At(h*60)*100)
+	}
+	return r
+}
+
+func (r Figure10Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 10: load curves of LES and BW over one day (hourly samples)\n")
+	sb.WriteString("  hour:")
+	for h := 0; h < 24; h += 2 {
+		fmt.Fprintf(&sb, "%6d", h)
+	}
+	sb.WriteString("\n  LES: ")
+	for h := 0; h < 24; h += 2 {
+		fmt.Fprintf(&sb, "%6.1f", r.LES[h])
+	}
+	sb.WriteString("\n  BW:  ")
+	for h := 0; h < 24; h += 2 {
+		fmt.Fprintf(&sb, "%6.1f", r.BW[h])
+	}
+	return sb.String()
+}
+
+// ScenarioFigure reproduces one of Figures 12–14 (CPU load of all
+// servers over the 80-hour run at +15 % users) or, with FI recording,
+// Figures 15–17.
+type ScenarioFigure struct {
+	Figure   string
+	Scenario service.Mobility
+	Result   *simulator.Result
+}
+
+// RunScenarioFigure runs the 80-hour, +15 % simulation of Figures 12–17
+// for one scenario. recordFI additionally captures the FI application
+// servers' per-host curves (Figures 15–17).
+func RunScenarioFigure(figure string, m service.Mobility, recordFI bool) (*ScenarioFigure, error) {
+	cfg := simulator.PaperConfig(m, 1.15)
+	if recordFI {
+		cfg.RecordServices = []string{"FI"}
+	}
+	sim, err := simulator.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioFigure{Figure: figure, Scenario: m, Result: res}, nil
+}
+
+// sparkline renders a series as a coarse text chart.
+func sparkline(series []float64, buckets int) string {
+	if len(series) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	per := len(series) / buckets
+	if per == 0 {
+		per = 1
+	}
+	var sb strings.Builder
+	for i := 0; i+per <= len(series); i += per {
+		var sum float64
+		for _, v := range series[i : i+per] {
+			sum += v
+		}
+		avg := sum / float64(per)
+		idx := int(avg * float64(len(glyphs)))
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		sb.WriteRune(glyphs[idx])
+	}
+	return sb.String()
+}
+
+func (f *ScenarioFigure) String() string {
+	r := f.Result
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: CPU load of all servers (%s scenario, users +%.0f%%, %.1f days)\n",
+		f.Figure, f.Scenario, (r.Multiplier-1)*100, r.Days())
+	fmt.Fprintf(&sb, "  average load over time: %s (mean %.0f%%)\n",
+		sparkline(r.AvgLoad, 60), r.MeanLoad()*100)
+	fmt.Fprintf(&sb, "  %-12s %6s %6s %10s %10s\n", "host", "mean", "max", "ovl min", "max streak")
+	for _, s := range r.Summaries() {
+		fmt.Fprintf(&sb, "  %-12s %5.0f%% %5.0f%% %10d %10d\n",
+			s.Host, s.Mean*100, s.Max*100, s.OverloadMinutes, s.MaxStreak)
+	}
+	host, worst := r.WorstOverloadPerDay()
+	fmt.Fprintf(&sb, "  worst host %s: %.0f overload min/day; total %.0f min/day; %d controller actions",
+		host, worst, r.TotalOverloadPerDay(), len(r.ExecutedActions()))
+	return sb.String()
+}
+
+// FICurves renders the FI application servers' load curves and the
+// controller's action annotations — the content of Figures 15–17.
+func (f *ScenarioFigure) FICurves() string {
+	r := f.Result
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: CPU load of the FI application servers (%s scenario)\n", f.Figure, f.Scenario)
+	for _, key := range r.SeriesKeys() {
+		pts := r.ServiceHostSeries[key]
+		series := make([]float64, 0, len(pts))
+		var max float64
+		for _, p := range pts {
+			series = append(series, p.Load)
+			if p.Load > max {
+				max = p.Load
+			}
+		}
+		fmt.Fprintf(&sb, "  %-16s %s (max %.0f%%, %d samples %d–%d min)\n",
+			key, sparkline(series, 48), max*100, len(pts), pts[0].Minute, pts[len(pts)-1].Minute)
+	}
+	var fiActs []string
+	for _, e := range r.ExecutedActions() { // already chronological
+		if e.Decision.Service == "FI" {
+			fiActs = append(fiActs, fmt.Sprintf("day %d %02d:%02d  %s",
+				e.Minute/workload.MinutesPerDay+1, (e.Minute/60)%24, e.Minute%60, e.Decision))
+		}
+	}
+	fmt.Fprintf(&sb, "  controller actions on FI (%d):\n", len(fiActs))
+	for _, a := range fiActs {
+		fmt.Fprintf(&sb, "    %s\n", a)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

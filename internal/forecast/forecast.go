@@ -1,0 +1,110 @@
+// Package forecast implements the paper's load-prediction extension
+// (Section 7: "we work on predicting the future load of services based
+// on historic data stored in the load archive using pattern matching
+// ... The reservations and load prediction can be used to improve the
+// action and host selection process of the controller"), following the
+// feed-forward companion paper [8] (Gmach et al., CAiSE'05 workshops):
+// short-term forecasting for services with periodic behaviour.
+//
+// The predictor matches the current load against the archive's
+// aggregated day profile (the historical mean per minute of day) and
+// extrapolates: prediction(t+h) = profile(t+h) + decay(h) · (now −
+// profile(t)). The deviation term carries today's level shift (e.g. 15 %
+// more users than usual) into the forecast; the exponential decay
+// reflects that pattern knowledge dominates as the horizon grows.
+package forecast
+
+import (
+	"fmt"
+	"math"
+
+	"autoglobe/internal/archive"
+)
+
+// Predictor forecasts entity loads from the load archive.
+type Predictor struct {
+	arch *archive.Archive
+	// DeviationHalfLife is the horizon (minutes) after which today's
+	// deviation from the historical pattern has half its weight.
+	DeviationHalfLife float64
+	// MinHistory is the number of samples an entity needs before the
+	// pattern is trusted (default: half a day).
+	MinHistory int
+}
+
+// New returns a predictor over the archive.
+func New(arch *archive.Archive) *Predictor {
+	return &Predictor{arch: arch, DeviationHalfLife: 60, MinHistory: archive.MinutesPerDay / 2}
+}
+
+// Predict forecasts the CPU load of an entity at now+horizon minutes.
+// ok is false when the archive holds too little history for a pattern.
+func (p *Predictor) Predict(entity string, now, horizon int) (load float64, ok bool) {
+	if horizon < 0 {
+		return 0, false
+	}
+	if p.arch.Len(entity) < p.MinHistory {
+		return 0, false
+	}
+	profile := p.arch.DayProfile(entity)
+	mod := func(m int) int { return ((m % len(profile)) + len(profile)) % len(profile) }
+	base := profile[mod(now+horizon)]
+	latest, have := p.arch.Latest(entity)
+	if !have {
+		return base, true
+	}
+	deviation := latest.CPU - profile[mod(latest.Minute)]
+	halfLife := p.DeviationHalfLife
+	if halfLife <= 0 {
+		halfLife = 60
+	}
+	w := math.Exp2(-float64(horizon) / halfLife)
+	v := base + deviation*w
+	if v < 0 {
+		v = 0
+	}
+	return v, true
+}
+
+// PredictPeak returns the maximum predicted load over the next horizon
+// minutes (sampled per minute) — what a proactive controller compares
+// against the overload threshold.
+func (p *Predictor) PredictPeak(entity string, now, horizon int) (peak float64, ok bool) {
+	if horizon <= 0 {
+		return 0, false
+	}
+	any := false
+	for h := 1; h <= horizon; h++ {
+		v, haveV := p.Predict(entity, now, h)
+		if !haveV {
+			return 0, false
+		}
+		any = true
+		if v > peak {
+			peak = v
+		}
+	}
+	return peak, any
+}
+
+// Error reports the mean absolute error of one-step-ahead predictions
+// over a window, for evaluating forecast quality.
+func (p *Predictor) Error(entity string, from, to int) (mae float64, n int, err error) {
+	w := p.arch.Window(entity, from, to)
+	if len(w) < 2 {
+		return 0, 0, fmt.Errorf("forecast: too few samples for %q in [%d, %d]", entity, from, to)
+	}
+	var sum float64
+	for i := 1; i < len(w); i++ {
+		pred, ok := p.Predict(entity, w[i-1].Minute, w[i].Minute-w[i-1].Minute)
+		if !ok {
+			continue
+		}
+		sum += math.Abs(pred - w[i].CPU)
+		n++
+	}
+	if n == 0 {
+		return 0, 0, fmt.Errorf("forecast: no history for %q", entity)
+	}
+	return sum / float64(n), n, nil
+}

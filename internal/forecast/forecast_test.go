@@ -1,0 +1,148 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"autoglobe/internal/archive"
+)
+
+// fill records a perfectly periodic day pattern for `days` days:
+// load(t) = base + amp·sin-ish triangle peaking at noon.
+func fill(t *testing.T, a *archive.Archive, entity string, days int, scale float64) {
+	t.Helper()
+	for d := 0; d < days; d++ {
+		for m := 0; m < archive.MinutesPerDay; m++ {
+			v := pattern(m) * scale
+			if err := a.Record(entity, archive.Sample{Minute: d*archive.MinutesPerDay + m, CPU: v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func pattern(m int) float64 {
+	// Triangle: 0.2 at midnight, 0.8 at noon.
+	half := archive.MinutesPerDay / 2
+	d := m
+	if d > half {
+		d = archive.MinutesPerDay - d
+	}
+	return 0.2 + 0.6*float64(d)/float64(half)
+}
+
+func TestPredictNeedsHistory(t *testing.T) {
+	a := archive.New(0)
+	p := New(a)
+	if _, ok := p.Predict("x", 0, 10); ok {
+		t.Fatal("prediction without history reported ok")
+	}
+	if _, ok := p.Predict("x", 0, -1); ok {
+		t.Fatal("negative horizon reported ok")
+	}
+}
+
+// TestPredictPeriodicPattern: with two days of clean periodic history,
+// the predictor recovers the pattern an hour ahead.
+func TestPredictPeriodicPattern(t *testing.T) {
+	a := archive.New(4 * archive.MinutesPerDay)
+	p := New(a)
+	fill(t, a, "host/Blade1", 2, 1)
+	now := 2*archive.MinutesPerDay - 1
+	for _, horizon := range []int{10, 60, 240} {
+		got, ok := p.Predict("host/Blade1", now, horizon)
+		if !ok {
+			t.Fatalf("no prediction at horizon %d", horizon)
+		}
+		want := pattern((now + horizon) % archive.MinutesPerDay)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("horizon %d: predicted %.3f, pattern %.3f", horizon, got, want)
+		}
+	}
+}
+
+// TestPredictCarriesDeviation: when today runs hotter than the pattern,
+// the short-horizon forecast reflects that; at long horizons the
+// pattern dominates.
+func TestPredictCarriesDeviation(t *testing.T) {
+	a := archive.New(4 * archive.MinutesPerDay)
+	p := New(a)
+	fill(t, a, "h", 2, 1)
+	// Today is 0.2 hotter for the last samples.
+	now := 2 * archive.MinutesPerDay
+	for m := 0; m < 30; m++ {
+		if err := a.Record("h", archive.Sample{Minute: now + m, CPU: pattern(m) + 0.2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	short, ok := p.Predict("h", now+29, 5)
+	if !ok {
+		t.Fatal("no short prediction")
+	}
+	base := pattern((now + 34) % archive.MinutesPerDay)
+	if short < base+0.1 {
+		t.Errorf("short horizon ignored today's deviation: %.3f vs pattern %.3f", short, base)
+	}
+	long, ok := p.Predict("h", now+29, 600)
+	if !ok {
+		t.Fatal("no long prediction")
+	}
+	baseLong := pattern((now + 29 + 600) % archive.MinutesPerDay)
+	if math.Abs(long-baseLong) > 0.1 {
+		t.Errorf("long horizon should follow the pattern: %.3f vs %.3f", long, baseLong)
+	}
+}
+
+func TestPredictPeak(t *testing.T) {
+	a := archive.New(4 * archive.MinutesPerDay)
+	p := New(a)
+	fill(t, a, "h", 2, 1)
+	// At 10:00, the pattern still rises toward noon: the 2-hour peak
+	// exceeds the current value.
+	now := 2*archive.MinutesPerDay - 1 // use end of history
+	nowVal := pattern(now % archive.MinutesPerDay)
+	_ = nowVal
+	peak, ok := p.PredictPeak("h", archive.MinutesPerDay+10*60, 120)
+	if !ok {
+		t.Fatal("no peak prediction")
+	}
+	if peak < pattern(10*60) {
+		t.Errorf("peak %.3f below current pattern value %.3f", peak, pattern(10*60))
+	}
+	if _, ok := p.PredictPeak("h", 0, 0); ok {
+		t.Error("zero horizon reported ok")
+	}
+}
+
+func TestPredictionNonNegative(t *testing.T) {
+	a := archive.New(4 * archive.MinutesPerDay)
+	p := New(a)
+	fill(t, a, "h", 2, 0.1)
+	// Today is dramatically colder; prediction must clamp at 0.
+	now := 2 * archive.MinutesPerDay
+	if err := a.Record("h", archive.Sample{Minute: now, CPU: 0}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := p.Predict("h", now, 1)
+	if !ok || v < 0 {
+		t.Errorf("prediction = %.3f ok=%v, want non-negative", v, ok)
+	}
+}
+
+// TestErrorMetric: on perfectly periodic data the one-step MAE is tiny;
+// on white noise it is not.
+func TestErrorMetric(t *testing.T) {
+	a := archive.New(4 * archive.MinutesPerDay)
+	p := New(a)
+	fill(t, a, "h", 3, 1)
+	mae, n, err := p.Error("h", 2*archive.MinutesPerDay, 3*archive.MinutesPerDay-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || mae > 0.02 {
+		t.Errorf("MAE on clean periodic data = %.4f (n=%d), want ~0", mae, n)
+	}
+	if _, _, err := p.Error("ghost", 0, 10); err == nil {
+		t.Error("error metric on unknown entity succeeded")
+	}
+}

@@ -1,0 +1,48 @@
+package fuzzy
+
+import "testing"
+
+func BenchmarkParseRule(b *testing.B) {
+	src := `IF cpuLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium) THEN scaleUp IS applicable`
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseRule(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFuzzify(b *testing.B) {
+	v := StandardLoad("cpuLoad")
+	for i := 0; i < b.N; i++ {
+		v.Fuzzify(0.63)
+	}
+}
+
+func BenchmarkInferTwoRules(b *testing.B) {
+	vc := NewVocabulary()
+	vc.Add(StandardLoad("cpuLoad"))
+	vc.Add(Applicability("scaleUp"))
+	vc.Add(Applicability("scaleOut"))
+	rb := MustRuleBase("b", vc, MustParse(`
+		IF cpuLoad IS high THEN scaleUp IS applicable
+		IF cpuLoad IS medium THEN scaleOut IS applicable
+	`))
+	e := NewEngine(nil)
+	in := map[string]float64{"cpuLoad": 0.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Infer(rb, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDefuzzifyLeftMax(b *testing.B) {
+	s := NewSet(0, 1)
+	s.UnionClipped(Trapezoid(0, 1, 1, 1), 0.7)
+	d := LeftMax{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Defuzzify(s)
+	}
+}

@@ -1,0 +1,206 @@
+package fuzzy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RuleBase is a validated collection of rules sharing one vocabulary.
+type RuleBase struct {
+	Name  string
+	rules []Rule
+	vocab *Vocabulary
+}
+
+// NewRuleBase builds a rule base from rules, validating every rule
+// against the vocabulary.
+func NewRuleBase(name string, vocab *Vocabulary, rules []Rule) (*RuleBase, error) {
+	if vocab == nil {
+		return nil, fmt.Errorf("fuzzy: rule base %q: nil vocabulary", name)
+	}
+	for _, r := range rules {
+		if err := r.Validate(vocab); err != nil {
+			return nil, fmt.Errorf("fuzzy: rule base %q: %w", name, err)
+		}
+	}
+	cp := make([]Rule, len(rules))
+	copy(cp, rules)
+	return &RuleBase{Name: name, rules: cp, vocab: vocab}, nil
+}
+
+// MustRuleBase is NewRuleBase panicking on error, for built-in rule bases.
+func MustRuleBase(name string, vocab *Vocabulary, rules []Rule) *RuleBase {
+	rb, err := NewRuleBase(name, vocab, rules)
+	if err != nil {
+		panic(err)
+	}
+	return rb
+}
+
+// Rules returns a copy of the rule list.
+func (rb *RuleBase) Rules() []Rule {
+	cp := make([]Rule, len(rb.rules))
+	copy(cp, rb.rules)
+	return cp
+}
+
+// Len returns the number of rules.
+func (rb *RuleBase) Len() int { return len(rb.rules) }
+
+// Vocabulary returns the rule base's vocabulary.
+func (rb *RuleBase) Vocabulary() *Vocabulary { return rb.vocab }
+
+// Extend returns a new rule base with additional rules appended. The
+// AutoGlobe controller uses this to layer service-specific rule bases on
+// top of the defaults (Section 4.1: "an administrator can add
+// service-specific rule bases for mission critical services").
+func (rb *RuleBase) Extend(name string, rules []Rule) (*RuleBase, error) {
+	return NewRuleBase(name, rb.vocab, append(rb.Rules(), rules...))
+}
+
+// OutputVars returns the names of all output variables assigned by any
+// rule, in lexicographic order.
+func (rb *RuleBase) OutputVars() []string {
+	set := make(map[string]bool)
+	for _, r := range rb.rules {
+		for _, c := range r.Consequents {
+			set[c.Var] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Inference selects how a rule's antecedent truth shapes its consequent
+// set.
+type Inference int
+
+const (
+	// MaxMin clips the consequent at the antecedent truth — the paper's
+	// "popular max-min inference function".
+	MaxMin Inference = iota
+	// MaxProduct scales the consequent by the antecedent truth,
+	// preserving its shape; one of the alternatives "proposed in the
+	// literature".
+	MaxProduct
+)
+
+// String names the inference method.
+func (inf Inference) String() string {
+	if inf == MaxProduct {
+		return "max-product"
+	}
+	return "max-min"
+}
+
+// Engine evaluates rule bases. The zero value is not usable; construct
+// with NewEngine.
+type Engine struct {
+	defuzz    Defuzzifier
+	inference Inference
+}
+
+// NewEngine returns an engine using the given defuzzifier, defaulting to
+// the paper's leftmost-maximum method when nil, with max–min inference.
+func NewEngine(d Defuzzifier) *Engine {
+	if d == nil {
+		d = LeftMax{}
+	}
+	return &Engine{defuzz: d}
+}
+
+// WithInference sets the inference method and returns the engine.
+func (e *Engine) WithInference(inf Inference) *Engine {
+	e.inference = inf
+	return e
+}
+
+// Defuzzifier returns the engine's defuzzification method.
+func (e *Engine) Defuzzifier() Defuzzifier { return e.defuzz }
+
+// Inference returns the engine's inference method.
+func (e *Engine) Inference() Inference { return e.inference }
+
+// Result holds the outcome of one inference cycle.
+type Result struct {
+	// Outputs maps every output variable of the rule base to its crisp
+	// defuzzified value. Variables no rule fired for map to 0.
+	Outputs map[string]float64
+	// Fired lists, for each rule index, the antecedent degree of truth.
+	Fired []float64
+	// Sets holds the combined output fuzzy sets before defuzzification,
+	// keyed by output variable. Useful for inspection and testing.
+	Sets map[string]*Set
+}
+
+// Infer runs one fuzzification → inference → defuzzification cycle.
+//
+// inputs maps variable names to crisp measurements. Every input variable
+// referenced by a firing rule must be present; a missing input is an
+// error (the AutoGlobe controller always initializes all variables from
+// monitoring data or the load archive before triggering inference).
+func (e *Engine) Infer(rb *RuleBase, inputs map[string]float64) (*Result, error) {
+	// Fuzzification is memoized per (variable, term).
+	type key struct{ v, t string }
+	memo := make(map[key]float64)
+	fuzz := func(v, t string) (float64, error) {
+		k := key{v, t}
+		if g, ok := memo[k]; ok {
+			return g, nil
+		}
+		vr, ok := rb.vocab.Get(v)
+		if !ok {
+			return 0, fmt.Errorf("fuzzy: unknown variable %q", v)
+		}
+		x, ok := inputs[v]
+		if !ok {
+			return 0, fmt.Errorf("fuzzy: no measurement for input variable %q", v)
+		}
+		g, err := vr.Membership(t, x)
+		if err != nil {
+			return 0, err
+		}
+		memo[k] = g
+		return g, nil
+	}
+
+	res := &Result{
+		Outputs: make(map[string]float64),
+		Fired:   make([]float64, len(rb.rules)),
+		Sets:    make(map[string]*Set),
+	}
+	for _, name := range rb.OutputVars() {
+		v, _ := rb.vocab.Get(name)
+		res.Sets[name] = NewSet(v.Min, v.Max)
+	}
+
+	for i, r := range rb.rules {
+		truth, err := r.Antecedent.Eval(fuzz)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzy: rule base %q, rule %d (%s): %w", rb.Name, i, r, err)
+		}
+		truth = clamp01(truth) * r.effectiveWeight()
+		res.Fired[i] = truth
+		if truth == 0 {
+			continue
+		}
+		for _, c := range r.Consequents {
+			v, _ := rb.vocab.Get(c.Var)
+			t, _ := v.Term(c.Term) // validated at construction
+			if e.inference == MaxProduct {
+				res.Sets[c.Var].UnionScaled(t.MF, truth)
+			} else {
+				res.Sets[c.Var].UnionClipped(t.MF, truth)
+			}
+		}
+	}
+
+	for name, set := range res.Sets {
+		res.Outputs[name] = e.defuzz.Defuzzify(set)
+	}
+	return res, nil
+}

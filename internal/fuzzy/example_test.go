@@ -1,0 +1,43 @@
+package fuzzy_test
+
+import (
+	"fmt"
+
+	"autoglobe/internal/fuzzy"
+)
+
+// ExampleEngine_Infer walks the paper's Section 3 inference: fuzzify,
+// evaluate the rule base with max–min inference, defuzzify with the
+// leftmost maximum.
+func ExampleEngine_Infer() {
+	vocab := fuzzy.NewVocabulary()
+	vocab.Add(fuzzy.StandardLoad("cpuLoad"))
+	vocab.Add(fuzzy.Applicability("scaleOut"))
+
+	rules := fuzzy.MustParse(`IF cpuLoad IS high THEN scaleOut IS applicable`)
+	rb, err := fuzzy.NewRuleBase("demo", vocab, rules)
+	if err != nil {
+		panic(err)
+	}
+	res, err := fuzzy.NewEngine(nil).Infer(rb, map[string]float64{"cpuLoad": 0.9})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("scaleOut applicability: %.2f\n", res.Outputs["scaleOut"])
+	// Output: scaleOut applicability: 0.80
+}
+
+// ExampleParse shows the rule language, including hedges and the
+// IS NOT sugar.
+func ExampleParse() {
+	rules := fuzzy.MustParse(`
+		IF cpuLoad IS very high AND memLoad IS NOT low THEN move IS applicable
+		IF cpuLoad IS low THEN reducePriority IS applicable
+	`)
+	for _, r := range rules {
+		fmt.Println(r)
+	}
+	// Output:
+	// IF cpuLoad IS very high AND (NOT memLoad IS low) THEN move IS applicable
+	// IF cpuLoad IS low THEN reducePriority IS applicable
+}

@@ -1,0 +1,17 @@
+package monitor
+
+import "testing"
+
+func BenchmarkObserve(b *testing.B) {
+	s, err := NewSystem(PaperParams(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Register("host/Blade1", Server, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Observe("host/Blade1", i, 0.5, 0.4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

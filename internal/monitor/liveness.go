@@ -1,0 +1,56 @@
+package monitor
+
+import "sort"
+
+// Liveness detects failure situations ("like a program crash") through
+// missed heartbeats: every load monitor's report doubles as a
+// heartbeat, and an entity that stays silent for more than Timeout
+// minutes is declared dead. The controller then remedies the failure,
+// for example with a restart.
+type Liveness struct {
+	// Timeout is the number of minutes an entity may stay silent.
+	Timeout int
+	last    map[string]int
+}
+
+// NewLiveness returns a liveness detector with the given timeout
+// (minimum 1 minute).
+func NewLiveness(timeout int) *Liveness {
+	if timeout < 1 {
+		timeout = 1
+	}
+	return &Liveness{Timeout: timeout, last: make(map[string]int)}
+}
+
+// Beat records a heartbeat for an entity.
+func (l *Liveness) Beat(entity string, minute int) {
+	l.last[entity] = minute
+}
+
+// Forget stops tracking an entity (orderly shutdown is not a failure).
+func (l *Liveness) Forget(entity string) {
+	delete(l.last, entity)
+}
+
+// Tracking reports whether the entity is being watched.
+func (l *Liveness) Tracking(entity string) bool {
+	_, ok := l.last[entity]
+	return ok
+}
+
+// Dead returns the entities whose last heartbeat is more than Timeout
+// minutes old, sorted, and stops tracking them (each failure is
+// reported once).
+func (l *Liveness) Dead(minute int) []string {
+	var out []string
+	for e, last := range l.last {
+		if minute-last > l.Timeout {
+			out = append(out, e)
+		}
+	}
+	sort.Strings(out)
+	for _, e := range out {
+		delete(l.last, e)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package monitor
+
+import "testing"
+
+func TestLivenessDetectsSilence(t *testing.T) {
+	l := NewLiveness(2)
+	l.Beat("a", 0)
+	l.Beat("b", 0)
+	if dead := l.Dead(1); len(dead) != 0 {
+		t.Fatalf("Dead(1) = %v, want none", dead)
+	}
+	l.Beat("a", 2) // a keeps beating, b goes silent
+	if dead := l.Dead(3); len(dead) != 1 || dead[0] != "b" {
+		t.Fatalf("Dead(3) = %v, want [b]", dead)
+	}
+	// Each failure is reported once.
+	if dead := l.Dead(10); len(dead) != 1 || dead[0] != "a" {
+		t.Fatalf("Dead(10) = %v, want [a] (b already reported)", dead)
+	}
+}
+
+func TestLivenessForget(t *testing.T) {
+	l := NewLiveness(2)
+	l.Beat("a", 0)
+	if !l.Tracking("a") {
+		t.Fatal("not tracking after beat")
+	}
+	l.Forget("a") // orderly shutdown
+	if l.Tracking("a") {
+		t.Fatal("still tracking after forget")
+	}
+	if dead := l.Dead(100); len(dead) != 0 {
+		t.Fatalf("forgotten entity reported dead: %v", dead)
+	}
+}
+
+func TestLivenessMinimumTimeout(t *testing.T) {
+	l := NewLiveness(0)
+	if l.Timeout != 1 {
+		t.Fatalf("timeout = %d, want clamped to 1", l.Timeout)
+	}
+}
+
+func TestLivenessSortedOutput(t *testing.T) {
+	l := NewLiveness(1)
+	l.Beat("z", 0)
+	l.Beat("a", 0)
+	l.Beat("m", 0)
+	dead := l.Dead(5)
+	if len(dead) != 3 || dead[0] != "a" || dead[1] != "m" || dead[2] != "z" {
+		t.Fatalf("Dead = %v, want sorted", dead)
+	}
+}

@@ -1,0 +1,59 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchFederation(b *testing.B) *Federation {
+	b.Helper()
+	f := NewFederation()
+	for i := 0; i < 8; i++ {
+		if err := f.Join(fmt.Sprintf("host%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := f.Instantiate("svc", fmt.Sprintf("svc-%d", i), fmt.Sprintf("host%d", i%8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f
+}
+
+func BenchmarkRebind(b *testing.B) {
+	f := benchFederation(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := fmt.Sprintf("svc-%d", i%16)
+		target := fmt.Sprintf("host%d", (i+1)%8)
+		if _, err := f.Rebind(id, target); err != nil {
+			// Already bound there; rebind to the next host instead.
+			if _, err2 := f.Rebind(id, fmt.Sprintf("host%d", (i+2)%8)); err2 != nil {
+				b.Fatal(err2)
+			}
+		}
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	f := benchFederation(b)
+	r := NewRouter(f)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Route("svc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolve(b *testing.B) {
+	f := benchFederation(b)
+	ep := f.Lookup("svc")[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := f.Resolve(ep.ServiceIP); !ok {
+			b.Fatal("lost binding")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package registry
+
+import (
+	"fmt"
+
+	"autoglobe/internal/controller"
+	"autoglobe/internal/service"
+)
+
+// SyncDeployment reconciles the federation's endpoint directory with a
+// deployment's instance set: new instances are instantiated (getting a
+// fresh service IP), moved instances are rebound, and stopped instances
+// are deregistered. It returns the number of changes applied.
+func SyncDeployment(f *Federation, dep *service.Deployment) (changes int, err error) {
+	current := make(map[string]*service.Instance)
+	for _, inst := range dep.Instances() {
+		current[inst.ID] = inst
+	}
+	// Deregister endpoints whose instances are gone; rebind moved ones.
+	for _, host := range f.Hosts() {
+		for _, ep := range f.OnHost(host) {
+			inst, ok := current[ep.InstanceID]
+			switch {
+			case !ok:
+				if err := f.Deregister(ep.InstanceID); err != nil {
+					return changes, err
+				}
+				changes++
+			case inst.Host != ep.Host:
+				if _, err := f.Rebind(ep.InstanceID, inst.Host); err != nil {
+					return changes, err
+				}
+				changes++
+			}
+			delete(current, ep.InstanceID)
+		}
+	}
+	// Instantiate the remainder.
+	for id, inst := range current {
+		if _, err := f.Instantiate(inst.Service, id, inst.Host); err != nil {
+			return changes, err
+		}
+		changes++
+	}
+	return changes, nil
+}
+
+// Mirror is a controller executor that applies decisions through an
+// inner executor and keeps a federation's service-IP bindings in sync —
+// the glue between AutoGlobe's decisions and ServiceGlobe's
+// virtualization layer.
+type Mirror struct {
+	fed   *Federation
+	dep   *service.Deployment
+	inner controller.Executor
+}
+
+// NewMirror wraps inner so every executed decision is reflected in the
+// federation. The deployment's hosts must already have joined.
+func NewMirror(fed *Federation, dep *service.Deployment, inner controller.Executor) (*Mirror, error) {
+	if fed == nil || dep == nil || inner == nil {
+		return nil, fmt.Errorf("registry: nil federation, deployment or executor")
+	}
+	joined := make(map[string]bool)
+	for _, h := range fed.Hosts() {
+		joined[h] = true
+	}
+	for _, h := range dep.Cluster().Names() {
+		if !joined[h] {
+			return nil, fmt.Errorf("registry: host %q has not joined the federation", h)
+		}
+	}
+	if _, err := SyncDeployment(fed, dep); err != nil {
+		return nil, err
+	}
+	return &Mirror{fed: fed, dep: dep, inner: inner}, nil
+}
+
+// Execute implements controller.Executor.
+func (m *Mirror) Execute(d *controller.Decision) error {
+	if err := m.inner.Execute(d); err != nil {
+		return err
+	}
+	if _, err := SyncDeployment(m.fed, m.dep); err != nil {
+		return fmt.Errorf("registry: decision %s applied but federation sync failed: %w", d, err)
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+// Package registry models the ServiceGlobe platform AutoGlobe is built
+// on (Section 2): "a distributed and open Web service platform … The
+// key innovation of ServiceGlobe is its support for mobile code, i.e.,
+// services can be distributed and instantiated during runtime on demand
+// at arbitrary servers participating in the ServiceGlobe federation.
+// Those servers are called service hosts."
+//
+// The registry provides the three ServiceGlobe mechanisms the
+// controller depends on:
+//
+//   - a federation of service hosts that service code can be
+//     distributed to (mobile code: a service is runnable on a host once
+//     its code is staged there; staging is on demand),
+//   - a UDDI-style service directory mapping service names to running
+//     endpoints,
+//   - service virtualization through service IP addresses: "every
+//     service has its own IP address assigned. This IP address is bound
+//     to the physical network interface card (NIC) of the host running
+//     the service … if a service is moved from one host to another, the
+//     virtual IP address is unbound from the NIC of the old host … and
+//     afterwards bound to the NIC of the target host."
+//
+// Clients therefore always reach a service under a stable address; the
+// binding table is the only thing a move changes.
+package registry
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// Endpoint is one running, addressable service instance.
+type Endpoint struct {
+	// Service is the service name the endpoint implements.
+	Service string
+	// InstanceID identifies the underlying instance.
+	InstanceID string
+	// ServiceIP is the instance's stable virtual address.
+	ServiceIP netip.Addr
+	// Host is the service host whose NIC the address is currently
+	// bound to.
+	Host string
+}
+
+// Federation is the set of participating service hosts together with
+// the staged service code and the live endpoint directory. It is safe
+// for concurrent use: monitors, the controller and request routing
+// touch it from different goroutines in a real deployment.
+type Federation struct {
+	mu sync.RWMutex
+
+	hosts map[string]bool            // participating service hosts
+	code  map[string]map[string]bool // service -> hosts with staged code
+	// endpoints by instance ID; the authoritative record.
+	endpoints map[string]*Endpoint
+	byService map[string]map[string]bool // service -> instance IDs
+	byIP      map[netip.Addr]string      // service IP -> instance ID
+	byHost    map[string]map[string]bool // host -> instance IDs
+
+	nextIP uint32 // allocator state for the 10.42.0.0/16 service range
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation {
+	return &Federation{
+		hosts:     make(map[string]bool),
+		code:      make(map[string]map[string]bool),
+		endpoints: make(map[string]*Endpoint),
+		byService: make(map[string]map[string]bool),
+		byIP:      make(map[netip.Addr]string),
+		byHost:    make(map[string]map[string]bool),
+	}
+}
+
+// Join adds a service host to the federation.
+func (f *Federation) Join(host string) error {
+	if host == "" {
+		return fmt.Errorf("registry: empty host name")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.hosts[host] {
+		return fmt.Errorf("registry: host %q already joined", host)
+	}
+	f.hosts[host] = true
+	return nil
+}
+
+// Leave removes a service host. All endpoints bound to it must have
+// been moved or deregistered first.
+func (f *Federation) Leave(host string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.hosts[host] {
+		return fmt.Errorf("registry: host %q not in federation", host)
+	}
+	if n := len(f.byHost[host]); n > 0 {
+		return fmt.Errorf("registry: host %q still binds %d endpoints", host, n)
+	}
+	delete(f.hosts, host)
+	for _, hosts := range f.code {
+		delete(hosts, host)
+	}
+	return nil
+}
+
+// Hosts returns the participating service hosts, sorted.
+func (f *Federation) Hosts() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.hosts))
+	for h := range f.hosts {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stage distributes a service's (mobile) code to a host, making the
+// service instantiable there. Staging is idempotent.
+func (f *Federation) Stage(service, host string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.hosts[host] {
+		return fmt.Errorf("registry: cannot stage %q: host %q not in federation", service, host)
+	}
+	if f.code[service] == nil {
+		f.code[service] = make(map[string]bool)
+	}
+	f.code[service][host] = true
+	return nil
+}
+
+// Staged reports whether the service's code is available on the host.
+func (f *Federation) Staged(service, host string) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.code[service][host]
+}
+
+// allocIP hands out the next virtual service address from 10.42.0.0/16.
+func (f *Federation) allocIP() (netip.Addr, error) {
+	f.nextIP++
+	if f.nextIP >= 1<<16 {
+		return netip.Addr{}, fmt.Errorf("registry: service IP range exhausted")
+	}
+	return netip.AddrFrom4([4]byte{10, 42, byte(f.nextIP >> 8), byte(f.nextIP)}), nil
+}
+
+// Instantiate stages (if necessary) and starts a service instance on a
+// host, assigns its virtual service IP and binds it to the host's NIC.
+// It returns the endpoint clients can address.
+func (f *Federation) Instantiate(service, instanceID, host string) (Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if service == "" || instanceID == "" {
+		return Endpoint{}, fmt.Errorf("registry: empty service or instance ID")
+	}
+	if !f.hosts[host] {
+		return Endpoint{}, fmt.Errorf("registry: host %q not in federation", host)
+	}
+	if _, dup := f.endpoints[instanceID]; dup {
+		return Endpoint{}, fmt.Errorf("registry: instance %q already registered", instanceID)
+	}
+	// Mobile code: distribute on demand.
+	if f.code[service] == nil {
+		f.code[service] = make(map[string]bool)
+	}
+	f.code[service][host] = true
+
+	ip, err := f.allocIP()
+	if err != nil {
+		return Endpoint{}, err
+	}
+	ep := &Endpoint{Service: service, InstanceID: instanceID, ServiceIP: ip, Host: host}
+	f.endpoints[instanceID] = ep
+	if f.byService[service] == nil {
+		f.byService[service] = make(map[string]bool)
+	}
+	f.byService[service][instanceID] = true
+	f.byIP[ip] = instanceID
+	if f.byHost[host] == nil {
+		f.byHost[host] = make(map[string]bool)
+	}
+	f.byHost[host][instanceID] = true
+	return *ep, nil
+}
+
+// Rebind moves an endpoint's virtual IP to another host's NIC — the
+// mechanism behind every move/scale-up/scale-down. The service IP and
+// instance identity are unchanged; clients keep their address.
+func (f *Federation) Rebind(instanceID, newHost string) (Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.endpoints[instanceID]
+	if !ok {
+		return Endpoint{}, fmt.Errorf("registry: unknown instance %q", instanceID)
+	}
+	if !f.hosts[newHost] {
+		return Endpoint{}, fmt.Errorf("registry: host %q not in federation", newHost)
+	}
+	if ep.Host == newHost {
+		return Endpoint{}, fmt.Errorf("registry: instance %q already bound to %q", instanceID, newHost)
+	}
+	// Mobile code travels with the rebind.
+	f.code[ep.Service][newHost] = true
+	delete(f.byHost[ep.Host], instanceID)
+	ep.Host = newHost
+	if f.byHost[newHost] == nil {
+		f.byHost[newHost] = make(map[string]bool)
+	}
+	f.byHost[newHost][instanceID] = true
+	return *ep, nil
+}
+
+// Deregister removes an endpoint (scale-in/stop) and unbinds its IP.
+func (f *Federation) Deregister(instanceID string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ep, ok := f.endpoints[instanceID]
+	if !ok {
+		return fmt.Errorf("registry: unknown instance %q", instanceID)
+	}
+	delete(f.endpoints, instanceID)
+	delete(f.byService[ep.Service], instanceID)
+	delete(f.byIP, ep.ServiceIP)
+	delete(f.byHost[ep.Host], instanceID)
+	return nil
+}
+
+// Lookup returns the endpoints of a service (the UDDI-style directory
+// query), sorted by instance ID.
+func (f *Federation) Lookup(service string) []Endpoint {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ids := make([]string, 0, len(f.byService[service]))
+	for id := range f.byService[service] {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Endpoint, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *f.endpoints[id])
+	}
+	return out
+}
+
+// Resolve returns the host currently bound to a service IP — what the
+// network layer consults to route a request.
+func (f *Federation) Resolve(ip netip.Addr) (Endpoint, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	id, ok := f.byIP[ip]
+	if !ok {
+		return Endpoint{}, false
+	}
+	return *f.endpoints[id], true
+}
+
+// OnHost returns the endpoints bound to a host, sorted by instance ID.
+func (f *Federation) OnHost(host string) []Endpoint {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ids := make([]string, 0, len(f.byHost[host]))
+	for id := range f.byHost[host] {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Endpoint, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *f.endpoints[id])
+	}
+	return out
+}
+
+// Len returns the number of registered endpoints.
+func (f *Federation) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.endpoints)
+}

@@ -1,0 +1,296 @@
+package registry
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/controller"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+)
+
+func fed(t *testing.T, hosts ...string) *Federation {
+	t.Helper()
+	f := NewFederation()
+	for _, h := range hosts {
+		if err := f.Join(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+func TestJoinLeave(t *testing.T) {
+	f := fed(t, "a", "b")
+	if err := f.Join("a"); err == nil {
+		t.Error("double join accepted")
+	}
+	if err := f.Join(""); err == nil {
+		t.Error("empty host accepted")
+	}
+	if got := f.Hosts(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("Hosts = %v", got)
+	}
+	if err := f.Leave("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Leave("a"); err == nil {
+		t.Error("double leave accepted")
+	}
+}
+
+func TestLeaveWithEndpointsRefused(t *testing.T) {
+	f := fed(t, "a")
+	if _, err := f.Instantiate("svc", "svc-1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Leave("a"); err == nil {
+		t.Error("leave with bound endpoints accepted")
+	}
+}
+
+func TestInstantiateAssignsUniqueIPs(t *testing.T) {
+	f := fed(t, "a", "b")
+	e1, err := f.Instantiate("svc", "svc-1", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := f.Instantiate("svc", "svc-2", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.ServiceIP == e2.ServiceIP {
+		t.Fatal("two endpoints share a service IP")
+	}
+	if !e1.ServiceIP.IsValid() || !e1.ServiceIP.Is4() {
+		t.Fatalf("invalid service IP %v", e1.ServiceIP)
+	}
+	if _, err := f.Instantiate("svc", "svc-1", "b"); err == nil {
+		t.Error("duplicate instance ID accepted")
+	}
+	if _, err := f.Instantiate("svc", "svc-3", "ghost"); err == nil {
+		t.Error("unknown host accepted")
+	}
+	// Mobile code was staged on demand.
+	if !f.Staged("svc", "a") || !f.Staged("svc", "b") {
+		t.Error("instantiate did not stage code")
+	}
+}
+
+// TestRebindKeepsAddress: moving a service re-binds its virtual IP to
+// the new host's NIC; the address itself never changes — the paper's
+// virtualization mechanism.
+func TestRebindKeepsAddress(t *testing.T) {
+	f := fed(t, "a", "b")
+	before, err := f.Instantiate("svc", "svc-1", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := f.Rebind("svc-1", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.ServiceIP != before.ServiceIP {
+		t.Error("rebind changed the service IP")
+	}
+	if after.Host != "b" {
+		t.Errorf("host after rebind = %q", after.Host)
+	}
+	// Resolution follows the binding.
+	ep, ok := f.Resolve(before.ServiceIP)
+	if !ok || ep.Host != "b" {
+		t.Errorf("Resolve = %+v, %v", ep, ok)
+	}
+	if got := f.OnHost("a"); len(got) != 0 {
+		t.Errorf("old host still binds %v", got)
+	}
+	if _, err := f.Rebind("svc-1", "b"); err == nil {
+		t.Error("rebind to current host accepted")
+	}
+	if _, err := f.Rebind("ghost", "a"); err == nil {
+		t.Error("rebind of unknown instance accepted")
+	}
+}
+
+func TestLookupAndDeregister(t *testing.T) {
+	f := fed(t, "a", "b")
+	f.Instantiate("svc", "svc-2", "b")
+	f.Instantiate("svc", "svc-1", "a")
+	f.Instantiate("other", "other-1", "a")
+	eps := f.Lookup("svc")
+	if len(eps) != 2 || eps[0].InstanceID != "svc-1" {
+		t.Fatalf("Lookup = %v", eps)
+	}
+	if err := f.Deregister("svc-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deregister("svc-1"); err == nil {
+		t.Error("double deregister accepted")
+	}
+	if got := f.Lookup("svc"); len(got) != 1 {
+		t.Fatalf("after deregister Lookup = %v", got)
+	}
+	if _, ok := f.Resolve(eps[0].ServiceIP); ok {
+		t.Error("deregistered IP still resolves")
+	}
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	f := fed(t, "a")
+	if _, ok := f.Resolve(netip.MustParseAddr("10.42.9.9")); ok {
+		t.Error("unknown IP resolved")
+	}
+}
+
+func TestStageRequiresFederationHost(t *testing.T) {
+	f := fed(t, "a")
+	if err := f.Stage("svc", "ghost"); err == nil {
+		t.Error("staging on unknown host accepted")
+	}
+	if err := f.Stage("svc", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Stage("svc", "a"); err != nil {
+		t.Errorf("re-staging not idempotent: %v", err)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	f := fed(t, "a", "b")
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("svc-%d", i)
+			host := "a"
+			if i%2 == 0 {
+				host = "b"
+			}
+			if _, err := f.Instantiate("svc", id, host); err != nil {
+				t.Error(err)
+				return
+			}
+			f.Lookup("svc")
+			if _, err := f.Rebind(id, map[string]string{"a": "b", "b": "a"}[host]); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if f.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", f.Len())
+	}
+	// All IPs distinct.
+	seen := make(map[netip.Addr]bool)
+	for _, ep := range f.Lookup("svc") {
+		if seen[ep.ServiceIP] {
+			t.Fatalf("duplicate IP %v", ep.ServiceIP)
+		}
+		seen[ep.ServiceIP] = true
+	}
+}
+
+// TestMirrorTracksControllerActions: the federation follows a
+// controller-driven deployment through scale-out and scale-up.
+func TestMirrorTracksControllerActions(t *testing.T) {
+	cl := cluster.MustNew(
+		cluster.Host{Name: "weak1", Category: "t", PerformanceIndex: 1, CPUs: 1,
+			ClockMHz: 1000, CacheKB: 512, MemoryMB: 2048, SwapMB: 2048, TempMB: 20480},
+		cluster.Host{Name: "mid1", Category: "t", PerformanceIndex: 2, CPUs: 2,
+			ClockMHz: 1000, CacheKB: 512, MemoryMB: 4096, SwapMB: 4096, TempMB: 20480},
+	)
+	allowed := map[service.Action]bool{}
+	for _, a := range service.Actions() {
+		allowed[a] = true
+	}
+	cat := service.MustCatalog(&service.Service{
+		Name: "app", Type: service.TypeInteractive, MinInstances: 1,
+		Allowed: allowed, MemoryMBPerInstance: 1024, UsersPerUnit: 150, RequestWeight: 1,
+	})
+	dep := service.NewDeployment(cl, cat)
+	inst, err := dep.Start("app", "weak1")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := fed(t, "weak1", "mid1")
+	arch := archive.New(0)
+	mirror, err := NewMirror(f, dep, controller.NewDeploymentExecutor(dep, controller.StickyUsers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-existing instance was synced at construction.
+	if f.Len() != 1 {
+		t.Fatalf("endpoints after NewMirror = %d, want 1", f.Len())
+	}
+	ipBefore := f.Lookup("app")[0].ServiceIP
+
+	ctl, err := controller.New(controller.Config{}, dep, arch, mirror)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m <= 10; m++ {
+		arch.Record(archive.HostEntity("weak1"), archive.Sample{Minute: m, CPU: 0.9, Mem: 0.4})
+		arch.Record(archive.InstanceEntity(inst.ID), archive.Sample{Minute: m, CPU: 0.85})
+		arch.Record(archive.ServiceEntity("app"), archive.Sample{Minute: m, CPU: 0.55})
+		arch.Record(archive.HostEntity("mid1"), archive.Sample{Minute: m, CPU: 0.1, Mem: 0.1})
+	}
+	d, err := ctl.HandleTrigger(monitor.Trigger{
+		Kind: monitor.ServiceOverloaded, Entity: "app", Minute: 10, WatchedFrom: 0, AvgLoad: 0.9,
+	})
+	if err != nil || d == nil {
+		t.Fatalf("d=%v err=%v", d, err)
+	}
+	if d.Action != service.ActionScaleUp {
+		t.Fatalf("decision = %s, want scaleUp", d.Action)
+	}
+	eps := f.Lookup("app")
+	if len(eps) != 1 {
+		t.Fatalf("endpoints after scale-up = %d, want 1", len(eps))
+	}
+	if eps[0].Host != "mid1" {
+		t.Errorf("endpoint bound to %q after scale-up, want mid1", eps[0].Host)
+	}
+	if eps[0].ServiceIP != ipBefore {
+		t.Error("scale-up changed the service IP — virtualization broken")
+	}
+}
+
+func TestMirrorRequiresJoinedHosts(t *testing.T) {
+	cl := cluster.MustNew(cluster.Host{Name: "h", Category: "t", PerformanceIndex: 1,
+		CPUs: 1, ClockMHz: 1000, CacheKB: 512, MemoryMB: 1024, SwapMB: 0, TempMB: 0})
+	cat := service.MustCatalog(&service.Service{Name: "s", Type: service.TypeBatch})
+	dep := service.NewDeployment(cl, cat)
+	f := NewFederation() // host not joined
+	if _, err := NewMirror(f, dep, controller.NewDeploymentExecutor(dep, controller.StickyUsers)); err == nil {
+		t.Error("mirror over unjoined hosts accepted")
+	}
+}
+
+func TestSyncDeploymentIdempotent(t *testing.T) {
+	cl := cluster.MustNew(cluster.Host{Name: "h", Category: "t", PerformanceIndex: 1,
+		CPUs: 1, ClockMHz: 1000, CacheKB: 512, MemoryMB: 2048, SwapMB: 0, TempMB: 0})
+	cat := service.MustCatalog(&service.Service{Name: "s", Type: service.TypeBatch,
+		MemoryMBPerInstance: 512})
+	dep := service.NewDeployment(cl, cat)
+	if _, err := dep.Start("s", "h"); err != nil {
+		t.Fatal(err)
+	}
+	f := fed(t, "h")
+	n, err := SyncDeployment(f, dep)
+	if err != nil || n != 1 {
+		t.Fatalf("first sync: n=%d err=%v", n, err)
+	}
+	n, err = SyncDeployment(f, dep)
+	if err != nil || n != 0 {
+		t.Fatalf("second sync not idempotent: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,73 @@
+package registry
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+)
+
+// Router dispatches client requests to service endpoints, completing
+// the ServiceGlobe picture of location-independent execution: clients
+// name a service (directory lookup, balanced across instances) or a
+// stable service IP (binding lookup) and never learn which physical
+// host serves them. A move that happens between two requests is
+// invisible except for the changed NIC behind the address.
+type Router struct {
+	fed *Federation
+
+	mu sync.Mutex
+	rr map[string]uint64 // per-service round-robin cursor
+}
+
+// NewRouter returns a router over the federation.
+func NewRouter(fed *Federation) *Router {
+	return &Router{fed: fed, rr: make(map[string]uint64)}
+}
+
+// Route picks the next endpoint of a service round-robin.
+func (r *Router) Route(service string) (Endpoint, error) {
+	eps := r.fed.Lookup(service)
+	if len(eps) == 0 {
+		return Endpoint{}, fmt.Errorf("registry: no endpoint for service %q", service)
+	}
+	r.mu.Lock()
+	i := r.rr[service]
+	r.rr[service] = i + 1
+	r.mu.Unlock()
+	return eps[i%uint64(len(eps))], nil
+}
+
+// RouteAddr resolves a request addressed to a stable service IP.
+func (r *Router) RouteAddr(ip netip.Addr) (Endpoint, error) {
+	ep, ok := r.fed.Resolve(ip)
+	if !ok {
+		return Endpoint{}, fmt.Errorf("registry: no binding for service IP %v", ip)
+	}
+	return ep, nil
+}
+
+// Send routes a request to the service and invokes handle on the chosen
+// endpoint. If handle fails, the next instances are tried in turn
+// (failover), up to one full round over the current endpoint set.
+func (r *Router) Send(service string, handle func(Endpoint) error) (Endpoint, error) {
+	eps := r.fed.Lookup(service)
+	if len(eps) == 0 {
+		return Endpoint{}, fmt.Errorf("registry: no endpoint for service %q", service)
+	}
+	r.mu.Lock()
+	start := r.rr[service]
+	r.rr[service] = start + 1
+	r.mu.Unlock()
+
+	var lastErr error
+	for k := 0; k < len(eps); k++ {
+		ep := eps[(start+uint64(k))%uint64(len(eps))]
+		if err := handle(ep); err != nil {
+			lastErr = err
+			continue
+		}
+		return ep, nil
+	}
+	return Endpoint{}, fmt.Errorf("registry: all %d endpoints of %q failed, last error: %w",
+		len(eps), service, lastErr)
+}

@@ -1,0 +1,92 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+)
+
+func routerWorld(t *testing.T) (*Federation, *Router) {
+	t.Helper()
+	f := fed(t, "a", "b", "c")
+	if _, err := f.Instantiate("svc", "svc-1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Instantiate("svc", "svc-2", "b"); err != nil {
+		t.Fatal(err)
+	}
+	return f, NewRouter(f)
+}
+
+func TestRouteRoundRobin(t *testing.T) {
+	_, r := routerWorld(t)
+	seen := map[string]int{}
+	for i := 0; i < 6; i++ {
+		ep, err := r.Route("svc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[ep.InstanceID]++
+	}
+	if seen["svc-1"] != 3 || seen["svc-2"] != 3 {
+		t.Errorf("round robin uneven: %v", seen)
+	}
+	if _, err := r.Route("ghost"); err == nil {
+		t.Error("routing to unknown service succeeded")
+	}
+}
+
+// TestRouteFollowsRebind: a client holding a service IP keeps reaching
+// the service across a move — location-independent execution.
+func TestRouteFollowsRebind(t *testing.T) {
+	f, r := routerWorld(t)
+	ep, err := r.Route("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ep.ServiceIP
+	if _, err := f.Rebind(ep.InstanceID, "c"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.RouteAddr(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != "c" {
+		t.Errorf("request to %v landed on %s, want c", addr, got.Host)
+	}
+	if got.InstanceID != ep.InstanceID {
+		t.Error("address resolved to a different instance")
+	}
+}
+
+func TestSendFailsOver(t *testing.T) {
+	_, r := routerWorld(t)
+	calls := []string{}
+	ep, err := r.Send("svc", func(e Endpoint) error {
+		calls = append(calls, e.InstanceID)
+		if e.InstanceID == "svc-1" {
+			return errors.New("instance crashed mid-request")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.InstanceID != "svc-2" {
+		t.Errorf("failover landed on %s, want svc-2", ep.InstanceID)
+	}
+	if len(calls) == 0 {
+		t.Fatal("handler never invoked")
+	}
+}
+
+func TestSendAllFail(t *testing.T) {
+	_, r := routerWorld(t)
+	_, err := r.Send("svc", func(Endpoint) error { return errors.New("boom") })
+	if err == nil {
+		t.Fatal("Send succeeded although every endpoint failed")
+	}
+	if _, err := r.Send("ghost", func(Endpoint) error { return nil }); err == nil {
+		t.Fatal("Send to unknown service succeeded")
+	}
+}

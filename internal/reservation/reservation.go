@@ -1,0 +1,106 @@
+// Package reservation implements explicit resource reservations, the
+// first controller improvement the paper plans (Section 7: "we will
+// enhance the controller in such a way that it can manage explicit
+// reservations, i.e., that an administrator can register
+// mission-critical tasks along with their resource requirements").
+//
+// A reservation blocks a slice of a host's capacity for a named task
+// over a time window. The controller consults the book through its
+// Reserver hook: reserved capacity is added to a candidate host's CPU
+// load during server selection, so the fuzzy controller steers ordinary
+// services away from hosts that a mission-critical task is about to
+// need.
+package reservation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Reservation blocks capacity on a host for a mission-critical task.
+type Reservation struct {
+	// Task names the mission-critical work.
+	Task string
+	// Host is the reserved host.
+	Host string
+	// From and To delimit the window in simulation minutes
+	// (From inclusive, To exclusive).
+	From, To int
+	// Fraction is the share of the host's capacity reserved, in [0, 1].
+	Fraction float64
+}
+
+// Validate checks the reservation.
+func (r Reservation) Validate() error {
+	switch {
+	case r.Task == "":
+		return fmt.Errorf("reservation: empty task name")
+	case r.Host == "":
+		return fmt.Errorf("reservation: empty host")
+	case r.From >= r.To:
+		return fmt.Errorf("reservation: empty window [%d, %d)", r.From, r.To)
+	case r.Fraction <= 0 || r.Fraction > 1:
+		return fmt.Errorf("reservation: fraction %g outside (0, 1]", r.Fraction)
+	}
+	return nil
+}
+
+// Book holds all registered reservations.
+type Book struct {
+	byHost map[string][]Reservation
+}
+
+// NewBook returns an empty reservation book.
+func NewBook() *Book { return &Book{byHost: make(map[string][]Reservation)} }
+
+// Add registers a reservation.
+func (b *Book) Add(r Reservation) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	b.byHost[r.Host] = append(b.byHost[r.Host], r)
+	return nil
+}
+
+// ReservedOn returns the total capacity fraction reserved on a host at
+// a minute, capped at 1. It implements the controller's Reserver hook.
+func (b *Book) ReservedOn(host string, minute int) float64 {
+	var sum float64
+	for _, r := range b.byHost[host] {
+		if minute >= r.From && minute < r.To {
+			sum += r.Fraction
+		}
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// Active returns the reservations active at a minute, sorted by task.
+func (b *Book) Active(minute int) []Reservation {
+	var out []Reservation
+	for _, rs := range b.byHost {
+		for _, r := range rs {
+			if minute >= r.From && minute < r.To {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out
+}
+
+// Len returns the number of registered reservations.
+func (b *Book) Len() int {
+	n := 0
+	for _, rs := range b.byHost {
+		n += len(rs)
+	}
+	return n
+}

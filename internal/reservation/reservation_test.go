@@ -1,0 +1,69 @@
+package reservation
+
+import "testing"
+
+func TestValidation(t *testing.T) {
+	bad := []Reservation{
+		{Host: "h", From: 0, To: 10, Fraction: 0.5},             // no task
+		{Task: "t", From: 0, To: 10, Fraction: 0.5},             // no host
+		{Task: "t", Host: "h", From: 10, To: 10, Fraction: 0.5}, // empty window
+		{Task: "t", Host: "h", From: 0, To: 10, Fraction: 0},    // zero fraction
+		{Task: "t", Host: "h", From: 0, To: 10, Fraction: 1.5},  // oversize
+	}
+	b := NewBook()
+	for i, r := range bad {
+		if err := b.Add(r); err == nil {
+			t.Errorf("case %d: invalid reservation accepted", i)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatal("invalid reservations stored")
+	}
+}
+
+func TestReservedOnWindow(t *testing.T) {
+	b := NewBook()
+	if err := b.Add(Reservation{Task: "payroll", Host: "Blade1", From: 100, To: 200, Fraction: 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		minute int
+		want   float64
+	}{
+		{99, 0}, {100, 0.6}, {150, 0.6}, {199, 0.6}, {200, 0},
+	}
+	for _, c := range cases {
+		if got := b.ReservedOn("Blade1", c.minute); got != c.want {
+			t.Errorf("ReservedOn(Blade1, %d) = %g, want %g", c.minute, got, c.want)
+		}
+	}
+	if got := b.ReservedOn("Blade2", 150); got != 0 {
+		t.Errorf("unreserved host = %g, want 0", got)
+	}
+}
+
+func TestReservedOnStacksAndCaps(t *testing.T) {
+	b := NewBook()
+	b.Add(Reservation{Task: "a", Host: "h", From: 0, To: 100, Fraction: 0.7})
+	b.Add(Reservation{Task: "b", Host: "h", From: 0, To: 100, Fraction: 0.7})
+	if got := b.ReservedOn("h", 50); got != 1 {
+		t.Errorf("stacked reservations = %g, want capped at 1", got)
+	}
+}
+
+func TestActive(t *testing.T) {
+	b := NewBook()
+	b.Add(Reservation{Task: "b", Host: "h2", From: 0, To: 100, Fraction: 0.5})
+	b.Add(Reservation{Task: "a", Host: "h1", From: 0, To: 100, Fraction: 0.5})
+	b.Add(Reservation{Task: "c", Host: "h3", From: 200, To: 300, Fraction: 0.5})
+	act := b.Active(50)
+	if len(act) != 2 || act[0].Task != "a" || act[1].Task != "b" {
+		t.Fatalf("Active(50) = %v", act)
+	}
+	if got := len(b.Active(150)); got != 0 {
+		t.Fatalf("Active(150) = %d reservations", got)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", b.Len())
+	}
+}

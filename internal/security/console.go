@@ -1,0 +1,69 @@
+package security
+
+import (
+	"fmt"
+
+	"autoglobe/internal/controller"
+	"autoglobe/internal/fuzzy"
+	"autoglobe/internal/monitor"
+)
+
+// Console is the guarded administration surface over a controller: the
+// semi-automatic confirmation workflow of Section 4.3 ("the human
+// administrator is contacted to confirm the action before execution"),
+// with every operation authorized and audited.
+type Console struct {
+	guard *Guard
+	ctl   *controller.Controller
+}
+
+// NewConsole wraps a controller with a guard.
+func NewConsole(guard *Guard, ctl *controller.Controller) (*Console, error) {
+	if guard == nil || ctl == nil {
+		return nil, fmt.Errorf("security: nil guard or controller")
+	}
+	return &Console{guard: guard, ctl: ctl}, nil
+}
+
+// Pending lists the decisions awaiting confirmation (requires view).
+func (c *Console) Pending(principal string) ([]*controller.Decision, error) {
+	if err := c.guard.Authorize(principal, PermView, "list pending decisions"); err != nil {
+		return nil, err
+	}
+	return c.ctl.Pending(), nil
+}
+
+// Events returns the controller's message log (requires view).
+func (c *Console) Events(principal string) ([]controller.Event, error) {
+	if err := c.guard.Authorize(principal, PermView, "read message log"); err != nil {
+		return nil, err
+	}
+	return c.ctl.Events(), nil
+}
+
+// Approve confirms the i-th pending decision (requires approve).
+func (c *Console) Approve(principal string, i int) (*controller.Decision, error) {
+	if err := c.guard.Authorize(principal, PermApprove, fmt.Sprintf("approve pending decision %d", i)); err != nil {
+		return nil, err
+	}
+	return c.ctl.Approve(i)
+}
+
+// AddServiceRules registers a service-specific rule base at runtime
+// (requires configure) — Section 4.1's dynamic adaptation, gated to
+// administrators.
+func (c *Console) AddServiceRules(principal, svcName string, kind monitor.TriggerKind, rb *fuzzy.RuleBase) error {
+	if err := c.guard.Authorize(principal, PermConfigure,
+		fmt.Sprintf("add %s rule base for service %s", kind, svcName)); err != nil {
+		return err
+	}
+	return c.ctl.AddServiceRules(svcName, kind, rb)
+}
+
+// Reject discards the i-th pending decision (requires approve).
+func (c *Console) Reject(principal string, i int) error {
+	if err := c.guard.Authorize(principal, PermApprove, fmt.Sprintf("reject pending decision %d", i)); err != nil {
+		return err
+	}
+	return c.ctl.Reject(i)
+}

@@ -1,0 +1,260 @@
+package security
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/controller"
+	"autoglobe/internal/fuzzy"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+)
+
+func guardWith(t *testing.T, ps ...Principal) *Guard {
+	t.Helper()
+	g := NewGuard()
+	for _, p := range ps {
+		if err := g.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestRegisterValidation(t *testing.T) {
+	g := NewGuard()
+	bad := []Principal{
+		{},
+		{Name: "x"},
+		{Name: "x", Roles: []Role{"superhero"}},
+	}
+	for i, p := range bad {
+		if err := g.Register(p); err == nil {
+			t.Errorf("case %d: invalid principal accepted", i)
+		}
+	}
+	if err := g.Register(Principal{Name: "a", Roles: []Role{RoleViewer}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Register(Principal{Name: "a", Roles: []Role{RoleAdmin}}); err == nil {
+		t.Error("duplicate principal accepted")
+	}
+	if got := g.Principals(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Principals = %v", got)
+	}
+}
+
+func TestRoleHierarchy(t *testing.T) {
+	cases := []struct {
+		role    Role
+		perm    Permission
+		allowed bool
+	}{
+		{RoleViewer, PermView, true},
+		{RoleViewer, PermApprove, false},
+		{RoleViewer, PermConfigure, false},
+		{RoleOperator, PermView, true},
+		{RoleOperator, PermApprove, true},
+		{RoleOperator, PermConfigure, false},
+		{RoleAdmin, PermConfigure, true},
+	}
+	for _, c := range cases {
+		p := Principal{Name: "x", Roles: []Role{c.role}}
+		if got := p.Allowed(c.perm); got != c.allowed {
+			t.Errorf("%s.Allowed(%s) = %v, want %v", c.role, c.perm, got, c.allowed)
+		}
+	}
+}
+
+func TestAuthorizeAudits(t *testing.T) {
+	g := guardWith(t,
+		Principal{Name: "olive", Roles: []Role{RoleOperator}},
+		Principal{Name: "vera", Roles: []Role{RoleViewer}},
+	)
+	if err := g.Authorize("olive", PermApprove, "approve decision 0"); err != nil {
+		t.Fatal(err)
+	}
+	err := g.Authorize("vera", PermApprove, "approve decision 0")
+	var ae *AuthzError
+	if !errors.As(err, &ae) || ae.Principal != "vera" {
+		t.Fatalf("err = %v, want AuthzError for vera", err)
+	}
+	if err := g.Authorize("mallory", PermView, "snoop"); err == nil {
+		t.Error("unknown principal authorized")
+	}
+	audit := g.Audit()
+	if len(audit) != 3 {
+		t.Fatalf("audit has %d entries, want 3", len(audit))
+	}
+	if !audit[0].Allowed || audit[1].Allowed || audit[2].Allowed {
+		t.Errorf("audit verdicts wrong: %v", audit)
+	}
+	if audit[0].Seq != 1 || audit[2].Seq != 3 {
+		t.Errorf("audit sequence wrong: %v", audit)
+	}
+	if s := audit[1].String(); !strings.Contains(s, "DENIED") {
+		t.Errorf("denied entry renders as %q", s)
+	}
+}
+
+func TestGuardConcurrent(t *testing.T) {
+	g := guardWith(t, Principal{Name: "o", Roles: []Role{RoleOperator}})
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Authorize("o", PermView, "x")
+		}()
+	}
+	wg.Wait()
+	if len(g.Audit()) != 50 {
+		t.Fatalf("audit = %d entries, want 50", len(g.Audit()))
+	}
+}
+
+// consoleWorld builds a semi-automatic controller with one pending
+// decision.
+func consoleWorld(t *testing.T) *Console {
+	t.Helper()
+	cl := cluster.MustNew(
+		cluster.Host{Name: "h1", Category: "t", PerformanceIndex: 1, CPUs: 1,
+			ClockMHz: 1000, CacheKB: 512, MemoryMB: 2048, SwapMB: 2048, TempMB: 20480},
+		cluster.Host{Name: "h2", Category: "t", PerformanceIndex: 2, CPUs: 2,
+			ClockMHz: 1000, CacheKB: 512, MemoryMB: 4096, SwapMB: 4096, TempMB: 20480},
+	)
+	allowed := map[service.Action]bool{}
+	for _, a := range service.Actions() {
+		allowed[a] = true
+	}
+	cat := service.MustCatalog(&service.Service{
+		Name: "app", Type: service.TypeInteractive, MinInstances: 1,
+		Allowed: allowed, MemoryMBPerInstance: 1024, UsersPerUnit: 150, RequestWeight: 1,
+	})
+	dep := service.NewDeployment(cl, cat)
+	inst, err := dep.Start("app", "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch := archive.New(0)
+	for m := 0; m <= 10; m++ {
+		arch.Record(archive.HostEntity("h1"), archive.Sample{Minute: m, CPU: 0.9, Mem: 0.4})
+		arch.Record(archive.HostEntity("h2"), archive.Sample{Minute: m, CPU: 0.1, Mem: 0.1})
+		arch.Record(archive.InstanceEntity(inst.ID), archive.Sample{Minute: m, CPU: 0.85})
+		arch.Record(archive.ServiceEntity("app"), archive.Sample{Minute: m, CPU: 0.55})
+	}
+	ctl, err := controller.New(controller.Config{Mode: controller.SemiAutomatic},
+		dep, arch, controller.NewDeploymentExecutor(dep, controller.StickyUsers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.HandleTrigger(monitor.Trigger{
+		Kind: monitor.ServiceOverloaded, Entity: "app",
+		Minute: 10, WatchedFrom: 0, AvgLoad: 0.9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	guard := guardWith(t,
+		Principal{Name: "olive", Roles: []Role{RoleOperator}},
+		Principal{Name: "vera", Roles: []Role{RoleViewer}},
+	)
+	console, err := NewConsole(guard, ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return console
+}
+
+// TestConsoleWorkflow: a viewer can see but not approve; an operator
+// can approve; the audit trail records both.
+func TestConsoleWorkflow(t *testing.T) {
+	c := consoleWorld(t)
+	pending, err := c.Pending("vera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d, want 1", len(pending))
+	}
+	if _, err := c.Approve("vera", 0); err == nil {
+		t.Fatal("viewer approved a decision")
+	}
+	d, err := c.Approve("olive", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("no decision executed")
+	}
+	if left, _ := c.Pending("olive"); len(left) != 0 {
+		t.Errorf("pending not drained: %v", left)
+	}
+	events, err := c.Events("vera")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Error("no events visible")
+	}
+	if _, err := c.Events("mallory"); err == nil {
+		t.Error("unknown principal read events")
+	}
+	audit := c.guard.Audit()
+	denied := 0
+	for _, e := range audit {
+		if !e.Allowed {
+			denied++
+		}
+	}
+	if denied != 2 {
+		t.Errorf("audit shows %d denials, want 2 (vera approve, mallory events)", denied)
+	}
+}
+
+func TestConsoleReject(t *testing.T) {
+	c := consoleWorld(t)
+	if err := c.Reject("vera", 0); err == nil {
+		t.Fatal("viewer rejected a decision")
+	}
+	if err := c.Reject("olive", 0); err != nil {
+		t.Fatal(err)
+	}
+	if left, _ := c.Pending("olive"); len(left) != 0 {
+		t.Errorf("pending not drained after reject: %v", left)
+	}
+}
+
+// TestConsoleConfigureGated: adding a service-specific rule base at
+// runtime requires the admin role.
+func TestConsoleConfigureGated(t *testing.T) {
+	c := consoleWorld(t)
+	c.guard.Register(Principal{Name: "ada", Roles: []Role{RoleAdmin}})
+	vocab := controller.ActionVocabulary()
+	rb, err := fuzzy.NewRuleBase("custom", vocab,
+		fuzzy.MustParse(`IF instanceLoad IS high THEN increasePriority IS applicable`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddServiceRules("olive", "app", monitor.ServiceOverloaded, rb); err == nil {
+		t.Fatal("operator reconfigured rule bases")
+	}
+	if err := c.AddServiceRules("ada", "app", monitor.ServiceOverloaded, rb); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddServiceRules("ada", "ghost", monitor.ServiceOverloaded, rb); err == nil {
+		t.Fatal("rule base for unknown service accepted")
+	}
+	if err := c.AddServiceRules("ada", "app", monitor.ServiceOverloaded, nil); err == nil {
+		t.Fatal("nil rule base accepted")
+	}
+}
+
+func TestNewConsoleValidation(t *testing.T) {
+	if _, err := NewConsole(nil, nil); err == nil {
+		t.Fatal("nil guard/controller accepted")
+	}
+}

@@ -1,0 +1,283 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+
+	"autoglobe/internal/cluster"
+)
+
+// Instance is one running instance of a service on a host.
+type Instance struct {
+	// ID uniquely identifies the instance within the deployment.
+	ID string
+	// Service is the instance's service name.
+	Service string
+	// Host is the host currently executing the instance.
+	Host string
+	// Users is the number of users currently logged in at this instance
+	// (interactive services) — the unit the simulation's load model and
+	// the constrained-mobility user-fluctuation logic work in.
+	Users float64
+	// Priority is the scheduling priority, adjusted by the
+	// increase/reduce-priority actions. 0 is the default priority.
+	Priority int
+}
+
+// Deployment tracks the current service-to-server allocation and
+// validates every transition against the services' declarative
+// constraints. It is the control surface the AutoGlobe controller's
+// actions operate on.
+type Deployment struct {
+	cluster *cluster.Cluster
+	catalog *Catalog
+
+	instances map[string]*Instance
+	byHost    map[string][]string // host -> instance IDs
+	byService map[string][]string // service -> instance IDs
+	nextID    int
+}
+
+// NewDeployment returns an empty deployment over the given cluster and
+// service catalog.
+func NewDeployment(cl *cluster.Cluster, cat *Catalog) *Deployment {
+	return &Deployment{
+		cluster:   cl,
+		catalog:   cat,
+		instances: make(map[string]*Instance),
+		byHost:    make(map[string][]string),
+		byService: make(map[string][]string),
+	}
+}
+
+// Cluster returns the deployment's host pool.
+func (d *Deployment) Cluster() *cluster.Cluster { return d.cluster }
+
+// Catalog returns the deployment's service catalog.
+func (d *Deployment) Catalog() *Catalog { return d.catalog }
+
+// PlacementError explains why an instance cannot be placed on a host.
+type PlacementError struct {
+	Service string
+	Host    string
+	Reason  string
+}
+
+func (e *PlacementError) Error() string {
+	return fmt.Sprintf("service: cannot place %q on %q: %s", e.Service, e.Host, e.Reason)
+}
+
+// CanPlace checks whether an instance of the service could be started on
+// the host under the current allocation. It verifies that the host
+// exists, meets the minimum performance index, that exclusivity is
+// respected in both directions, that the host does not already run an
+// instance of the same service, and that the host's memory suffices.
+func (d *Deployment) CanPlace(svcName, hostName string) error {
+	svc, ok := d.catalog.Get(svcName)
+	if !ok {
+		return &PlacementError{svcName, hostName, "unknown service"}
+	}
+	h, ok := d.cluster.Host(hostName)
+	if !ok {
+		return &PlacementError{svcName, hostName, "unknown host"}
+	}
+	if !svc.CanRunOn(h) {
+		return &PlacementError{svcName, hostName, fmt.Sprintf(
+			"performance index %g below required minimum %g", h.PerformanceIndex, svc.MinPerfIndex)}
+	}
+	resident := d.byHost[hostName]
+	if svc.Exclusive && len(resident) > 0 {
+		return &PlacementError{svcName, hostName, "service is exclusive but host is not empty"}
+	}
+	memUsed := 0
+	for _, id := range resident {
+		inst := d.instances[id]
+		other, _ := d.catalog.Get(inst.Service)
+		if other.Exclusive {
+			return &PlacementError{svcName, hostName, fmt.Sprintf(
+				"host runs exclusive service %q", other.Name)}
+		}
+		if inst.Service == svcName {
+			return &PlacementError{svcName, hostName, "host already runs an instance of this service"}
+		}
+		memUsed += other.MemoryMBPerInstance
+	}
+	if memUsed+svc.MemoryMBPerInstance > h.MemoryMB {
+		return &PlacementError{svcName, hostName, fmt.Sprintf(
+			"insufficient memory: %d MB used + %d MB needed > %d MB",
+			memUsed, svc.MemoryMBPerInstance, h.MemoryMB)}
+	}
+	return nil
+}
+
+// Start launches a new instance of the service on the host. It fails if
+// the placement is invalid or the service already runs its maximum
+// number of instances.
+func (d *Deployment) Start(svcName, hostName string) (*Instance, error) {
+	svc, ok := d.catalog.Get(svcName)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown service %q", svcName)
+	}
+	if svc.MaxInstances > 0 && len(d.byService[svcName]) >= svc.MaxInstances {
+		return nil, fmt.Errorf("service: %q already runs its maximum of %d instances",
+			svcName, svc.MaxInstances)
+	}
+	if err := d.CanPlace(svcName, hostName); err != nil {
+		return nil, err
+	}
+	d.nextID++
+	inst := &Instance{
+		ID:      fmt.Sprintf("%s-%d", svcName, d.nextID),
+		Service: svcName,
+		Host:    hostName,
+	}
+	d.instances[inst.ID] = inst
+	d.byHost[hostName] = append(d.byHost[hostName], inst.ID)
+	d.byService[svcName] = append(d.byService[svcName], inst.ID)
+	return inst, nil
+}
+
+// Stop terminates the instance. It fails if stopping would leave the
+// service below its minimum instance count; pass force to override (used
+// by the stop action that shuts a whole service down, and by failure
+// injection).
+func (d *Deployment) Stop(instID string, force bool) error {
+	inst, ok := d.instances[instID]
+	if !ok {
+		return fmt.Errorf("service: unknown instance %q", instID)
+	}
+	svc, _ := d.catalog.Get(inst.Service)
+	if !force && len(d.byService[inst.Service]) <= svc.MinInstances {
+		return fmt.Errorf("service: stopping %q would violate minimum of %d instances of %q",
+			instID, svc.MinInstances, svc.Name)
+	}
+	delete(d.instances, instID)
+	d.byHost[inst.Host] = removeString(d.byHost[inst.Host], instID)
+	d.byService[inst.Service] = removeString(d.byService[inst.Service], instID)
+	return nil
+}
+
+// Move relocates the instance to another host, preserving its users and
+// priority. The target must satisfy the same placement constraints as a
+// fresh start.
+func (d *Deployment) Move(instID, hostName string) error {
+	inst, ok := d.instances[instID]
+	if !ok {
+		return fmt.Errorf("service: unknown instance %q", instID)
+	}
+	if inst.Host == hostName {
+		return fmt.Errorf("service: instance %q already runs on %q", instID, hostName)
+	}
+	if err := d.CanPlace(inst.Service, hostName); err != nil {
+		return err
+	}
+	d.byHost[inst.Host] = removeString(d.byHost[inst.Host], instID)
+	inst.Host = hostName
+	d.byHost[hostName] = append(d.byHost[hostName], instID)
+	return nil
+}
+
+// Instance returns the instance with the given ID.
+func (d *Deployment) Instance(id string) (*Instance, bool) {
+	inst, ok := d.instances[id]
+	return inst, ok
+}
+
+// InstancesOf returns the instances of a service, sorted by ID.
+func (d *Deployment) InstancesOf(svcName string) []*Instance {
+	return d.collect(d.byService[svcName])
+}
+
+// InstancesOn returns the instances running on a host, sorted by ID.
+func (d *Deployment) InstancesOn(hostName string) []*Instance {
+	return d.collect(d.byHost[hostName])
+}
+
+// Instances returns all instances, sorted by ID.
+func (d *Deployment) Instances() []*Instance {
+	ids := make([]string, 0, len(d.instances))
+	for id := range d.instances {
+		ids = append(ids, id)
+	}
+	return d.collect(ids)
+}
+
+func (d *Deployment) collect(ids []string) []*Instance {
+	out := make([]*Instance, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, d.instances[id])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CountOf returns the number of running instances of a service.
+func (d *Deployment) CountOf(svcName string) int { return len(d.byService[svcName]) }
+
+// CountOn returns the number of instances running on a host.
+func (d *Deployment) CountOn(hostName string) int { return len(d.byHost[hostName]) }
+
+// UsersOf returns the total users across all instances of a service.
+func (d *Deployment) UsersOf(svcName string) float64 {
+	var sum float64
+	for _, id := range d.byService[svcName] {
+		sum += d.instances[id].Users
+	}
+	return sum
+}
+
+// Validate checks global allocation invariants: instance counts within
+// bounds, all placements individually legal under the constraint set.
+// It is used by tests and by the simulator's self-checks.
+func (d *Deployment) Validate() error {
+	for _, name := range d.catalog.Names() {
+		svc, _ := d.catalog.Get(name)
+		n := len(d.byService[name])
+		if n < svc.MinInstances {
+			return fmt.Errorf("service: %q runs %d instances, below minimum %d", name, n, svc.MinInstances)
+		}
+		if svc.MaxInstances > 0 && n > svc.MaxInstances {
+			return fmt.Errorf("service: %q runs %d instances, above maximum %d", name, n, svc.MaxInstances)
+		}
+	}
+	for host, ids := range d.byHost {
+		h, ok := d.cluster.Host(host)
+		if !ok {
+			if len(ids) > 0 {
+				return fmt.Errorf("service: instances on unknown host %q", host)
+			}
+			continue
+		}
+		seen := make(map[string]bool)
+		memUsed := 0
+		for _, id := range ids {
+			inst := d.instances[id]
+			svc, _ := d.catalog.Get(inst.Service)
+			if svc.Exclusive && len(ids) > 1 {
+				return fmt.Errorf("service: exclusive service %q shares host %q", svc.Name, host)
+			}
+			if !svc.CanRunOn(h) {
+				return fmt.Errorf("service: %q on host %q violates minimum performance index %g",
+					svc.Name, host, svc.MinPerfIndex)
+			}
+			if seen[inst.Service] {
+				return fmt.Errorf("service: two instances of %q on host %q", inst.Service, host)
+			}
+			seen[inst.Service] = true
+			memUsed += svc.MemoryMBPerInstance
+		}
+		if memUsed > h.MemoryMB {
+			return fmt.Errorf("service: host %q memory oversubscribed: %d MB > %d MB", host, memUsed, h.MemoryMB)
+		}
+	}
+	return nil
+}
+
+func removeString(s []string, v string) []string {
+	for i, x := range s {
+		if x == v {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

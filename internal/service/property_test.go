@@ -1,0 +1,80 @@
+package service
+
+import (
+	"math/rand"
+	"testing"
+
+	"autoglobe/internal/cluster"
+)
+
+// TestPropDeploymentInvariants drives a deployment with long random
+// operation sequences and checks after every step that the allocation
+// never violates a declared constraint — whatever mix of valid and
+// invalid starts, stops and moves arrives.
+func TestPropDeploymentInvariants(t *testing.T) {
+	mk := func(name string, pi float64, memMB int) cluster.Host {
+		return cluster.Host{
+			Name: name, Category: "t", PerformanceIndex: pi, CPUs: 1,
+			ClockMHz: 1000, CacheKB: 512, MemoryMB: memMB, SwapMB: memMB, TempMB: 1024,
+		}
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		cl := cluster.MustNew(
+			mk("h1", 1, 2048), mk("h2", 1, 2048), mk("h3", 2, 4096),
+			mk("h4", 2, 4096), mk("h5", 9, 12288),
+		)
+		cat := MustCatalog(
+			&Service{Name: "a", Type: TypeInteractive, MinInstances: 0, MaxInstances: 3,
+				MemoryMBPerInstance: 1024},
+			&Service{Name: "b", Type: TypeInteractive, MinInstances: 0,
+				MemoryMBPerInstance: 1024},
+			&Service{Name: "x", Type: TypeDatabase, MinInstances: 0, MaxInstances: 1,
+				Exclusive: true, MinPerfIndex: 5, MemoryMBPerInstance: 6144},
+		)
+		dep := NewDeployment(cl, cat)
+		hosts := cl.Names()
+		svcs := cat.Names()
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(3) {
+			case 0: // start
+				svc := svcs[rng.Intn(len(svcs))]
+				host := hosts[rng.Intn(len(hosts))]
+				if inst, err := dep.Start(svc, host); err == nil {
+					inst.Users = float64(rng.Intn(200))
+				}
+			case 1: // stop
+				insts := dep.Instances()
+				if len(insts) > 0 {
+					dep.Stop(insts[rng.Intn(len(insts))].ID, rng.Intn(2) == 0)
+				}
+			case 2: // move
+				insts := dep.Instances()
+				if len(insts) > 0 {
+					dep.Move(insts[rng.Intn(len(insts))].ID, hosts[rng.Intn(len(hosts))])
+				}
+			}
+			if err := dep.Validate(); err != nil {
+				t.Fatalf("seed %d step %d: invariant violated: %v", seed, step, err)
+			}
+		}
+
+		// Index consistency: per-host and per-service views agree with
+		// the instance list.
+		total := 0
+		for _, h := range hosts {
+			total += dep.CountOn(h)
+		}
+		if total != len(dep.Instances()) {
+			t.Fatalf("seed %d: host index counts %d, instances %d", seed, total, len(dep.Instances()))
+		}
+		total = 0
+		for _, s := range svcs {
+			total += dep.CountOf(s)
+		}
+		if total != len(dep.Instances()) {
+			t.Fatalf("seed %d: service index counts %d, instances %d", seed, total, len(dep.Instances()))
+		}
+	}
+}

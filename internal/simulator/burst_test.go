@@ -1,0 +1,87 @@
+package simulator
+
+import (
+	"testing"
+
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/service"
+	"autoglobe/internal/workload"
+)
+
+// burstRun drives a minimal, noise-free landscape — one busy blade at a
+// steady 65 % and one empty spare — with an optional burst, and returns
+// the run result. Baseline behaviour is exactly zero actions, so any
+// reaction is attributable to the burst.
+func burstRun(t *testing.T, burst *workload.Burst) *Result {
+	t.Helper()
+	cl := cluster.MustNew(
+		cluster.Host{Name: "h1", Category: "t", PerformanceIndex: 1, CPUs: 1,
+			ClockMHz: 1000, CacheKB: 512, MemoryMB: 2048, SwapMB: 2048, TempMB: 20480},
+		cluster.Host{Name: "h2", Category: "t", PerformanceIndex: 1, CPUs: 1,
+			ClockMHz: 1000, CacheKB: 512, MemoryMB: 2048, SwapMB: 2048, TempMB: 20480},
+	)
+	cat := service.MustCatalog(&service.Service{
+		Name: "app", Type: service.TypeInteractive, MinInstances: 1,
+		Allowed: map[service.Action]bool{
+			service.ActionScaleIn: true, service.ActionScaleOut: true, service.ActionMove: true,
+		},
+		MemoryMBPerInstance: 1024, BaseLoad: 0.05, UsersPerUnit: 150, RequestWeight: 1,
+	})
+	dep := service.NewDeployment(cl, cat)
+	inst, err := dep.Start("app", "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.Users = 150 // 150 × 0.6 / 150 + 0.05 = 65 % steady load
+
+	cfg := PaperConfig(service.ConstrainedMobility, 1.0)
+	cfg.Hours = 24
+	cfg.JitterAmplitude = 0
+	cfg.FluctuationPerHour = 0
+	gen := workload.MustGenerator(workload.Jitter{},
+		workload.Source{Service: "app", Users: 150, Profile: workload.Flat(0.6)})
+	if burst != nil {
+		gen.AddBurst("app", *burst)
+	}
+	sim, err := NewCustom(cfg, dep, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWatchTimeFiltersShortBurst reproduces the load monitoring system's
+// purpose end to end: "in real systems short load peaks are quite
+// common. Immediate reaction on these peaks could lead to an unsettled
+// and instable system." A 3-minute spike to 77 % — whose 10-minute
+// watch-window average stays below the 70 % threshold — must not change
+// the controller's behaviour at all, while a 30-minute surge of the
+// same height must draw a scale-out.
+func TestWatchTimeFiltersShortBurst(t *testing.T) {
+	baseline := burstRun(t, nil)
+	if got := len(baseline.ExecutedActions()); got != 0 {
+		t.Fatalf("baseline executed %d actions, want 0", got)
+	}
+
+	short := burstRun(t, &workload.Burst{Start: 600, Length: 3, Factor: 1.2})
+	if got := len(short.ExecutedActions()); got != 0 {
+		t.Errorf("3-minute spike drew %d actions; the watchTime should filter it", got)
+	}
+
+	long := burstRun(t, &workload.Burst{Start: 600, Length: 30, Factor: 1.2})
+	acts := long.ExecutedActions()
+	if len(acts) == 0 {
+		t.Fatal("30-minute surge drew no reaction")
+	}
+	d := acts[0].Decision
+	if d.Action != service.ActionScaleOut && d.Action != service.ActionMove {
+		t.Errorf("surge remedy = %s, want scale-out or move", d.Action)
+	}
+	if d.Action == service.ActionScaleOut && d.TargetHost != "h2" {
+		t.Errorf("scale-out target = %s, want the spare blade h2", d.TargetHost)
+	}
+}

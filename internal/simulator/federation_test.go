@@ -1,0 +1,69 @@
+package simulator
+
+import (
+	"testing"
+
+	"autoglobe/internal/controller"
+	"autoglobe/internal/registry"
+	"autoglobe/internal/service"
+)
+
+// TestFederationMirrorsFullRun: a ServiceGlobe federation wired through
+// the executor hook stays consistent with the deployment across a full
+// full-mobility run — every instance has exactly one endpoint bound to
+// its current host, and failures/scale churn never desynchronize the
+// directory.
+func TestFederationMirrorsFullRun(t *testing.T) {
+	fed := registry.NewFederation()
+	cfg := PaperConfig(service.FullMobility, 1.25)
+	cfg.Hours = 48
+	cfg.FailuresPerDay = 10
+	cfg.WrapExecutor = func(dep *service.Deployment, exec controller.Executor) (controller.Executor, error) {
+		for _, h := range dep.Cluster().Names() {
+			if err := fed.Join(h); err != nil {
+				return nil, err
+			}
+		}
+		return registry.NewMirror(fed, dep, exec)
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ExecutedActions()) == 0 {
+		t.Fatal("no controller actions — the mirror was not exercised")
+	}
+
+	// Controller actions go through the mirror; injected crashes and
+	// restarts bypass it (they manipulate the deployment directly), so
+	// reconcile once and then verify consistency.
+	if _, err := registry.SyncDeployment(fed, sim.Deployment()); err != nil {
+		t.Fatal(err)
+	}
+	insts := sim.Deployment().Instances()
+	if fed.Len() != len(insts) {
+		t.Fatalf("federation has %d endpoints, deployment %d instances", fed.Len(), len(insts))
+	}
+	for _, inst := range insts {
+		eps := fed.Lookup(inst.Service)
+		found := false
+		for _, ep := range eps {
+			if ep.InstanceID == inst.ID {
+				found = true
+				if ep.Host != inst.Host {
+					t.Errorf("endpoint %s bound to %s, instance on %s", ep.InstanceID, ep.Host, inst.Host)
+				}
+				if got, ok := fed.Resolve(ep.ServiceIP); !ok || got.InstanceID != inst.ID {
+					t.Errorf("service IP %v does not resolve to %s", ep.ServiceIP, inst.ID)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("instance %s has no endpoint", inst.ID)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package simulator
+
+import (
+	"testing"
+
+	"autoglobe/internal/controller"
+	"autoglobe/internal/service"
+	"autoglobe/internal/spec"
+)
+
+const declaredLandscape = `<?xml version="1.0"?>
+<landscape name="declared">
+  <servers>
+    <server name="b1" category="blade" performanceIndex="1" cpus="1" clockMHz="1000" cacheKB="512" memoryMB="2048" swapMB="2048" tempMB="20480"/>
+    <server name="b2" category="blade" performanceIndex="1" cpus="1" clockMHz="1000" cacheKB="512" memoryMB="2048" swapMB="2048" tempMB="20480"/>
+    <server name="big" category="server" performanceIndex="6" cpus="4" clockMHz="2800" cacheKB="2048" memoryMB="12288" swapMB="12288" tempMB="20480"/>
+  </servers>
+  <services>
+    <service name="app" type="interactive" subsystem="x" minInstances="1" memoryMBPerInstance="1024" baseLoad="0.05" usersPerUnit="150" requestWeight="1" users="200">
+      <allowedActions>
+        <action>scaleIn</action><action>scaleOut</action><action>move</action>
+        <action>scaleUp</action><action>scaleDown</action>
+      </allowedActions>
+      <instances><instance host="b1"/><instance host="b2"/></instances>
+    </service>
+    <service name="DB-x" type="database" subsystem="x" minInstances="1" maxInstances="1" minPerformanceIndex="5" memoryMBPerInstance="6144" baseLoad="0.02">
+      <instances><instance host="big"/></instances>
+    </service>
+  </services>
+  <rulebases>
+    <rulebase trigger="serviceOverloaded" service="app">
+      <rule>IF instanceLoad IS high THEN scaleOut IS applicable</rule>
+    </rulebase>
+    <rulebase trigger="serverOverloaded">
+      <rule>IF memLoad IS high THEN move IS applicable</rule>
+    </rulebase>
+    <rulebase trigger="serverSelection:move">
+      <rule>IF tempSpace IS ample THEN score IS applicable</rule>
+    </rulebase>
+  </rulebases>
+  <simulation hours="24" multiplier="1.1" seed="3" userRedistribution="rebalance"
+              overloadWatchMinutes="5" protectionMinutes="20">
+    <profile service="app">
+      <point minute="0" value="0.05"/>
+      <point minute="540" value="0.8"/>
+      <point minute="720" value="0.6"/>
+      <point minute="1020" value="0.75"/>
+      <point minute="1200" value="0.1"/>
+    </profile>
+  </simulation>
+</landscape>`
+
+func TestFromLandscapeRuns(t *testing.T) {
+	l, err := spec.ParseString(declaredLandscape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := FromLandscape(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Minutes != 24*60 {
+		t.Errorf("minutes = %d, want declared 24 h", res.Minutes)
+	}
+	// Multiplier applied to declared users.
+	if got := sim.Deployment().UsersOf("app"); got < 219 || got > 221 {
+		t.Errorf("app users = %g, want 200 × 1.1", got)
+	}
+	// The day curve shows up in the average load.
+	if !(res.AvgLoad[9*60] > res.AvgLoad[3*60]) {
+		t.Error("declared profile not driving the load")
+	}
+	if err := sim.Deployment().Validate(); err != nil {
+		t.Errorf("deployment invalid after declared run: %v", err)
+	}
+}
+
+func TestFromLandscapeRequiresProfiles(t *testing.T) {
+	l, err := spec.ParseString(declaredLandscape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Simulation.Profiles = nil
+	if _, err := FromLandscape(l); err == nil {
+		t.Fatal("service with users but no profile accepted")
+	}
+}
+
+func TestFromLandscapeDefaults(t *testing.T) {
+	l, err := spec.ParseString(declaredLandscape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Simulation.UserRedistribution = ""
+	sim, err := FromLandscape(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.cfg.Mobility != service.ConstrainedMobility {
+		t.Errorf("default redistribution = %v, want sticky (constrained)", sim.cfg.Mobility)
+	}
+	if sim.cfg.Monitor.OverloadWatch != 5 {
+		t.Errorf("declared overload watch = %d, want 5", sim.cfg.Monitor.OverloadWatch)
+	}
+	if sim.cfg.Controller.ProtectionMinutes != 20 {
+		t.Errorf("declared protection = %d, want 20", sim.cfg.Controller.ProtectionMinutes)
+	}
+}
+
+func TestFromLandscapeDeclaredRules(t *testing.T) {
+	l, err := spec.ParseString(declaredLandscape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := FromLandscape(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := sim.cfg.Controller
+	if cc.ServiceRules["app"] == nil || cc.ServiceRules["app"]["serviceOverloaded"] == nil {
+		t.Fatal("service-specific rule base not registered")
+	}
+	// Declared bases extend the defaults, they do not replace them.
+	defaults := controller.DefaultActionRules()
+	if got, want := cc.ServiceRules["app"]["serviceOverloaded"].Len(),
+		defaults["serviceOverloaded"].Len()+1; got != want {
+		t.Errorf("service-specific base has %d rules, want default %d + 1 declared", got, want)
+	}
+	if cc.ActionRules == nil || cc.ActionRules["serverOverloaded"] == nil {
+		t.Fatal("extended serverOverloaded base missing")
+	}
+	if got, want := cc.ActionRules["serverOverloaded"].Len(),
+		defaults["serverOverloaded"].Len()+1; got != want {
+		t.Errorf("serverOverloaded base has %d rules, want %d", got, want)
+	}
+	if cc.SelectionRules == nil || cc.SelectionRules[service.ActionMove] == nil {
+		t.Fatal("extended move selection base missing")
+	}
+}
+
+func TestFromLandscapeRejectsBadRuleTargets(t *testing.T) {
+	l, err := spec.ParseString(declaredLandscape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.RuleBases = append(l.RuleBases, spec.RuleBaseSpec{
+		Trigger: "serverSelection:fly",
+		Rules:   []string{"IF cpuLoad IS low THEN score IS applicable"},
+	})
+	if _, err := FromLandscape(l); err == nil {
+		t.Fatal("unknown selection action accepted")
+	}
+	l2, _ := spec.ParseString(declaredLandscape)
+	l2.RuleBases = append(l2.RuleBases, spec.RuleBaseSpec{
+		Trigger: "somethingElse",
+		Rules:   []string{"IF cpuLoad IS low THEN move IS applicable"},
+	})
+	if _, err := FromLandscape(l2); err == nil {
+		t.Fatal("unknown trigger accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/service"
+)
+
+// TestHotplugRemoveAndAdd: pulling a blade mid-run kills its instances;
+// the heartbeat detector notices and the controller restarts them
+// elsewhere with their sessions intact. A freshly inserted blade joins
+// the pool and becomes a valid action target.
+func TestHotplugRemoveAndAdd(t *testing.T) {
+	cfg := PaperConfig(service.FullMobility, 1.0)
+	cfg.Hours = 12
+	cfg.HostEvents = []HostEvent{
+		{Minute: 300, Remove: "Blade12"}, // one of the LES blades
+		{Minute: 400, Add: &cluster.Host{
+			Name: "Blade20", Category: "FSC-BX600", PerformanceIndex: 2, CPUs: 2,
+			ClockMHz: 933, CacheKB: 512, MemoryMB: 4096, SwapMB: 4096, TempMB: 51200,
+		}},
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lesBefore := sim.Deployment().UsersOf("LES")
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := sim.Deployment().Cluster().Host("Blade12"); ok {
+		t.Error("Blade12 still pooled after removal")
+	}
+	if _, ok := sim.Deployment().Cluster().Host("Blade20"); !ok {
+		t.Error("Blade20 not pooled after addition")
+	}
+	if got := sim.Deployment().CountOn("Blade12"); got != 0 {
+		t.Errorf("%d instances still on the removed blade", got)
+	}
+	if res.Restarts == 0 {
+		t.Error("evacuated instances were not restarted")
+	}
+	if got := sim.Deployment().UsersOf("LES"); math.Abs(got-lesBefore) > 1e-6 {
+		t.Errorf("LES users = %g after hotplug, want %g (sessions restored)", got, lesBefore)
+	}
+	if err := sim.Deployment().Validate(); err != nil {
+		t.Errorf("deployment invalid after hotplug: %v", err)
+	}
+	// The new blade's series aligns with the rest.
+	if got := len(res.HostLoad["Blade20"]); got != res.Minutes {
+		t.Errorf("Blade20 series has %d points, want %d", got, res.Minutes)
+	}
+}

@@ -1,0 +1,63 @@
+package simulator
+
+import (
+	"math"
+	"testing"
+
+	"autoglobe/internal/service"
+	"autoglobe/internal/spec"
+)
+
+// TestDeclaredPaperLandscapeMatchesProgrammatic is the end-to-end
+// round trip: export the paper's installation (including workload
+// profiles) to the declarative XML language, re-parse it, build a
+// simulator from the declaration, and check the run behaves like the
+// programmatically configured one. Noise streams differ (instance IDs
+// are assigned in a different order), so the comparison is on aggregate
+// behaviour.
+func TestDeclaredPaperLandscapeMatchesProgrammatic(t *testing.T) {
+	l, err := spec.Paper(service.FullMobility, 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := spec.ParseString(l.String()) // through the XML text
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Simulation.Hours = 48
+	declared, err := FromLandscape(l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declaredRes, err := declared.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := PaperConfig(service.FullMobility, 1.15)
+	cfg.Hours = 48
+	programmatic, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	programmaticRes, err := programmatic.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dm, pm := declaredRes.MeanLoad(), programmaticRes.MeanLoad()
+	if math.Abs(dm-pm) > 0.03 {
+		t.Errorf("mean load declared %.3f vs programmatic %.3f — declaration does not reproduce the scenario", dm, pm)
+	}
+	// Both controllers act, and neither landscape ends up overloaded.
+	if len(declaredRes.ExecutedActions()) == 0 {
+		t.Error("declared landscape: controller never acted")
+	}
+	if declaredRes.Overloaded(DefaultOverloadBudget, DefaultStreakBudget) !=
+		programmaticRes.Overloaded(DefaultOverloadBudget, DefaultStreakBudget) {
+		t.Error("declared and programmatic runs disagree on the overload verdict")
+	}
+	if err := declared.Deployment().Validate(); err != nil {
+		t.Errorf("declared deployment invalid after run: %v", err)
+	}
+}

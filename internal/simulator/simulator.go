@@ -1,0 +1,653 @@
+// Package simulator implements the paper's simulation environment
+// (Section 5.1): a discrete-time model of a realistic SAP installation —
+// three subsystems (ERP, CRM, BW) with dedicated databases and central
+// instances, six kinds of application servers, diurnal user populations,
+// the request path application server → central instance → database, and
+// the full monitoring/controller feedback loop. Time advances in
+// one-minute steps; the paper's 80-hour runs take a few hundred
+// milliseconds (its "40-fold acceleration" is unnecessary in a pure
+// discrete-event setting).
+package simulator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/controller"
+	"autoglobe/internal/forecast"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+	"autoglobe/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Mobility selects the scenario (static, constrained, full).
+	Mobility service.Mobility
+	// Multiplier scales the Table 4 user populations ("we run different
+	// simulation series and always increase the number of users by 5%").
+	Multiplier float64
+	// Hours is the simulated duration (80 in the paper).
+	Hours int
+	// Seed drives load noise and failure injection.
+	Seed uint64
+	// Monitor holds the load-monitoring tunables (watch times,
+	// thresholds).
+	Monitor monitor.Params
+	// Controller configures the fuzzy controller.
+	Controller controller.Config
+	// Cost is the request cost model (DB and CI shares).
+	Cost workload.CostModel
+	// FluctuationPerHour is the fraction of each service's users who log
+	// off and reconnect to the currently least-loaded server per hour
+	// ("we simulate a fluctuation of the users, i.e., users infrequently
+	// log themselves off of the application server they are connected to
+	// and reconnect to the currently least-loaded server").
+	FluctuationPerHour float64
+	// LoginAffinity is the fraction of users joining a rising activity
+	// wave (the 8 o'clock login rush) who return to their previous
+	// instance; the rest pick the currently least-loaded server. 1 pins
+	// every session to its previous home, 0 load-balances every login.
+	LoginAffinity float64
+	// PeakActivity is the peak fraction of a population active at once.
+	PeakActivity float64
+	// JitterAmplitude is the load noise amplitude.
+	JitterAmplitude float64
+	// FailuresPerDay is the expected number of instance crashes per
+	// simulated day (failure injection; 0 disables). A crashed instance
+	// stops sending heartbeats; after HeartbeatTimeout silent minutes
+	// the failure is detected and the controller remedies it with a
+	// restart ("failure situations like a program crash are remedied
+	// for example with a restart").
+	FailuresPerDay float64
+	// HeartbeatTimeout is the liveness timeout in minutes (default 2).
+	HeartbeatTimeout int
+	// DisableController turns the controller off entirely. The static
+	// scenario does not need this — its services support no actions —
+	// but ablations use it.
+	DisableController bool
+	// RecordServices lists services whose per-(service, host) load
+	// series are recorded, e.g. FI for Figures 15–17.
+	RecordServices []string
+	// ForecastHorizon, when positive, enables the proactive extension
+	// (paper Section 7 / [8]): if the pattern-based predictor expects a
+	// host to exceed the overload threshold within the horizon (in
+	// minutes), the controller is triggered ahead of time instead of
+	// waiting out the watchTime.
+	ForecastHorizon int
+	// Reservations, when set, is forwarded to the controller so server
+	// selection avoids hosts reserved for mission-critical tasks.
+	Reservations controller.Reserver
+	// WrapExecutor, when set, decorates the controller's executor —
+	// e.g. registry.NewMirror keeps a ServiceGlobe federation's
+	// service-IP bindings in sync with every controller action.
+	WrapExecutor func(dep *service.Deployment, exec controller.Executor) (controller.Executor, error)
+	// HostEvents schedules pool changes during the run — the blade
+	// environments the paper targets scale "by varying the number of
+	// blades on the fly". Removing a host abruptly kills its instances;
+	// the heartbeat detector notices and the controller restarts them
+	// elsewhere.
+	HostEvents []HostEvent
+}
+
+// HostEvent is one scheduled change to the host pool.
+type HostEvent struct {
+	// Minute is when the event takes effect.
+	Minute int
+	// Add pools a new host (nil for removals).
+	Add *cluster.Host
+	// Remove unpools the named host (empty for additions).
+	Remove string
+}
+
+// PaperConfig returns the configuration of the paper's simulation
+// studies for a scenario and user multiplier.
+func PaperConfig(m service.Mobility, multiplier float64) Config {
+	return Config{
+		Mobility:           m,
+		Multiplier:         multiplier,
+		Hours:              80,
+		Seed:               1,
+		Monitor:            monitor.PaperParams(),
+		Controller:         controller.Config{},
+		Cost:               workload.DefaultCostModel(),
+		FluctuationPerHour: 0.10,
+		LoginAffinity:      0.7,
+		PeakActivity:       workload.DefaultPeakActivity,
+		JitterAmplitude:    0.03,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Multiplier <= 0:
+		return fmt.Errorf("simulator: multiplier %g must be positive", c.Multiplier)
+	case c.Hours <= 0:
+		return fmt.Errorf("simulator: hours %d must be positive", c.Hours)
+	case c.FluctuationPerHour < 0 || c.FluctuationPerHour > 1:
+		return fmt.Errorf("simulator: fluctuation %g outside [0, 1]", c.FluctuationPerHour)
+	}
+	return c.Monitor.Validate()
+}
+
+// Simulator runs one configured scenario.
+type Simulator struct {
+	cfg  Config
+	dep  *service.Deployment
+	gen  *workload.Generator
+	arch *archive.Archive
+	lms  *monitor.System
+	ctl  *controller.Controller
+	rng  *rand.Rand
+
+	registered map[string]bool // LMS-registered entities
+	demand     map[string]float64
+	actual     map[string]float64
+	predictor  *forecast.Predictor
+	liveness   *monitor.Liveness
+	crashed    map[string]crashInfo // by instance ID, until remedied
+	res        *Result
+}
+
+// crashInfo remembers what a crashed instance looked like so the
+// restarted instance can take over its sessions.
+type crashInfo struct {
+	service  string
+	host     string
+	users    float64
+	priority int
+}
+
+// New builds a simulator with the paper's landscape for the configured
+// scenario.
+func New(cfg Config) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	dep, err := service.BuildPaperDeployment(cluster.Paper(), cfg.Mobility, cfg.Multiplier)
+	if err != nil {
+		return nil, err
+	}
+	return newWithDeployment(cfg, dep)
+}
+
+// NewCustom builds a simulator over a caller-provided deployment and
+// workload generator, for landscapes other than the paper's.
+func NewCustom(cfg Config, dep *service.Deployment, gen *workload.Generator) (*Simulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s, err := newWithDeployment(cfg, dep)
+	if err != nil {
+		return nil, err
+	}
+	s.gen = gen
+	return s, nil
+}
+
+func newWithDeployment(cfg Config, dep *service.Deployment) (*Simulator, error) {
+	arch := archive.New(0)
+	lms, err := monitor.NewSystem(cfg.Monitor, arch)
+	if err != nil {
+		return nil, err
+	}
+	policy := controller.StickyUsers
+	if cfg.Mobility == service.FullMobility {
+		policy = controller.RebalanceUsers
+	}
+	if cfg.Reservations != nil {
+		cfg.Controller.Reservations = cfg.Reservations
+	}
+	var exec controller.Executor = controller.NewDeploymentExecutor(dep, policy)
+	if cfg.WrapExecutor != nil {
+		var err error
+		exec, err = cfg.WrapExecutor(dep, exec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctl, err := controller.New(cfg.Controller, dep, arch, exec)
+	if err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:        cfg,
+		dep:        dep,
+		gen:        workload.PaperGenerator(cfg.Multiplier, cfg.Seed),
+		arch:       arch,
+		lms:        lms,
+		ctl:        ctl,
+		rng:        rand.New(rand.NewSource(int64(cfg.Seed) + 17)),
+		registered: make(map[string]bool),
+		demand:     make(map[string]float64),
+		actual:     make(map[string]float64),
+		res:        newResult(cfg, dep.Cluster().Names()),
+	}
+	if cfg.ForecastHorizon > 0 {
+		s.predictor = forecast.New(arch)
+	}
+	timeout := cfg.HeartbeatTimeout
+	if timeout == 0 {
+		timeout = 2
+	}
+	s.liveness = monitor.NewLiveness(timeout)
+	s.crashed = make(map[string]crashInfo)
+	return s, nil
+}
+
+// Deployment exposes the simulated allocation (for the console and
+// examples).
+func (s *Simulator) Deployment() *service.Deployment { return s.dep }
+
+// Controller exposes the controller (for the console).
+func (s *Simulator) Controller() *controller.Controller { return s.ctl }
+
+// Archive exposes the load archive.
+func (s *Simulator) Archive() *archive.Archive { return s.arch }
+
+// Generator exposes the workload generator, e.g. to layer bursts onto a
+// scenario before running it.
+func (s *Simulator) Generator() *workload.Generator { return s.gen }
+
+// Run simulates the configured number of hours and returns the result.
+func (s *Simulator) Run() (*Result, error) {
+	minutes := s.cfg.Hours * 60
+	for m := 0; m < minutes; m++ {
+		if err := s.Step(m); err != nil {
+			return nil, err
+		}
+	}
+	s.res.Actions = s.ctl.Events()
+	return s.res, nil
+}
+
+// Step advances the simulation by one minute.
+func (s *Simulator) Step(minute int) error {
+	if err := s.applyHostEvents(minute); err != nil {
+		return err
+	}
+	s.computeDemand(minute)
+	s.recordMetrics(minute)
+	triggers, err := s.observe(minute)
+	if err != nil {
+		return err
+	}
+	if !s.cfg.DisableController {
+		for _, tr := range triggers {
+			if _, err := s.ctl.HandleTrigger(*tr); err != nil {
+				return err
+			}
+		}
+	}
+	s.fluctuate(minute)
+	if err := s.injectFailures(minute); err != nil {
+		return err
+	}
+	return s.selfHeal(minute)
+}
+
+// applyHostEvents executes scheduled pool changes. A removed host takes
+// its instances down with it; their sessions are remembered so the
+// self-healing path restores them elsewhere.
+func (s *Simulator) applyHostEvents(minute int) error {
+	for _, ev := range s.cfg.HostEvents {
+		if ev.Minute != minute {
+			continue
+		}
+		switch {
+		case ev.Add != nil:
+			if err := s.dep.Cluster().Add(*ev.Add); err != nil {
+				return err
+			}
+			s.res.HostLoad[ev.Add.Name] = make([]float64, s.res.Minutes)
+			s.res.Hosts = append(s.res.Hosts, ev.Add.Name)
+		case ev.Remove != "":
+			for _, inst := range s.dep.InstancesOn(ev.Remove) {
+				s.crashed[inst.ID] = crashInfo{
+					service: inst.Service, host: inst.Host,
+					users: inst.Users, priority: inst.Priority,
+				}
+				if err := s.dep.Stop(inst.ID, true); err != nil {
+					return err
+				}
+			}
+			if err := s.dep.Cluster().Remove(ev.Remove); err != nil {
+				return err
+			}
+			key := archive.HostEntity(ev.Remove)
+			s.lms.Deregister(key)
+			delete(s.registered, key)
+		}
+	}
+	return nil
+}
+
+// computeDemand fills s.demand (requested CPU in performance-index
+// units, per instance) and s.actual (granted CPU after capacity sharing)
+// for the given minute.
+func (s *Simulator) computeDemand(minute int) {
+	clear(s.demand)
+	clear(s.actual)
+	cat := s.dep.Catalog()
+
+	// Application-server and batch demand from active users; aggregate
+	// per subsystem for the downstream database and central instance.
+	// The database load scales with the request weight (a BW batch job
+	// hits its database far harder than an FI dialog step); the central
+	// instance only does lock bookkeeping, so its load scales with the
+	// plain request volume.
+	subDB := make(map[string]float64)
+	subCI := make(map[string]float64)
+	jitter := workload.Jitter{Seed: s.cfg.Seed, Amplitude: s.cfg.JitterAmplitude}
+	for _, inst := range s.dep.Instances() {
+		svc, _ := cat.Get(inst.Service)
+		switch svc.Type {
+		case service.TypeInteractive, service.TypeBatch:
+			frac := s.gen.ActiveFraction(inst.Service, minute)
+			active := inst.Users * frac * jitter.Factor(inst.ID, minute)
+			units := active / float64(svc.UsersPerUnit)
+			s.demand[inst.ID] = units + svc.BaseLoad
+			subDB[svc.Subsystem] += units * svc.RequestWeight
+			subCI[svc.Subsystem] += units
+		}
+	}
+	// Databases and central instances mirror their subsystem's request
+	// stream. A scaled-out database splits the demand across instances.
+	for _, svc := range cat.All() {
+		var load float64
+		switch svc.Type {
+		case service.TypeDatabase:
+			load = subDB[svc.Subsystem] * s.cfg.Cost.DBShare
+		case service.TypeCentralInstance:
+			load = subCI[svc.Subsystem] * s.cfg.Cost.CIShare
+		default:
+			continue
+		}
+		insts := s.dep.InstancesOf(svc.Name)
+		if len(insts) == 0 {
+			continue
+		}
+		per := load / float64(len(insts))
+		for _, inst := range insts {
+			s.demand[inst.ID] = per + svc.BaseLoad
+		}
+	}
+
+	// Capacity sharing per host: when raw demand exceeds the host's
+	// capacity, instances receive CPU proportionally to their demand,
+	// weighted by scheduling priority.
+	for _, hostName := range s.dep.Cluster().Names() {
+		h, _ := s.dep.Cluster().Host(hostName)
+		insts := s.dep.InstancesOn(hostName)
+		var weighted, raw float64
+		for _, inst := range insts {
+			w := priorityWeight(inst.Priority)
+			weighted += s.demand[inst.ID] * w
+			raw += s.demand[inst.ID]
+		}
+		if raw <= h.PerformanceIndex || weighted == 0 {
+			for _, inst := range insts {
+				s.actual[inst.ID] = s.demand[inst.ID]
+			}
+			continue
+		}
+		for _, inst := range insts {
+			w := priorityWeight(inst.Priority)
+			s.actual[inst.ID] = s.demand[inst.ID] * w / weighted * h.PerformanceIndex
+		}
+	}
+}
+
+// priorityWeight converts a scheduling priority into a CPU share weight.
+func priorityWeight(p int) float64 { return math.Max(0.25, 1+0.25*float64(p)) }
+
+// hostRaw returns the host's raw demand (may exceed 1) and memory load.
+func (s *Simulator) hostRaw(hostName string) (cpu, mem float64) {
+	h, _ := s.dep.Cluster().Host(hostName)
+	var units float64
+	memUsed := 0
+	for _, inst := range s.dep.InstancesOn(hostName) {
+		units += s.demand[inst.ID]
+		svc, _ := s.dep.Catalog().Get(inst.Service)
+		memUsed += svc.MemoryMBPerInstance
+	}
+	return units / h.PerformanceIndex, float64(memUsed) / float64(h.MemoryMB)
+}
+
+// instanceLoad is the fraction of its host the instance demands.
+func (s *Simulator) instanceLoad(inst *service.Instance) float64 {
+	h, _ := s.dep.Cluster().Host(inst.Host)
+	return math.Min(1, s.demand[inst.ID]/h.PerformanceIndex)
+}
+
+// observe feeds the monitoring pipeline: every host and every service is
+// monitored; instances are recorded in the archive for the controller's
+// instanceLoad variable.
+func (s *Simulator) observe(minute int) ([]*monitor.Trigger, error) {
+	var triggers []*monitor.Trigger
+
+	for _, hostName := range s.dep.Cluster().Names() {
+		key := archive.HostEntity(hostName)
+		if !s.registered[key] {
+			h, _ := s.dep.Cluster().Host(hostName)
+			s.lms.Register(key, monitor.Server, h.PerformanceIndex)
+			s.registered[key] = true
+		}
+		raw, mem := s.hostRaw(hostName)
+		tr, err := s.lms.Observe(key, minute, math.Min(1, raw), mem)
+		if err != nil {
+			return nil, err
+		}
+		// Proactive mode: trigger ahead of a predicted overload instead
+		// of waiting for the watchTime to confirm one.
+		if tr == nil && s.cfg.ForecastHorizon > 0 && s.predictor != nil &&
+			!s.lms.Watching(key) && !s.ctl.HostProtected(hostName, minute) {
+			if peak, ok := s.predictor.PredictPeak(key, minute, s.cfg.ForecastHorizon); ok &&
+				peak > s.cfg.Monitor.OverloadThreshold && raw > s.cfg.Monitor.OverloadThreshold*0.8 {
+				tr = &monitor.Trigger{
+					Kind: monitor.ServerOverloaded, Entity: hostName,
+					Minute: minute, AvgLoad: peak,
+					WatchedFrom: minute - s.cfg.Monitor.OverloadWatch,
+				}
+				s.res.ProactiveTriggers++
+			}
+		}
+		if tr != nil {
+			// An idle host with nothing running on it is the normal
+			// resting state of a pooled blade, not an exceptional
+			// situation — there is no instance to consolidate away.
+			if tr.Kind == monitor.ServerIdle && s.dep.CountOn(hostName) == 0 {
+				continue
+			}
+			tr.Entity = hostName
+			triggers = append(triggers, tr)
+			s.res.TriggerCount[tr.Kind]++
+		}
+	}
+
+	for _, svcName := range s.dep.Catalog().Names() {
+		insts := s.dep.InstancesOf(svcName)
+		if len(insts) == 0 {
+			continue
+		}
+		var sum float64
+		for _, inst := range insts {
+			il := s.instanceLoad(inst)
+			sum += il
+			if err := s.arch.Record(archive.InstanceEntity(inst.ID),
+				archive.Sample{Minute: minute, CPU: il}); err != nil {
+				return nil, err
+			}
+		}
+		key := archive.ServiceEntity(svcName)
+		if !s.registered[key] {
+			s.lms.Register(key, monitor.Service, 1)
+			s.registered[key] = true
+		}
+		tr, err := s.lms.Observe(key, minute, sum/float64(len(insts)), 0)
+		if err != nil {
+			return nil, err
+		}
+		if tr != nil {
+			tr.Entity = svcName
+			triggers = append(triggers, tr)
+			s.res.TriggerCount[tr.Kind]++
+		}
+	}
+	return triggers, nil
+}
+
+// fluctuate models user session churn. Two flows move assigned users
+// toward the least-loaded server (as the paper describes): a steady
+// trickle of re-logins (FluctuationPerHour) and the login wave when
+// activity rises (the 8 o'clock rush), of which only the non-affine
+// share (1 − LoginAffinity) picks a new home.
+func (s *Simulator) fluctuate(minute int) {
+	for _, svc := range s.dep.Catalog().All() {
+		if svc.Type != service.TypeInteractive && svc.Type != service.TypeBatch {
+			continue
+		}
+		insts := s.dep.InstancesOf(svc.Name)
+		if len(insts) < 2 {
+			continue
+		}
+		rate := s.cfg.FluctuationPerHour / 60
+		rise := s.gen.ActiveFraction(svc.Name, minute) - s.gen.ActiveFraction(svc.Name, minute-1)
+		if rise > 0 {
+			rate += rise * (1 - s.cfg.LoginAffinity)
+		}
+		if rate <= 0 {
+			continue
+		}
+		if rate > 1 {
+			rate = 1
+		}
+		var pool float64
+		least := insts[0]
+		leastLoad := math.Inf(1)
+		for _, inst := range insts {
+			moved := inst.Users * rate
+			inst.Users -= moved
+			pool += moved
+			// "Reconnect to the currently least-loaded server": compare
+			// host loads, not instance shares.
+			if hl, _ := s.hostRaw(inst.Host); hl < leastLoad {
+				least, leastLoad = inst, hl
+			}
+		}
+		least.Users += pool
+	}
+}
+
+// injectFailures crashes instances at the configured rate. The crash
+// only removes the instance; detection happens through missed
+// heartbeats and remediation through the controller (selfHeal).
+func (s *Simulator) injectFailures(minute int) error {
+	if s.cfg.FailuresPerDay == 0 {
+		return nil
+	}
+	if s.rng.Float64() >= s.cfg.FailuresPerDay/float64(workload.MinutesPerDay) {
+		return nil
+	}
+	insts := s.dep.Instances()
+	if len(insts) == 0 {
+		return nil
+	}
+	victim := insts[s.rng.Intn(len(insts))]
+	s.crashed[victim.ID] = crashInfo{
+		service: victim.Service, host: victim.Host,
+		users: victim.Users, priority: victim.Priority,
+	}
+	if err := s.dep.Stop(victim.ID, true); err != nil {
+		return err
+	}
+	return nil
+}
+
+// selfHeal beats for every live instance, detects instances that went
+// silent, and lets the controller restart them, restoring the crashed
+// instance's user sessions onto the replacement.
+func (s *Simulator) selfHeal(minute int) error {
+	for _, inst := range s.dep.Instances() {
+		s.liveness.Beat(inst.ID, minute)
+	}
+	for _, id := range s.liveness.Dead(minute) {
+		info, ok := s.crashed[id]
+		if !ok {
+			continue // orderly stop by a controller action, not a crash
+		}
+		delete(s.crashed, id)
+		d, err := s.ctl.HandleFailure(info.service, info.host, minute)
+		if err != nil {
+			return err
+		}
+		if d == nil {
+			s.res.FailedRestarts++
+			continue
+		}
+		// The replacement takes over the crashed instance's sessions
+		// (in full mobility the executor may already have rebalanced,
+		// so the orphaned sessions are added rather than assigned).
+		for _, inst := range s.dep.InstancesOf(info.service) {
+			if inst.Host == d.TargetHost {
+				inst.Users += info.users
+				inst.Priority = info.priority
+				break
+			}
+		}
+		s.res.Restarts++
+	}
+	return nil
+}
+
+// recordMetrics appends this minute's loads to the result series.
+func (s *Simulator) recordMetrics(minute int) {
+	var sum float64
+	hostOverloaded := make(map[string]bool)
+	for _, hostName := range s.dep.Cluster().Names() {
+		raw, _ := s.hostRaw(hostName)
+		clamped := math.Min(1, raw)
+		s.res.HostLoad[hostName] = append(s.res.HostLoad[hostName], clamped)
+		sum += clamped
+		hostOverloaded[hostName] = raw > OverloadLevel
+		if raw > OverloadLevel {
+			s.res.OverloadMinutes[hostName]++
+			s.res.streak[hostName]++
+			if s.res.streak[hostName] > s.res.MaxStreak[hostName] {
+				s.res.MaxStreak[hostName] = s.res.streak[hostName]
+			}
+		} else {
+			s.res.streak[hostName] = 0
+		}
+	}
+	s.res.AvgLoad = append(s.res.AvgLoad, sum/float64(s.dep.Cluster().Len()))
+	s.res.Minutes++
+
+	// User-experienced degradation per service: active user-minutes on
+	// overloaded hosts, the quantity SLAs are written against.
+	for _, inst := range s.dep.Instances() {
+		svc, _ := s.dep.Catalog().Get(inst.Service)
+		if svc.Type != service.TypeInteractive && svc.Type != service.TypeBatch {
+			continue
+		}
+		active := inst.Users * s.gen.ActiveFraction(inst.Service, minute)
+		if active == 0 {
+			continue
+		}
+		s.res.UserMinutes[inst.Service] += active
+		if hostOverloaded[inst.Host] {
+			s.res.DegradedUserMinutes[inst.Service] += active
+		}
+	}
+
+	for _, svcName := range s.cfg.RecordServices {
+		for _, inst := range s.dep.InstancesOf(svcName) {
+			key := svcName + "@" + inst.Host
+			s.res.ServiceHostSeries[key] = append(s.res.ServiceHostSeries[key],
+				SeriesPoint{Minute: minute, Load: s.instanceLoad(inst)})
+		}
+	}
+}

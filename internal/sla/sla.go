@@ -1,0 +1,113 @@
+// Package sla implements the QoS direction the paper closes with
+// (Section 7: "we plan to enhance AutoGlobe towards QoS management for
+// self-organizing infrastructures. The actions will then be used to
+// enforce Service Level Agreements"): declarative per-service
+// agreements over user-experienced degradation, evaluated against
+// simulation (or production) results.
+//
+// An agreement bounds the fraction of a service's *active user-minutes*
+// that may be served from overloaded hosts. User-weighting matters: a
+// midnight overload on an empty blade violates nothing, while ten
+// degraded minutes at the nine-o'clock peak hit everyone.
+package sla
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autoglobe/internal/simulator"
+)
+
+// Agreement is one service level agreement.
+type Agreement struct {
+	// Service names the covered service.
+	Service string
+	// MaxDegradedFraction bounds the share of active user-minutes served
+	// from hosts above the overload level, in [0, 1).
+	MaxDegradedFraction float64
+}
+
+// Validate checks the agreement.
+func (a Agreement) Validate() error {
+	switch {
+	case a.Service == "":
+		return fmt.Errorf("sla: agreement with empty service")
+	case a.MaxDegradedFraction < 0 || a.MaxDegradedFraction >= 1:
+		return fmt.Errorf("sla: %s: max degraded fraction %g outside [0, 1)", a.Service, a.MaxDegradedFraction)
+	}
+	return nil
+}
+
+// Row is one service's compliance outcome.
+type Row struct {
+	Agreement        Agreement
+	DegradedFraction float64
+	UserMinutes      float64
+	Met              bool
+}
+
+// Report is the compliance outcome of one run against a set of
+// agreements.
+type Report struct {
+	Rows []Row
+}
+
+// Evaluate checks every agreement against a run result.
+func Evaluate(res *simulator.Result, agreements []Agreement) (*Report, error) {
+	rep := &Report{}
+	for _, a := range agreements {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		frac := res.DegradedFraction(a.Service)
+		rep.Rows = append(rep.Rows, Row{
+			Agreement:        a,
+			DegradedFraction: frac,
+			UserMinutes:      res.UserMinutes[a.Service],
+			Met:              frac <= a.MaxDegradedFraction,
+		})
+	}
+	sort.Slice(rep.Rows, func(i, j int) bool {
+		return rep.Rows[i].Agreement.Service < rep.Rows[j].Agreement.Service
+	})
+	return rep, nil
+}
+
+// Met reports whether every agreement held.
+func (r *Report) Met() bool {
+	for _, row := range r.Rows {
+		if !row.Met {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations returns the services whose agreements were broken, sorted.
+func (r *Report) Violations() []string {
+	var out []string
+	for _, row := range r.Rows {
+		if !row.Met {
+			out = append(out, row.Agreement.Service)
+		}
+	}
+	return out
+}
+
+// String renders the compliance table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	sb.WriteString("SLA compliance\n")
+	fmt.Fprintf(&sb, "  %-10s %12s %12s %10s\n", "service", "degraded", "allowed", "verdict")
+	for _, row := range r.Rows {
+		verdict := "met"
+		if !row.Met {
+			verdict = "VIOLATED"
+		}
+		fmt.Fprintf(&sb, "  %-10s %11.2f%% %11.2f%% %10s\n",
+			row.Agreement.Service, row.DegradedFraction*100,
+			row.Agreement.MaxDegradedFraction*100, verdict)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,101 @@
+package sla
+
+import (
+	"strings"
+	"testing"
+
+	"autoglobe/internal/service"
+	"autoglobe/internal/simulator"
+)
+
+func runScenario(t *testing.T, m service.Mobility, mult float64) *simulator.Result {
+	t.Helper()
+	cfg := simulator.PaperConfig(m, mult)
+	cfg.Hours = 48
+	sim, err := simulator.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func paperAgreements(maxDegraded float64) []Agreement {
+	var out []Agreement
+	for _, svc := range service.AppServerNames() {
+		out = append(out, Agreement{Service: svc, MaxDegradedFraction: maxDegraded})
+	}
+	return out
+}
+
+func TestAgreementValidation(t *testing.T) {
+	bad := []Agreement{
+		{MaxDegradedFraction: 0.1},
+		{Service: "x", MaxDegradedFraction: -0.1},
+		{Service: "x", MaxDegradedFraction: 1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := Evaluate(&simulator.Result{}, bad[:1]); err == nil {
+		t.Error("Evaluate accepted invalid agreement")
+	}
+}
+
+// TestSLASeparatesScenarios: at +15 % users a 5 % degradation SLA is
+// broken in the static scenario and held under full mobility — SLAs
+// quantify exactly what the controller buys.
+func TestSLASeparatesScenarios(t *testing.T) {
+	agreements := paperAgreements(0.05)
+
+	static := runScenario(t, service.Static, 1.15)
+	staticRep, err := Evaluate(static, agreements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staticRep.Met() {
+		t.Errorf("static at 115%% met a 5%% degradation SLA:\n%s", staticRep)
+	}
+
+	fm := runScenario(t, service.FullMobility, 1.15)
+	fmRep, err := Evaluate(fm, agreements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fmRep.Met() {
+		t.Errorf("full mobility at 115%% broke the 5%% degradation SLA:\n%s", fmRep)
+	}
+	if len(staticRep.Violations()) == 0 {
+		t.Error("no violations listed for static")
+	}
+	if s := fmRep.String(); !strings.Contains(s, "met") {
+		t.Errorf("report rendering: %s", s)
+	}
+}
+
+// TestDegradedFractionAccounting: user minutes accumulate for every
+// interactive service, and degraded ≤ total.
+func TestDegradedFractionAccounting(t *testing.T) {
+	res := runScenario(t, service.Static, 1.15)
+	for _, svc := range service.AppServerNames() {
+		total := res.UserMinutes[svc]
+		degraded := res.DegradedUserMinutes[svc]
+		if total <= 0 {
+			t.Errorf("%s: no user minutes recorded", svc)
+		}
+		if degraded < 0 || degraded > total {
+			t.Errorf("%s: degraded %g outside [0, %g]", svc, degraded, total)
+		}
+		if f := res.DegradedFraction(svc); f < 0 || f > 1 {
+			t.Errorf("%s: degraded fraction %g", svc, f)
+		}
+	}
+	if res.DegradedFraction("ghost") != 0 {
+		t.Error("unknown service should report 0 degradation")
+	}
+}

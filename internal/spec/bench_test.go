@@ -1,0 +1,34 @@
+package spec
+
+import (
+	"testing"
+
+	"autoglobe/internal/service"
+)
+
+func BenchmarkParsePaperLandscape(b *testing.B) {
+	l, err := Paper(service.FullMobility, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	text := l.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildPaperDeployment(b *testing.B) {
+	l, err := Paper(service.FullMobility, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.BuildDeployment(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

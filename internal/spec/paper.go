@@ -1,0 +1,94 @@
+package spec
+
+import (
+	"sort"
+
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/service"
+	"autoglobe/internal/workload"
+)
+
+// FromModel exports a cluster, catalog and deployment into a landscape
+// description, the inverse of BuildDeployment. It lets operators dump a
+// running landscape to XML, edit constraints declaratively, and reload.
+func FromModel(name string, d *service.Deployment) *Landscape {
+	l := &Landscape{Name: name}
+	for _, h := range d.Cluster().Hosts() {
+		l.Servers = append(l.Servers, Server{
+			Name:             h.Name,
+			Category:         h.Category,
+			PerformanceIndex: h.PerformanceIndex,
+			CPUs:             h.CPUs,
+			ClockMHz:         h.ClockMHz,
+			CacheKB:          h.CacheKB,
+			MemoryMB:         h.MemoryMB,
+			SwapMB:           h.SwapMB,
+			TempMB:           h.TempMB,
+		})
+	}
+	for _, svc := range d.Catalog().All() {
+		s := Service{
+			Name:                svc.Name,
+			Type:                string(svc.Type),
+			Subsystem:           svc.Subsystem,
+			MinInstances:        svc.MinInstances,
+			MaxInstances:        svc.MaxInstances,
+			Exclusive:           svc.Exclusive,
+			MinPerformanceIndex: svc.MinPerfIndex,
+			MemoryMBPerInstance: svc.MemoryMBPerInstance,
+			BaseLoad:            svc.BaseLoad,
+			UsersPerUnit:        svc.UsersPerUnit,
+			RequestWeight:       svc.RequestWeight,
+			Users:               d.UsersOf(svc.Name),
+		}
+		var as []string
+		for a := range svc.Allowed {
+			as = append(as, string(a))
+		}
+		sort.Strings(as)
+		s.AllowedActions = as
+		for _, inst := range d.InstancesOf(svc.Name) {
+			s.Instances = append(s.Instances, Instance{Host: inst.Host})
+		}
+		l.Services = append(l.Services, s)
+	}
+	return l
+}
+
+// Paper returns the landscape description of the paper's simulation
+// studies for the given scenario: the Figure 11 hardware and initial
+// allocation, the Table 4 user populations (scaled by multiplier), the
+// Table 5/6 constraints, and a <simulation> section with the paper's
+// workload profiles and redistribution policy — a fully declarative,
+// runnable description of the evaluation.
+func Paper(m service.Mobility, multiplier float64) (*Landscape, error) {
+	d, err := service.BuildPaperDeployment(cluster.Paper(), m, multiplier)
+	if err != nil {
+		return nil, err
+	}
+	l := FromModel("sap-"+m.String(), d)
+
+	sim := &Simulation{Hours: 80, Multiplier: 1} // users already scaled
+	if m == service.FullMobility {
+		sim.UserRedistribution = "rebalance"
+	} else {
+		sim.UserRedistribution = "sticky"
+	}
+	profiles := workload.PaperProfiles(workload.DefaultPeakActivity)
+	for _, svcName := range []string{"FI", "LES", "PP", "HR", "CRM", "BW"} {
+		prof := profiles[svcName]
+		ps := ProfileSpec{Service: svcName}
+		// Sample the piecewise-linear curve at a fixed grid; the
+		// round-trip stays within interpolation error.
+		for minute := 0; minute < workload.MinutesPerDay; minute += 15 {
+			ps.Points = append(ps.Points, ProfilePoint{Minute: minute, Value: prof.At(minute)})
+		}
+		sim.Profiles = append(sim.Profiles, ps)
+	}
+	l.Simulation = sim
+
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

@@ -1,0 +1,282 @@
+// Package spec implements AutoGlobe's declarative XML language for
+// describing the managed landscape: servers, services (with their
+// capabilities and constraints), the initial service-to-server
+// allocation, and fuzzy rule bases.
+//
+// The paper: "The allocation decisions depend on the capabilities and
+// constraints of the application services and the hardware environment.
+// These are described using a declarative XML language. Among other
+// constraints the maximum and minimum number of instances of a service
+// can be defined, the performance of hosts can be related to each other,
+// and the rules for the fuzzy controller can be specified." Simulated
+// services and servers are described with the same language as real ones.
+package spec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/fuzzy"
+	"autoglobe/internal/service"
+)
+
+// Landscape is the root element of a landscape description.
+type Landscape struct {
+	XMLName    xml.Name       `xml:"landscape"`
+	Name       string         `xml:"name,attr,omitempty"`
+	Servers    []Server       `xml:"servers>server"`
+	Services   []Service      `xml:"services>service"`
+	RuleBases  []RuleBaseSpec `xml:"rulebases>rulebase,omitempty"`
+	Simulation *Simulation    `xml:"simulation,omitempty"`
+}
+
+// Server describes one host.
+type Server struct {
+	Name             string  `xml:"name,attr"`
+	Category         string  `xml:"category,attr,omitempty"`
+	PerformanceIndex float64 `xml:"performanceIndex,attr"`
+	CPUs             int     `xml:"cpus,attr"`
+	ClockMHz         int     `xml:"clockMHz,attr,omitempty"`
+	CacheKB          int     `xml:"cacheKB,attr,omitempty"`
+	MemoryMB         int     `xml:"memoryMB,attr"`
+	SwapMB           int     `xml:"swapMB,attr,omitempty"`
+	TempMB           int     `xml:"tempMB,attr,omitempty"`
+}
+
+// Service describes one service with its constraints, capabilities and
+// initial allocation.
+type Service struct {
+	Name                string     `xml:"name,attr"`
+	Type                string     `xml:"type,attr"`
+	Subsystem           string     `xml:"subsystem,attr,omitempty"`
+	MinInstances        int        `xml:"minInstances,attr"`
+	MaxInstances        int        `xml:"maxInstances,attr,omitempty"`
+	Exclusive           bool       `xml:"exclusive,attr,omitempty"`
+	MinPerformanceIndex float64    `xml:"minPerformanceIndex,attr,omitempty"`
+	MemoryMBPerInstance int        `xml:"memoryMBPerInstance,attr,omitempty"`
+	BaseLoad            float64    `xml:"baseLoad,attr,omitempty"`
+	UsersPerUnit        int        `xml:"usersPerUnit,attr,omitempty"`
+	RequestWeight       float64    `xml:"requestWeight,attr,omitempty"`
+	Users               float64    `xml:"users,attr,omitempty"`
+	AllowedActions      []string   `xml:"allowedActions>action,omitempty"`
+	Instances           []Instance `xml:"instances>instance,omitempty"`
+}
+
+// Instance is one initially allocated instance.
+type Instance struct {
+	Host string `xml:"host,attr"`
+}
+
+// RuleBaseSpec carries the rules for one controller trigger or one
+// server-selection action, optionally scoped to a single service
+// (service-specific rule bases for mission-critical services).
+type RuleBaseSpec struct {
+	// Trigger is the situation the rule base applies to: one of the
+	// action-selection triggers (serviceOverloaded, serviceIdle,
+	// serverOverloaded, serverIdle) or "serverSelection:<action>".
+	Trigger string `xml:"trigger,attr"`
+	// Service optionally restricts the rule base to one service.
+	Service string `xml:"service,attr,omitempty"`
+	// Rules holds the rule texts in the rule DSL.
+	Rules []string `xml:"rule"`
+}
+
+// Parse reads a landscape description from r.
+func Parse(r io.Reader) (*Landscape, error) {
+	var l Landscape
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&l); err != nil {
+		return nil, fmt.Errorf("spec: parse: %w", err)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// ParseString parses a landscape description from a string.
+func ParseString(s string) (*Landscape, error) { return Parse(strings.NewReader(s)) }
+
+// Encode writes the landscape as indented XML.
+func (l *Landscape) Encode(w io.Writer) error {
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(l); err != nil {
+		return fmt.Errorf("spec: encode: %w", err)
+	}
+	enc.Flush()
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// String renders the landscape as XML.
+func (l *Landscape) String() string {
+	var sb strings.Builder
+	if err := l.Encode(&sb); err != nil {
+		return "<!-- encode error: " + err.Error() + " -->"
+	}
+	return sb.String()
+}
+
+// Validate checks structural consistency: unique names, known types and
+// actions, allocations referencing declared servers, rules that parse.
+func (l *Landscape) Validate() error {
+	hosts := make(map[string]bool)
+	for _, s := range l.Servers {
+		if s.Name == "" {
+			return fmt.Errorf("spec: server with empty name")
+		}
+		if hosts[s.Name] {
+			return fmt.Errorf("spec: duplicate server %q", s.Name)
+		}
+		hosts[s.Name] = true
+	}
+	svcs := make(map[string]bool)
+	for _, s := range l.Services {
+		if s.Name == "" {
+			return fmt.Errorf("spec: service with empty name")
+		}
+		if svcs[s.Name] {
+			return fmt.Errorf("spec: duplicate service %q", s.Name)
+		}
+		svcs[s.Name] = true
+		if !service.Type(s.Type).Valid() {
+			return fmt.Errorf("spec: service %q: unknown type %q", s.Name, s.Type)
+		}
+		for _, a := range s.AllowedActions {
+			if !service.Action(a).Valid() {
+				return fmt.Errorf("spec: service %q: unknown action %q", s.Name, a)
+			}
+		}
+		for _, inst := range s.Instances {
+			if !hosts[inst.Host] {
+				return fmt.Errorf("spec: service %q allocated on undeclared server %q", s.Name, inst.Host)
+			}
+		}
+	}
+	for _, rb := range l.RuleBases {
+		if rb.Trigger == "" {
+			return fmt.Errorf("spec: rulebase without trigger")
+		}
+		if rb.Service != "" && !svcs[rb.Service] {
+			return fmt.Errorf("spec: rulebase for undeclared service %q", rb.Service)
+		}
+		for _, src := range rb.Rules {
+			if _, err := fuzzy.Parse(src); err != nil {
+				return fmt.Errorf("spec: rulebase %q: %w", rb.Trigger, err)
+			}
+		}
+	}
+	return l.validateSimulation()
+}
+
+// BuildCluster materializes the declared servers into a cluster.
+func (l *Landscape) BuildCluster() (*cluster.Cluster, error) {
+	c, err := cluster.New()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range l.Servers {
+		h := cluster.Host{
+			Name:             s.Name,
+			Category:         s.Category,
+			PerformanceIndex: s.PerformanceIndex,
+			CPUs:             s.CPUs,
+			ClockMHz:         s.ClockMHz,
+			CacheKB:          s.CacheKB,
+			MemoryMB:         s.MemoryMB,
+			SwapMB:           s.SwapMB,
+			TempMB:           s.TempMB,
+		}
+		if err := c.Add(h); err != nil {
+			return nil, fmt.Errorf("spec: %w", err)
+		}
+	}
+	return c, nil
+}
+
+// BuildCatalog materializes the declared services into a catalog.
+func (l *Landscape) BuildCatalog() (*service.Catalog, error) {
+	services := make([]*service.Service, 0, len(l.Services))
+	for _, s := range l.Services {
+		allowed := make(map[service.Action]bool, len(s.AllowedActions))
+		for _, a := range s.AllowedActions {
+			allowed[service.Action(a)] = true
+		}
+		services = append(services, &service.Service{
+			Name:                s.Name,
+			Type:                service.Type(s.Type),
+			Subsystem:           s.Subsystem,
+			MinInstances:        s.MinInstances,
+			MaxInstances:        s.MaxInstances,
+			Exclusive:           s.Exclusive,
+			MinPerfIndex:        s.MinPerformanceIndex,
+			Allowed:             allowed,
+			MemoryMBPerInstance: s.MemoryMBPerInstance,
+			BaseLoad:            s.BaseLoad,
+			UsersPerUnit:        s.UsersPerUnit,
+			RequestWeight:       s.RequestWeight,
+		})
+	}
+	return service.NewCatalog(services...)
+}
+
+// BuildDeployment materializes servers, services and the declared
+// initial allocation, distributing each service's declared users across
+// its instances proportionally to host performance.
+func (l *Landscape) BuildDeployment() (*service.Deployment, error) {
+	cl, err := l.BuildCluster()
+	if err != nil {
+		return nil, err
+	}
+	cat, err := l.BuildCatalog()
+	if err != nil {
+		return nil, err
+	}
+	d := service.NewDeployment(cl, cat)
+	for _, s := range l.Services {
+		var totalPI float64
+		for _, i := range s.Instances {
+			h, _ := cl.Host(i.Host)
+			totalPI += h.PerformanceIndex
+		}
+		for _, i := range s.Instances {
+			inst, err := d.Start(s.Name, i.Host)
+			if err != nil {
+				return nil, fmt.Errorf("spec: initial allocation: %w", err)
+			}
+			if s.Users > 0 && totalPI > 0 {
+				h, _ := cl.Host(i.Host)
+				inst.Users = s.Users * h.PerformanceIndex / totalPI
+			}
+		}
+	}
+	return d, nil
+}
+
+// ParsedRuleBases returns the declared rule bases with their rules
+// parsed, keyed by "trigger" or "trigger/service" for service-specific
+// rule bases.
+func (l *Landscape) ParsedRuleBases() (map[string][]fuzzy.Rule, error) {
+	out := make(map[string][]fuzzy.Rule)
+	for _, rb := range l.RuleBases {
+		key := rb.Trigger
+		if rb.Service != "" {
+			key = rb.Trigger + "/" + rb.Service
+		}
+		for _, src := range rb.Rules {
+			rules, err := fuzzy.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("spec: rulebase %q: %w", key, err)
+			}
+			out[key] = append(out[key], rules...)
+		}
+	}
+	return out, nil
+}

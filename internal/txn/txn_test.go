@@ -1,0 +1,97 @@
+package txn
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunAllSucceed(t *testing.T) {
+	var log []string
+	tr := (&Transaction{}).
+		Add("a", func() error { log = append(log, "a"); return nil }, func() error { log = append(log, "undo-a"); return nil }).
+		Add("b", func() error { log = append(log, "b"); return nil }, nil)
+	if err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(log, ",") != "a,b" {
+		t.Errorf("log = %v", log)
+	}
+	if tr.Completed() != 2 || tr.Len() != 2 {
+		t.Errorf("completed %d / len %d", tr.Completed(), tr.Len())
+	}
+}
+
+func TestRunCompensatesInReverse(t *testing.T) {
+	var log []string
+	boom := errors.New("boom")
+	tr := (&Transaction{}).
+		Add("a", func() error { log = append(log, "a"); return nil }, func() error { log = append(log, "undo-a"); return nil }).
+		Add("b", func() error { log = append(log, "b"); return nil }, func() error { log = append(log, "undo-b"); return nil }).
+		Add("c", func() error { return boom }, func() error { t.Error("undo of failed step must not run"); return nil })
+	err := tr.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), `"c"`) {
+		t.Errorf("error does not name the failing step: %v", err)
+	}
+	if strings.Join(log, ",") != "a,b,undo-b,undo-a" {
+		t.Errorf("log = %v, want reverse compensation order", log)
+	}
+	if tr.Completed() != 2 {
+		t.Errorf("completed = %d, want 2", tr.Completed())
+	}
+}
+
+func TestNilUndoSkipped(t *testing.T) {
+	ran := false
+	tr := (&Transaction{}).
+		Add("a", func() error { return nil }, nil).
+		Add("b", func() error { ran = true; return errors.New("fail") }, nil)
+	if err := tr.Run(); err == nil {
+		t.Fatal("expected failure")
+	}
+	if !ran {
+		t.Fatal("step b never ran")
+	}
+}
+
+func TestRollbackFailureEscalates(t *testing.T) {
+	cause := errors.New("step failed")
+	undoErr := errors.New("undo failed")
+	tr := (&Transaction{}).
+		Add("a", func() error { return nil }, func() error { return undoErr }).
+		Add("b", func() error { return cause }, nil)
+	err := tr.Run()
+	var re *RollbackError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v, want *RollbackError", err, err)
+	}
+	if re.FailedUndo != "a" || !errors.Is(re, cause) {
+		t.Errorf("rollback error = %+v", re)
+	}
+	if !strings.Contains(re.Error(), "undo failed") {
+		t.Errorf("Error() = %q", re.Error())
+	}
+}
+
+func TestMissingDoRejected(t *testing.T) {
+	tr := (&Transaction{}).Add("bad", nil, nil)
+	if err := tr.Run(); err == nil {
+		t.Fatal("nil Do accepted")
+	}
+}
+
+func TestRunResetsCompleted(t *testing.T) {
+	n := 0
+	tr := (&Transaction{}).Add("a", func() error { n++; return nil }, nil)
+	tr.Run()
+	tr.Run()
+	if tr.Completed() != 1 {
+		t.Errorf("completed = %d after rerun, want 1", tr.Completed())
+	}
+	if n != 2 {
+		t.Errorf("step ran %d times, want 2", n)
+	}
+}

@@ -1,0 +1,19 @@
+package workload
+
+import "testing"
+
+func BenchmarkActiveUsers(b *testing.B) {
+	g := PaperGenerator(1.15, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ActiveUsers("LES", i%MinutesPerDay)
+	}
+}
+
+func BenchmarkProfileAt(b *testing.B) {
+	p := Interactive(0.74)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.At(i % MinutesPerDay)
+	}
+}

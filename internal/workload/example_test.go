@@ -1,0 +1,20 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"autoglobe/internal/workload"
+)
+
+// ExampleGenerator shows the paper's Figure 10 curves: the LES workday
+// and the nocturnal BW batch window.
+func ExampleGenerator() {
+	g := workload.PaperGenerator(1.0, 0)
+	for _, hour := range []int{2, 10} {
+		fmt.Printf("%02d:00  LES %.2f  BW %.2f\n",
+			hour, g.ActiveFraction("LES", hour*60), g.ActiveFraction("BW", hour*60))
+	}
+	// Output:
+	// 02:00  LES 0.03  BW 0.72
+	// 10:00  LES 0.74  BW 0.11
+}

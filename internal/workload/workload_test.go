@@ -1,0 +1,315 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileInterpolation(t *testing.T) {
+	p := MustProfile("t", Point{0, 0}, Point{100, 1})
+	if got := p.At(50); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("At(50) = %g, want 0.5", got)
+	}
+	if got := p.At(0); got != 0 {
+		t.Errorf("At(0) = %g, want 0", got)
+	}
+	if got := p.At(100); got != 1 {
+		t.Errorf("At(100) = %g, want 1", got)
+	}
+}
+
+func TestProfileWrapsMidnight(t *testing.T) {
+	// Last anchor 23:00 value 1, first anchor 01:00 value 0: midnight is
+	// halfway between them.
+	p := MustProfile("t", Point{hm(1, 0), 0}, Point{hm(23, 0), 1})
+	if got := p.At(0); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("At(midnight) = %g, want 0.5", got)
+	}
+	// Periodicity: any minute equals the same minute a day later, and
+	// negative minutes wrap backwards.
+	if p.At(90) != p.At(90+MinutesPerDay) {
+		t.Error("profile is not periodic")
+	}
+	if p.At(-10) != p.At(MinutesPerDay-10) {
+		t.Error("negative minutes do not wrap")
+	}
+}
+
+func TestProfileSinglePoint(t *testing.T) {
+	p := Flat(0.42)
+	for _, m := range []int{0, 500, 1439} {
+		if got := p.At(m); got != 0.42 {
+			t.Errorf("Flat.At(%d) = %g", m, got)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	if _, err := NewProfile("t"); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := NewProfile("t", Point{-1, 0}); err == nil {
+		t.Error("negative minute accepted")
+	}
+	if _, err := NewProfile("t", Point{0, 0}, Point{0, 1}); err == nil {
+		t.Error("duplicate minute accepted")
+	}
+	if _, err := NewProfile("t", Point{0, -0.1}); err == nil {
+		t.Error("negative value accepted")
+	}
+	if _, err := NewProfile("t", Point{MinutesPerDay, 0}); err == nil {
+		t.Error("minute 1440 accepted")
+	}
+}
+
+// TestFigure10Shapes checks the qualitative shape of the paper's Figure
+// 10: the LES (interactive) curve rises at eight o'clock, has three
+// workday peaks and a quiet night; the BW (batch) curve is high during
+// the night and low during the day.
+func TestFigure10Shapes(t *testing.T) {
+	les := Interactive(1)
+	if les.At(hm(3, 0)) > 0.1 {
+		t.Error("interactive: night load should be near zero")
+	}
+	if !(les.At(hm(9, 30)) > les.At(hm(7, 0))) {
+		t.Error("interactive: load must rise when employees start at eight")
+	}
+	morning, lunch, beforeLeave := les.At(hm(9, 30)), les.At(hm(13, 0)), les.At(hm(16, 15))
+	if !(morning > lunch && beforeLeave > lunch) {
+		t.Error("interactive: expected peaks around the lunch dip")
+	}
+	if p := les.Peak(); math.Abs(p-1) > 1e-9 {
+		t.Errorf("interactive peak = %g, want 1", p)
+	}
+
+	bw := BatchNight(1)
+	if !(bw.At(hm(2, 0)) > 0.9) {
+		t.Error("batch: nightly batch window should be near peak")
+	}
+	if !(bw.At(hm(10, 0)) < 0.3) {
+		t.Error("batch: daytime load should be low")
+	}
+	// The two curves are anti-correlated at representative hours.
+	if !(les.At(hm(10, 0)) > bw.At(hm(10, 0)) && bw.At(hm(2, 0)) > les.At(hm(2, 0))) {
+		t.Error("Figure 10: LES and BW curves must alternate dominance day/night")
+	}
+}
+
+func TestInteractivePeakScaling(t *testing.T) {
+	p := Interactive(0.72)
+	if got := p.Peak(); math.Abs(got-0.72) > 1e-9 {
+		t.Errorf("Peak = %g, want 0.72", got)
+	}
+}
+
+func TestProfileShift(t *testing.T) {
+	p := MustProfile("t", Point{hm(9, 0), 1}, Point{hm(3, 0), 0})
+	s := p.Shift("shifted", 60)
+	if got := s.At(hm(10, 0)); got != 1 {
+		t.Errorf("shifted peak at 10:00 = %g, want 1", got)
+	}
+	// Negative shifts and midnight wrap.
+	w := p.Shift("wrapped", -hm(10, 0))
+	if got := w.At(hm(23, 0)); got != 1 {
+		t.Errorf("wrapped peak at 23:00 = %g, want 1", got)
+	}
+}
+
+func TestProfileScale(t *testing.T) {
+	p := Flat(0.5).Scale("half", 0.5)
+	if got := p.At(0); got != 0.25 {
+		t.Errorf("scaled = %g, want 0.25", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative scale did not panic")
+		}
+	}()
+	Flat(1).Scale("bad", -1)
+}
+
+func TestFromSeries(t *testing.T) {
+	series := make([]float64, MinutesPerDay)
+	for m := range series {
+		series[m] = float64(m) / MinutesPerDay
+	}
+	p, err := FromSeries("measured", series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.At(600); math.Abs(got-600.0/MinutesPerDay) > 0.01 {
+		t.Errorf("replayed value at 600 = %g", got)
+	}
+	if _, err := FromSeries("empty", nil, 10); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := FromSeries("neg", []float64{-1}, 10); err == nil {
+		t.Error("negative sample accepted")
+	}
+	if _, err := FromSeries("long", make([]float64, MinutesPerDay+1), 10); err == nil {
+		t.Error("overlong series accepted")
+	}
+}
+
+// TestReplayLoop: the §7 loop — capture a day profile from an archive
+// and replay it as a workload profile.
+func TestReplayLoop(t *testing.T) {
+	g := PaperGenerator(1.0, 0)
+	series := make([]float64, MinutesPerDay)
+	for m := range series {
+		series[m] = g.ActiveFraction("LES", m)
+	}
+	replayed, err := FromSeries("les-replay", series, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replay tracks the original within interpolation error.
+	for _, m := range []int{0, hm(9, 15), hm(13, 0), hm(18, 0)} {
+		if math.Abs(replayed.At(m)-g.ActiveFraction("LES", m)) > 0.05 {
+			t.Errorf("replay at %d = %g, original %g", m, replayed.At(m), g.ActiveFraction("LES", m))
+		}
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	j := Jitter{Seed: 42, Amplitude: 0.05}
+	a := j.Factor("FI", 100)
+	b := j.Factor("FI", 100)
+	if a != b {
+		t.Error("jitter is not deterministic")
+	}
+	if j.Factor("FI", 100) == j.Factor("LES", 100) {
+		t.Error("jitter should differ across entities")
+	}
+	f := func(minute int) bool {
+		v := j.Factor("FI", minute)
+		return v >= 0.95-1e-9 && v <= 1.05+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if (Jitter{}).Factor("x", 1) != 1 {
+		t.Error("zero-amplitude jitter must be exactly 1")
+	}
+}
+
+func TestJitterMeanNearOne(t *testing.T) {
+	j := Jitter{Seed: 7, Amplitude: 0.05}
+	sum := 0.0
+	n := 10000
+	for i := 0; i < n; i++ {
+		sum += j.Factor("FI", i)
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.005 {
+		t.Errorf("jitter mean = %g, want ~1", mean)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Jitter{}, Source{Service: "", Profile: Flat(1)}); err == nil {
+		t.Error("empty service accepted")
+	}
+	if _, err := NewGenerator(Jitter{}, Source{Service: "a"}); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if _, err := NewGenerator(Jitter{}, Source{Service: "a", Profile: Flat(1), Users: -1}); err == nil {
+		t.Error("negative users accepted")
+	}
+	if _, err := NewGenerator(Jitter{},
+		Source{Service: "a", Profile: Flat(1)},
+		Source{Service: "a", Profile: Flat(1)}); err == nil {
+		t.Error("duplicate source accepted")
+	}
+}
+
+func TestBursts(t *testing.T) {
+	g := MustGenerator(Jitter{}, Source{Service: "s", Users: 100, Profile: Flat(0.5)})
+	if err := g.AddBurst("s", Burst{Start: 100, Length: 10, Factor: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ActiveUsers("s", 99); got != 50 {
+		t.Errorf("before burst = %g, want 50", got)
+	}
+	if got := g.ActiveUsers("s", 100); got != 100 {
+		t.Errorf("during burst = %g, want 100", got)
+	}
+	if got := g.ActiveUsers("s", 110); got != 50 {
+		t.Errorf("after burst = %g, want 50", got)
+	}
+	// Stacked bursts multiply.
+	g.AddBurst("s", Burst{Start: 105, Length: 2, Factor: 1.5})
+	if got := g.ActiveUsers("s", 105); got != 150 {
+		t.Errorf("stacked bursts = %g, want 150", got)
+	}
+	if err := g.AddBurst("ghost", Burst{Start: 0, Length: 1, Factor: 2}); err == nil {
+		t.Error("burst on unknown service accepted")
+	}
+	if err := g.AddBurst("s", Burst{Start: 0, Length: 0, Factor: 2}); err == nil {
+		t.Error("zero-length burst accepted")
+	}
+	if err := g.AddBurst("s", Burst{Start: 0, Length: 1, Factor: 0}); err == nil {
+		t.Error("zero-factor burst accepted")
+	}
+}
+
+func TestGeneratorActiveUsers(t *testing.T) {
+	g := MustGenerator(Jitter{}, Source{Service: "FI", Users: 600, Profile: Flat(0.5)})
+	if got := g.ActiveUsers("FI", 0); math.Abs(got-300) > 1e-9 {
+		t.Errorf("ActiveUsers = %g, want 300", got)
+	}
+	if got := g.ActiveUsers("ghost", 0); got != 0 {
+		t.Errorf("unknown service ActiveUsers = %g, want 0", got)
+	}
+}
+
+// TestPaperGeneratorCalibration: at multiplier 1.0 the peak utilization
+// of a fully loaded standard blade stays inside the paper's 60–80 % main
+// activity band (ignoring noise).
+func TestPaperGeneratorCalibration(t *testing.T) {
+	g := PaperGenerator(1.0, 0)
+	// A PI-1 blade initially carries 150 LES users. Peak active fraction
+	// is DefaultPeakActivity, so peak utilization from users alone is
+	// 150·peak/150 = peak.
+	peak := 0.0
+	for m := 0; m < MinutesPerDay; m++ {
+		if v := g.ActiveFraction("LES", m); v > peak {
+			peak = v
+		}
+	}
+	util := peak + 0.05 // plus the app server base load
+	if util < 0.60 || util > 0.80 {
+		t.Errorf("baseline peak blade utilization = %g, outside the paper's 60–80%% band", util)
+	}
+	// Table 4 populations scale with the multiplier.
+	g115 := PaperGenerator(1.15, 0)
+	if got, want := g115.Users("FI"), 600*1.15; math.Abs(got-want) > 1e-9 {
+		t.Errorf("FI users at 115%% = %g, want %g", got, want)
+	}
+}
+
+func TestPaperProfilesCoverAllServices(t *testing.T) {
+	ps := PaperProfiles(0.72)
+	for _, svc := range []string{"FI", "LES", "PP", "HR", "CRM", "BW"} {
+		if ps[svc] == nil {
+			t.Errorf("no profile for %s", svc)
+		}
+	}
+	// Phase shifts preserve the peak value.
+	if math.Abs(ps["FI"].Peak()-ps["LES"].Peak()) > 1e-9 {
+		t.Error("phase shift changed the peak")
+	}
+}
+
+func TestProfileMean(t *testing.T) {
+	if got := Flat(0.3).Mean(); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("Mean = %g, want 0.3", got)
+	}
+}
+
+func TestDefaultCostModel(t *testing.T) {
+	cm := DefaultCostModel()
+	if cm.DBShare <= cm.CIShare {
+		t.Error("database share must exceed central-instance share")
+	}
+}
