@@ -9,6 +9,7 @@ package autoglobe_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"autoglobe/internal/controller"
@@ -151,10 +152,13 @@ func BenchmarkFigure17FIFM(b *testing.B) {
 
 // BenchmarkTable07MaxUsers regenerates the headline Table 7: the
 // maximum relative user population per scenario (paper: 100 % static,
-// 115 % constrained mobility, 135 % full mobility).
+// 115 % constrained mobility, 135 % full mobility). The sweep points
+// run on the parallel sweep engine with one worker per core; results
+// are byte-identical to the sequential sweep (see
+// BenchmarkTable07MaxUsersSequential for the A/B reference).
 func BenchmarkTable07MaxUsers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table7(experiments.Table7Options{})
+		r, err := experiments.Table7(experiments.Table7Options{Workers: runtime.GOMAXPROCS(0)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -164,16 +168,39 @@ func BenchmarkTable07MaxUsers(b *testing.B) {
 	}
 }
 
+// BenchmarkTable07MaxUsersSequential is the single-worker reference for
+// BenchmarkTable07MaxUsers: identical output, no parallelism.
+func BenchmarkTable07MaxUsersSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7(experiments.Table7Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable07Stability repeats the Table 7 sweep across three
 // noise seeds, the robustness companion to BenchmarkTable07MaxUsers.
+// One shared worker pool spans the whole (seed, scenario, percent)
+// grid, so it stays saturated across seed boundaries.
 func BenchmarkTable07Stability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table7Stability([]uint64{1, 2, 3}, experiments.Table7Options{})
+		r, err := experiments.Table7Stability([]uint64{1, 2, 3},
+			experiments.Table7Options{Workers: runtime.GOMAXPROCS(0)})
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
 			printOnce(b, r)
+		}
+	}
+}
+
+// BenchmarkTable07StabilitySequential is the single-worker reference
+// for BenchmarkTable07Stability.
+func BenchmarkTable07StabilitySequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table7Stability([]uint64{1, 2, 3}, experiments.Table7Options{}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
@@ -275,7 +302,9 @@ func BenchmarkSLAEnforcement(b *testing.B) {
 
 // BenchmarkFuzzyInference measures one action-selection inference cycle
 // over the default serviceOverloaded rule base — the controller's inner
-// loop.
+// loop. The rule base is compiled (internal/fuzzy/compile.go) and the
+// result released back to its pool, so the steady state runs
+// allocation-free.
 func BenchmarkFuzzyInference(b *testing.B) {
 	rb := controller.DefaultActionRules()["serviceOverloaded"]
 	engine := fuzzy.NewEngine(nil)
@@ -288,16 +317,24 @@ func BenchmarkFuzzyInference(b *testing.B) {
 		controller.VarInstancesOnServer:  2,
 		controller.VarInstancesOfService: 3,
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := engine.Infer(rb, inputs); err != nil {
+		res, err := engine.Infer(rb, inputs)
+		if err != nil {
 			b.Fatal(err)
 		}
+		res.Release()
 	}
 }
 
-// BenchmarkRuleParsing measures parsing the full default rule sources.
+// BenchmarkRuleParsing measures fetching the full default rule bases.
+// Since they are parsed and compiled once per process and memoized
+// (internal/controller/rules.go), this now measures the map-copy cost of
+// the accessor; see internal/fuzzy's BenchmarkParseRule for raw parser
+// speed.
 func BenchmarkRuleParsing(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		controller.DefaultActionRules()
 	}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -39,6 +40,7 @@ func main() {
 		landscape     = flag.String("landscape", "", "run a declarative XML landscape instead of the paper scenario")
 		explain       = flag.Bool("explain", false, "with -actions, print the rules behind each decision")
 		seeds         = flag.Int("seeds", 1, "with -table7, repeat the sweep for seeds 1..N")
+		workers       = flag.Int("workers", runtime.GOMAXPROCS(0), "with -table7, parallel simulator runs (1 = sequential; results are identical either way)")
 		dumpLandscape = flag.Bool("dump-landscape", false, "print the paper scenario as declarative XML and exit")
 	)
 	flag.Parse()
@@ -59,7 +61,7 @@ func main() {
 	}
 	if *table7 {
 		for s := uint64(1); s <= uint64(*seeds); s++ {
-			res, err := experiments.Table7(experiments.Table7Options{Hours: *hours, Seed: s})
+			res, err := experiments.Table7(experiments.Table7Options{Hours: *hours, Seed: s, Workers: *workers})
 			if err != nil {
 				fatal(err)
 			}

@@ -1,6 +1,8 @@
 package controller
 
 import (
+	"sync"
+
 	"autoglobe/internal/fuzzy"
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/service"
@@ -158,30 +160,69 @@ IF memLoad IS high THEN score IS notApplicable
 IF instancesOnServer IS high THEN score IS notApplicable
 `
 
+// The default rule bases are parsed and compiled exactly once per
+// process: every simulator run builds a controller, and sweeps build
+// hundreds of simulators, so re-parsing the ~40 rules per construction
+// used to dominate controller setup (see BenchmarkRuleParsing).
+// RuleBases are immutable and safe for concurrent use, so sharing them
+// across controllers — including the parallel sweep engine's workers —
+// is sound.
+var (
+	defaultActionOnce  sync.Once
+	defaultActionBases map[monitor.TriggerKind]*fuzzy.RuleBase
+
+	defaultSelectionOnce  sync.Once
+	defaultSelectionBases map[service.Action]*fuzzy.RuleBase
+)
+
 // DefaultActionRules returns the built-in action-selection rule bases,
-// one per trigger kind.
+// one per trigger kind. The rule bases themselves are parsed, validated
+// and compiled once per process and shared; the returned map is a fresh
+// copy, so callers may add or replace entries freely.
 func DefaultActionRules() map[monitor.TriggerKind]*fuzzy.RuleBase {
-	vc := ActionVocabulary()
-	return map[monitor.TriggerKind]*fuzzy.RuleBase{
-		monitor.ServiceOverloaded: fuzzy.MustRuleBase("serviceOverloaded", vc, fuzzy.MustParse(serviceOverloadedRules)),
-		monitor.ServiceIdle:       fuzzy.MustRuleBase("serviceIdle", vc, fuzzy.MustParse(serviceIdleRules)),
-		monitor.ServerOverloaded:  fuzzy.MustRuleBase("serverOverloaded", vc, fuzzy.MustParse(serverOverloadedRules)),
-		monitor.ServerIdle:        fuzzy.MustRuleBase("serverIdle", vc, fuzzy.MustParse(serverIdleRules)),
+	defaultActionOnce.Do(func() {
+		vc := ActionVocabulary()
+		defaultActionBases = map[monitor.TriggerKind]*fuzzy.RuleBase{
+			monitor.ServiceOverloaded: fuzzy.MustRuleBase("serviceOverloaded", vc, fuzzy.MustParse(serviceOverloadedRules)),
+			monitor.ServiceIdle:       fuzzy.MustRuleBase("serviceIdle", vc, fuzzy.MustParse(serviceIdleRules)),
+			monitor.ServerOverloaded:  fuzzy.MustRuleBase("serverOverloaded", vc, fuzzy.MustParse(serverOverloadedRules)),
+			monitor.ServerIdle:        fuzzy.MustRuleBase("serverIdle", vc, fuzzy.MustParse(serverIdleRules)),
+		}
+		for _, rb := range defaultActionBases {
+			rb.Compile()
+		}
+	})
+	out := make(map[monitor.TriggerKind]*fuzzy.RuleBase, len(defaultActionBases))
+	for k, rb := range defaultActionBases {
+		out[k] = rb
 	}
+	return out
 }
 
 // DefaultSelectionRules returns the built-in server-selection rule
-// bases, one per target-requiring action.
+// bases, one per target-requiring action. Like DefaultActionRules, the
+// rule bases are parsed and compiled once per process; the map is a
+// fresh copy per call.
 func DefaultSelectionRules() map[service.Action]*fuzzy.RuleBase {
-	vc := SelectionVocabulary()
-	placement := fuzzy.MustRuleBase("select/placement", vc, fuzzy.MustParse(placementRules))
-	return map[service.Action]*fuzzy.RuleBase{
-		service.ActionScaleOut:  placement,
-		service.ActionStart:     placement,
-		service.ActionScaleUp:   fuzzy.MustRuleBase("select/scaleUp", vc, fuzzy.MustParse(scaleUpRules)),
-		service.ActionScaleDown: fuzzy.MustRuleBase("select/scaleDown", vc, fuzzy.MustParse(scaleDownRules)),
-		service.ActionMove:      fuzzy.MustRuleBase("select/move", vc, fuzzy.MustParse(moveRules)),
+	defaultSelectionOnce.Do(func() {
+		vc := SelectionVocabulary()
+		placement := fuzzy.MustRuleBase("select/placement", vc, fuzzy.MustParse(placementRules))
+		defaultSelectionBases = map[service.Action]*fuzzy.RuleBase{
+			service.ActionScaleOut:  placement,
+			service.ActionStart:     placement,
+			service.ActionScaleUp:   fuzzy.MustRuleBase("select/scaleUp", vc, fuzzy.MustParse(scaleUpRules)),
+			service.ActionScaleDown: fuzzy.MustRuleBase("select/scaleDown", vc, fuzzy.MustParse(scaleDownRules)),
+			service.ActionMove:      fuzzy.MustRuleBase("select/move", vc, fuzzy.MustParse(moveRules)),
+		}
+		for _, rb := range defaultSelectionBases {
+			rb.Compile()
+		}
+	})
+	out := make(map[service.Action]*fuzzy.RuleBase, len(defaultSelectionBases))
+	for k, rb := range defaultSelectionBases {
+		out[k] = rb
 	}
+	return out
 }
 
 // RuleCount returns the total number of rules across all default rule

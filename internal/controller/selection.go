@@ -46,7 +46,6 @@ func (c *Controller) SelectActions(tr monitor.Trigger) ([]Candidate, error) {
 			return nil, err
 		}
 		svc, _ := c.dep.Catalog().Get(inst.Service)
-		rules := rb.Rules()
 		for name, value := range res.Outputs {
 			a := service.Action(name)
 			if value < c.cfg.MinApplicability {
@@ -65,9 +64,10 @@ func (c *Controller) SelectActions(tr monitor.Trigger) ([]Candidate, error) {
 				Service:       inst.Service,
 				InstanceID:    inst.ID,
 				Applicability: value,
-				Explanation:   explain(rules, res.Fired, name),
+				Explanation:   explain(rb, res.Fired, name),
 			})
 		}
+		res.Release()
 	}
 	sort.Slice(candidates, func(i, j int) bool {
 		if candidates[i].Applicability != candidates[j].Applicability {
@@ -83,12 +83,13 @@ func (c *Controller) SelectActions(tr monitor.Trigger) ([]Candidate, error) {
 
 // explain collects the rules asserting the named output variable that
 // fired, strongest first.
-func explain(rules []fuzzy.Rule, fired []float64, output string) []FiredRule {
+func explain(rb *fuzzy.RuleBase, fired []float64, output string) []FiredRule {
 	var out []FiredRule
-	for i, r := range rules {
+	for i := 0; i < rb.Len(); i++ {
 		if fired[i] == 0 {
 			continue
 		}
+		r := rb.RuleAt(i)
 		for _, cons := range r.Consequents {
 			if cons.Var == output {
 				out = append(out, FiredRule{Rule: r.String(), Truth: fired[i]})
@@ -311,6 +312,7 @@ func (c *Controller) selectHost(a service.Action, svcName, instID string, minute
 			continue
 		}
 		score := res.Outputs[VarScore]
+		res.Release()
 		if score < c.cfg.MinHostScore {
 			continue
 		}

@@ -37,32 +37,44 @@ func (r AblationResult) String() string {
 	return strings.TrimRight(sb.String(), "\n")
 }
 
+// ablate runs every variant of one design choice and tabulates the
+// outcome. The variant runs are fully independent simulator runs, so
+// they fan out across one worker per core (see parallel.go); rows are
+// written into index-addressed slots, keeping the table byte-identical
+// to the sequential loop regardless of scheduling.
 func ablate(name string, hours int, variants []struct {
 	label string
 	tweak func(*simulator.Config)
 }) (AblationResult, error) {
 	res := AblationResult{Name: name}
-	for _, v := range variants {
+	rows := make([]AblationRow, len(variants))
+	err := forEachIndex(resolveWorkers(-1), len(variants), func(i int) error {
+		v := variants[i]
 		cfg := simulator.PaperConfig(service.FullMobility, 1.25)
 		cfg.Hours = hours
 		v.tweak(&cfg)
 		sim, err := simulator.New(cfg)
 		if err != nil {
-			return res, err
+			return err
 		}
 		run, err := sim.Run()
 		if err != nil {
-			return res, err
+			return err
 		}
 		_, worst := run.WorstOverloadPerDay()
-		res.Rows = append(res.Rows, AblationRow{
+		rows[i] = AblationRow{
 			Variant:     v.label,
 			WorstPerDay: worst,
 			TotalPerDay: run.TotalOverloadPerDay(),
 			Actions:     len(run.ExecutedActions()),
 			Alerts:      run.Alerts(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(0); got != 1 {
+		t.Errorf("resolveWorkers(0) = %d, want 1", got)
+	}
+	if got := resolveWorkers(1); got != 1 {
+		t.Errorf("resolveWorkers(1) = %d, want 1", got)
+	}
+	if got := resolveWorkers(7); got != 7 {
+		t.Errorf("resolveWorkers(7) = %d, want 7", got)
+	}
+	if got := resolveWorkers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("resolveWorkers(-1) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestForEachIndexRunsAllJobs(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		err := forEachIndex(workers, n, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Errorf("workers=%d: job %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachIndexEmpty(t *testing.T) {
+	if err := forEachIndex(4, 0, func(int) error { return errors.New("boom") }); err != nil {
+		t.Fatalf("n=0: unexpected error %v", err)
+	}
+}
+
+// TestForEachIndexFirstError checks that among multiple failing jobs the
+// error of the lowest-indexed one wins, matching the sequential loop.
+func TestForEachIndexFirstError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := forEachIndex(workers, 20, func(i int) error {
+			if i >= 5 {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 5 failed" {
+			t.Errorf("workers=%d: err = %v, want job 5 failed", workers, err)
+		}
+	}
+}
+
+// TestForEachIndexStopsDispatch checks that after a failure no fresh
+// jobs are started (beyond those already in flight).
+func TestForEachIndexStopsDispatch(t *testing.T) {
+	const n = 10000
+	var started atomic.Int32
+	err := forEachIndex(2, n, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return errors.New("early failure")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := started.Load(); got >= n {
+		t.Errorf("all %d jobs ran despite early failure", got)
+	}
+}
+
+func TestSweepCut(t *testing.T) {
+	c := newSweepCut(2)
+	if c.skip(0, 150) || c.skip(1, 100) {
+		t.Fatal("fresh cut must not skip anything")
+	}
+	c.overloaded(0, 120)
+	if !c.skip(0, 125) {
+		t.Error("pct above the cut must be skipped")
+	}
+	if c.skip(0, 120) || c.skip(0, 115) {
+		t.Error("pct at or below the cut must not be skipped")
+	}
+	if c.skip(1, 125) {
+		t.Error("cut of group 0 must not affect group 1")
+	}
+	c.overloaded(0, 130) // higher than the cut: must not raise it
+	if c.skip(0, 120) {
+		t.Error("cut must only move downward")
+	}
+	c.overloaded(0, 110) // lower: must lower the cut
+	if !c.skip(0, 115) {
+		t.Error("cut must follow the lowest overloaded pct")
+	}
+}
+
+// TestTable7ParallelDeterminism is the ISSUE's determinism guarantee:
+// the parallel sweep must be byte-identical to the sequential sweep,
+// across several seeds.
+func TestTable7ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep in -short mode")
+	}
+	opts := Table7Options{Hours: 24, From: 100, To: 110}
+	for _, seed := range []uint64{1, 2, 3} {
+		opts.Seed = seed
+		opts.Workers = 0
+		seq, err := Table7(opts)
+		if err != nil {
+			t.Fatalf("seed %d sequential: %v", seed, err)
+		}
+		opts.Workers = 8
+		par, err := Table7(opts)
+		if err != nil {
+			t.Fatalf("seed %d parallel: %v", seed, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("seed %d: parallel result differs from sequential\nseq: %+v\npar: %+v", seed, seq, par)
+		}
+		if seq.String() != par.String() {
+			t.Errorf("seed %d: parallel rendering differs from sequential\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				seed, seq, par)
+		}
+	}
+}
+
+// TestTable7StabilityParallelDeterminism checks the shared-grid
+// multi-seed path against per-seed sequential sweeps.
+func TestTable7StabilityParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep in -short mode")
+	}
+	seeds := []uint64{1, 2, 3}
+	opts := Table7Options{Hours: 24, From: 100, To: 105}
+	seq, err := Table7Stability(seeds, opts)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	opts.Workers = 8
+	par, err := Table7Stability(seeds, opts)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("parallel stability differs from sequential\nseq: %+v\npar: %+v", seq, par)
+	}
+	if seq.String() != par.String() {
+		t.Errorf("parallel rendering differs\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}
+
+// TestTable7WorkersNegative checks the GOMAXPROCS convention end to end.
+func TestTable7WorkersNegative(t *testing.T) {
+	opts := Table7Options{Hours: 24, From: 100, To: 100, Workers: -1}
+	par, err := Table7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Workers = 0
+	seq, err := Table7(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("Workers: -1 differs from sequential\nseq: %+v\npar: %+v", seq, par)
+	}
+}

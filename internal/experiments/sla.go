@@ -31,22 +31,35 @@ func CompareSLA(multiplier, maxDegraded float64, hours int) (*SLAComparison, err
 		Multiplier: multiplier, MaxDegraded: maxDegraded,
 		Reports: make(map[service.Mobility]*sla.Report),
 	}
-	for _, m := range []service.Mobility{service.Static, service.ConstrainedMobility, service.FullMobility} {
-		cfg := simulator.PaperConfig(m, multiplier)
+	// The three scenario runs are independent simulators; run them on
+	// parallel workers (see parallel.go) and collect the reports into
+	// index-addressed slots so the comparison is identical to the
+	// sequential loop.
+	scenarios := []service.Mobility{service.Static, service.ConstrainedMobility, service.FullMobility}
+	reports := make([]*sla.Report, len(scenarios))
+	err := forEachIndex(resolveWorkers(-1), len(scenarios), func(i int) error {
+		cfg := simulator.PaperConfig(scenarios[i], multiplier)
 		cfg.Hours = hours
 		sim, err := simulator.New(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := sim.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rep, err := sla.Evaluate(res, agreements)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Reports[m] = rep
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range scenarios {
+		out.Reports[m] = reports[i]
 	}
 	return out, nil
 }

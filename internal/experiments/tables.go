@@ -140,6 +140,12 @@ type Table7Options struct {
 	Budget   float64 // overload minutes/day budget (default simulator.DefaultOverloadBudget)
 	Streak   int     // continuous overload budget (default simulator.DefaultStreakBudget)
 	Seed     uint64  // noise seed (default 1, the paper-reproduction seed)
+	// Workers bounds the parallel sweep engine's pool: 0 or 1 run the
+	// sweep sequentially, n > 1 fans the independent (scenario, percent)
+	// simulator runs out over n goroutines, and any negative value uses
+	// one worker per core (GOMAXPROCS). Results are byte-identical to
+	// the sequential sweep for every setting.
+	Workers int
 }
 
 func (o Table7Options) withDefaults() Table7Options {
@@ -164,48 +170,177 @@ func (o Table7Options) withDefaults() Table7Options {
 	return o
 }
 
-// Table7 sweeps the user multiplier for all three scenarios, increasing
-// the population in 5 % steps "until the system becomes overloaded",
-// and reports the maximum each scenario handles.
-func Table7(opts Table7Options) (*Table7Result, error) {
-	opts = opts.withDefaults()
+// table7Scenarios is the fixed scenario order of the paper's sweep.
+var table7Scenarios = []service.Mobility{service.Static, service.ConstrainedMobility, service.FullMobility}
+
+// runTable7Point simulates one (scenario, percent) sweep point. Every
+// point builds its own simulator with a run-local RNG, deployment and
+// controller, so points are fully independent and the function is safe
+// to call from concurrent sweep workers.
+func runTable7Point(opts Table7Options, seed uint64, m service.Mobility, pct int) (Table7Point, error) {
+	cfg := simulator.PaperConfig(m, float64(pct)/100)
+	cfg.Hours = opts.Hours
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	sim, err := simulator.New(cfg)
+	if err != nil {
+		return Table7Point{}, err
+	}
+	run, err := sim.Run()
+	if err != nil {
+		return Table7Point{}, err
+	}
+	_, worst := run.WorstOverloadPerDay()
+	streak := 0
+	for _, h := range run.Hosts {
+		if run.MaxStreak[h] > streak {
+			streak = run.MaxStreak[h]
+		}
+	}
+	return Table7Point{
+		Scenario: m, Percent: pct, WorstPerDay: worst,
+		MaxStreak: streak, Actions: len(run.ExecutedActions()),
+		Overloaded: run.Overloaded(opts.Budget, opts.Streak),
+	}, nil
+}
+
+// sweepJob is one (seed, scenario, percent) point of a sweep grid.
+type sweepJob struct {
+	seed     uint64
+	scenario service.Mobility
+	pct      int
+	group    int // (seed, scenario) lane index for early-cutoff pruning
+}
+
+// sweepKey addresses a computed point during assembly.
+type sweepKey struct {
+	seed     uint64
+	scenario service.Mobility
+	pct      int
+}
+
+// runSweepGrid computes the given sweep points across the worker pool.
+// Jobs are ordered by ascending percent so the cheap, always-needed low
+// points of every lane run first; once a lane's lowest overloaded
+// percent is known, its higher points are pruned (they can never appear
+// in the assembled detail). The returned map holds every computed
+// point.
+func runSweepGrid(opts Table7Options, jobs []sweepJob, groups, workers int) (map[sweepKey]Table7Point, error) {
+	points := make([]Table7Point, len(jobs))
+	computed := make([]bool, len(jobs))
+	cuts := newSweepCut(groups)
+	err := forEachIndex(workers, len(jobs), func(i int) error {
+		j := jobs[i]
+		if cuts.skip(j.group, j.pct) {
+			return nil
+		}
+		p, err := runTable7Point(opts, j.seed, j.scenario, j.pct)
+		if err != nil {
+			return err
+		}
+		points[i] = p
+		computed[i] = true
+		if p.Overloaded {
+			cuts.overloaded(j.group, j.pct)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[sweepKey]Table7Point, len(jobs))
+	for i, j := range jobs {
+		if computed[i] {
+			out[sweepKey{j.seed, j.scenario, j.pct}] = points[i]
+		}
+	}
+	return out, nil
+}
+
+// sweepGridJobs builds the full job grid for the given seeds, ordered by
+// ascending percent (then seed, then scenario order) so workers finish
+// the low points of every lane before speculating on high ones.
+func sweepGridJobs(opts Table7Options, seeds []uint64) ([]sweepJob, int) {
+	var jobs []sweepJob
+	groups := 0
+	group := make(map[sweepKey]int) // keyed with pct 0: one lane per (seed, scenario)
+	for pct := opts.From; pct <= opts.To; pct += opts.Step {
+		for _, s := range seeds {
+			for _, m := range table7Scenarios {
+				laneKey := sweepKey{s, m, 0}
+				g, ok := group[laneKey]
+				if !ok {
+					g = groups
+					group[laneKey] = g
+					groups++
+				}
+				jobs = append(jobs, sweepJob{seed: s, scenario: m, pct: pct, group: g})
+			}
+		}
+	}
+	return jobs, groups
+}
+
+// assembleTable7 replays the sequential sweep loop over the computed
+// points: percent ascending per scenario, stop after the first
+// overloaded point, ceiling = highest passing percent. Pruned points
+// are, by construction, beyond the stopping point and never consulted.
+func assembleTable7(opts Table7Options, seed uint64, points map[sweepKey]Table7Point) *Table7Result {
 	res := &Table7Result{MaxUsers: make(map[service.Mobility]int)}
-	for _, m := range []service.Mobility{service.Static, service.ConstrainedMobility, service.FullMobility} {
+	for _, m := range table7Scenarios {
 		maxOK := 0
 		for pct := opts.From; pct <= opts.To; pct += opts.Step {
-			cfg := simulator.PaperConfig(m, float64(pct)/100)
-			cfg.Hours = opts.Hours
-			if opts.Seed != 0 {
-				cfg.Seed = opts.Seed
+			p, ok := points[sweepKey{seed, m, pct}]
+			if !ok {
+				break // pruned: an earlier percent of this lane overloaded
 			}
-			sim, err := simulator.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			run, err := sim.Run()
-			if err != nil {
-				return nil, err
-			}
-			_, worst := run.WorstOverloadPerDay()
-			streak := 0
-			for _, h := range run.Hosts {
-				if run.MaxStreak[h] > streak {
-					streak = run.MaxStreak[h]
-				}
-			}
-			over := run.Overloaded(opts.Budget, opts.Streak)
-			res.Detail = append(res.Detail, Table7Point{
-				Scenario: m, Percent: pct, WorstPerDay: worst,
-				MaxStreak: streak, Actions: len(run.ExecutedActions()), Overloaded: over,
-			})
-			if over {
+			res.Detail = append(res.Detail, p)
+			if p.Overloaded {
 				break
 			}
 			maxOK = pct
 		}
 		res.MaxUsers[m] = maxOK
 	}
-	return res, nil
+	return res
+}
+
+// Table7 sweeps the user multiplier for all three scenarios, increasing
+// the population in 5 % steps "until the system becomes overloaded",
+// and reports the maximum each scenario handles. With Workers > 1 the
+// independent sweep points run on the parallel sweep engine; the result
+// is byte-identical to the sequential sweep.
+func Table7(opts Table7Options) (*Table7Result, error) {
+	opts = opts.withDefaults()
+	workers := resolveWorkers(opts.Workers)
+	if workers <= 1 {
+		// Sequential reference path: run exactly the points the paper's
+		// protocol visits, in order.
+		res := &Table7Result{MaxUsers: make(map[service.Mobility]int)}
+		for _, m := range table7Scenarios {
+			maxOK := 0
+			for pct := opts.From; pct <= opts.To; pct += opts.Step {
+				p, err := runTable7Point(opts, opts.Seed, m, pct)
+				if err != nil {
+					return nil, err
+				}
+				res.Detail = append(res.Detail, p)
+				if p.Overloaded {
+					break
+				}
+				maxOK = pct
+			}
+			res.MaxUsers[m] = maxOK
+		}
+		return res, nil
+	}
+	jobs, groups := sweepGridJobs(opts, []uint64{opts.Seed})
+	points, err := runSweepGrid(opts, jobs, groups, workers)
+	if err != nil {
+		return nil, err
+	}
+	return assembleTable7(opts, opts.Seed, points), nil
 }
 
 // StabilityResult holds Table 7 ceilings across noise seeds, the
@@ -215,17 +350,33 @@ type StabilityResult struct {
 	Ceilings map[uint64]map[service.Mobility]int
 }
 
-// Table7Stability repeats the Table 7 sweep for several seeds.
+// Table7Stability repeats the Table 7 sweep for several seeds. With
+// Workers > 1 one shared worker pool spans the whole (seed, scenario,
+// percent) grid, so the pool stays saturated across seed boundaries;
+// per-seed ceilings are byte-identical to sequential ones.
 func Table7Stability(seeds []uint64, opts Table7Options) (*StabilityResult, error) {
 	out := &StabilityResult{Seeds: seeds, Ceilings: make(map[uint64]map[service.Mobility]int)}
-	for _, s := range seeds {
-		o := opts
-		o.Seed = s
-		res, err := Table7(o)
-		if err != nil {
-			return nil, err
+	o := opts.withDefaults()
+	workers := resolveWorkers(o.Workers)
+	if workers <= 1 {
+		for _, s := range seeds {
+			so := opts
+			so.Seed = s
+			res, err := Table7(so)
+			if err != nil {
+				return nil, err
+			}
+			out.Ceilings[s] = res.MaxUsers
 		}
-		out.Ceilings[s] = res.MaxUsers
+		return out, nil
+	}
+	jobs, groups := sweepGridJobs(o, seeds)
+	points, err := runSweepGrid(o, jobs, groups, workers)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range seeds {
+		out.Ceilings[s] = assembleTable7(o, s, points).MaxUsers
 	}
 	return out, nil
 }

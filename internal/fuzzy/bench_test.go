@@ -37,6 +37,57 @@ func BenchmarkInferTwoRules(b *testing.B) {
 	}
 }
 
+// BenchmarkInferTwoRulesReleased measures the steady-state compiled
+// path: callers that Release results run allocation-free.
+func BenchmarkInferTwoRulesReleased(b *testing.B) {
+	vc := NewVocabulary()
+	vc.Add(StandardLoad("cpuLoad"))
+	vc.Add(Applicability("scaleUp"))
+	vc.Add(Applicability("scaleOut"))
+	rb := MustRuleBase("b", vc, MustParse(`
+		IF cpuLoad IS high THEN scaleUp IS applicable
+		IF cpuLoad IS medium THEN scaleOut IS applicable
+	`))
+	rb.Compile() // warm the program outside the timed loop
+	e := NewEngine(nil)
+	in := map[string]float64{"cpuLoad": 0.8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Infer(rb, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+}
+
+// BenchmarkInferParallel measures compiled inference throughput when a
+// shared rule base is hammered from all cores — the controller fan-out
+// pattern of the parallel sweep engine.
+func BenchmarkInferParallel(b *testing.B) {
+	vc := NewVocabulary()
+	vc.Add(StandardLoad("cpuLoad"))
+	vc.Add(Applicability("scaleUp"))
+	vc.Add(Applicability("scaleOut"))
+	rb := MustRuleBase("b", vc, MustParse(`
+		IF cpuLoad IS high THEN scaleUp IS applicable
+		IF cpuLoad IS medium THEN scaleOut IS applicable
+	`))
+	e := NewEngine(nil)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		in := map[string]float64{"cpuLoad": 0.8}
+		for pb.Next() {
+			res, err := e.Infer(rb, in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Release()
+		}
+	})
+}
+
 func BenchmarkDefuzzifyLeftMax(b *testing.B) {
 	s := NewSet(0, 1)
 	s.UnionClipped(Trapezoid(0, 1, 1, 1), 0.7)

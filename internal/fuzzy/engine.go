@@ -3,13 +3,24 @@ package fuzzy
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // RuleBase is a validated collection of rules sharing one vocabulary.
+// A rule base is immutable after construction and safe for concurrent
+// use; its compiled inference program (see compile.go) is built lazily
+// at most once.
 type RuleBase struct {
 	Name  string
 	rules []Rule
 	vocab *Vocabulary
+
+	// outVars caches the sorted output-variable names, computed once at
+	// construction instead of per Infer call.
+	outVars []string
+
+	compileOnce sync.Once
+	prog        *Program
 }
 
 // NewRuleBase builds a rule base from rules, validating every rule
@@ -25,7 +36,24 @@ func NewRuleBase(name string, vocab *Vocabulary, rules []Rule) (*RuleBase, error
 	}
 	cp := make([]Rule, len(rules))
 	copy(cp, rules)
-	return &RuleBase{Name: name, rules: cp, vocab: vocab}, nil
+	return &RuleBase{Name: name, rules: cp, vocab: vocab, outVars: computeOutputVars(cp)}, nil
+}
+
+// computeOutputVars returns the names of all output variables assigned
+// by any rule, in lexicographic order.
+func computeOutputVars(rules []Rule) []string {
+	set := make(map[string]bool)
+	for _, r := range rules {
+		for _, c := range r.Consequents {
+			set[c.Var] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // MustRuleBase is NewRuleBase panicking on error, for built-in rule bases.
@@ -44,6 +72,11 @@ func (rb *RuleBase) Rules() []Rule {
 	return cp
 }
 
+// RuleAt returns the i-th rule without copying the whole list — the
+// allocation-free accessor for hot paths that only need to inspect
+// individual rules (e.g. building decision explanations).
+func (rb *RuleBase) RuleAt(i int) Rule { return rb.rules[i] }
+
 // Len returns the number of rules.
 func (rb *RuleBase) Len() int { return len(rb.rules) }
 
@@ -53,25 +86,27 @@ func (rb *RuleBase) Vocabulary() *Vocabulary { return rb.vocab }
 // Extend returns a new rule base with additional rules appended. The
 // AutoGlobe controller uses this to layer service-specific rule bases on
 // top of the defaults (Section 4.1: "an administrator can add
-// service-specific rule bases for mission critical services").
+// service-specific rule bases for mission critical services"). Only the
+// new rules are validated — the existing ones were validated when rb was
+// built — and the merged list is copied exactly once.
 func (rb *RuleBase) Extend(name string, rules []Rule) (*RuleBase, error) {
-	return NewRuleBase(name, rb.vocab, append(rb.Rules(), rules...))
+	for _, r := range rules {
+		if err := r.Validate(rb.vocab); err != nil {
+			return nil, fmt.Errorf("fuzzy: rule base %q: %w", name, err)
+		}
+	}
+	merged := make([]Rule, 0, len(rb.rules)+len(rules))
+	merged = append(merged, rb.rules...)
+	merged = append(merged, rules...)
+	return &RuleBase{Name: name, rules: merged, vocab: rb.vocab, outVars: computeOutputVars(merged)}, nil
 }
 
 // OutputVars returns the names of all output variables assigned by any
-// rule, in lexicographic order.
+// rule, in lexicographic order. The list is computed once at
+// construction; callers receive a copy.
 func (rb *RuleBase) OutputVars() []string {
-	set := make(map[string]bool)
-	for _, r := range rb.rules {
-		for _, c := range r.Consequents {
-			set[c.Var] = true
-		}
-	}
-	out := make([]string, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
-	sort.Strings(out)
+	out := make([]string, len(rb.outVars))
+	copy(out, rb.outVars)
 	return out
 }
 
@@ -135,15 +170,47 @@ type Result struct {
 	// Sets holds the combined output fuzzy sets before defuzzification,
 	// keyed by output variable. Useful for inspection and testing.
 	Sets map[string]*Set
+
+	// sets indexes the same Set values by compiled output slot.
+	sets []*Set
+	// home is the pool the Result returns to on Release.
+	home *sync.Pool
 }
 
-// Infer runs one fuzzification → inference → defuzzification cycle.
+// Release returns the Result to its rule base's buffer pool so a later
+// Infer call can reuse its maps and set buffers, making steady-state
+// compiled inference allocation-free. After Release the Result (and the
+// Sets it exposes) must no longer be read. Release is optional — an
+// unreleased Result is simply collected by the GC — and calling it more
+// than once is a no-op.
+func (r *Result) Release() {
+	if r.home == nil {
+		return
+	}
+	h := r.home
+	r.home = nil
+	h.Put(r)
+}
+
+// Infer runs one fuzzification → inference → defuzzification cycle
+// using the rule base's compiled program (see compile.go); the program
+// is compiled transparently on first use. Infer is safe for concurrent
+// use on a shared Engine and RuleBase.
 //
 // inputs maps variable names to crisp measurements. Every input variable
 // referenced by a firing rule must be present; a missing input is an
 // error (the AutoGlobe controller always initializes all variables from
 // monitoring data or the load archive before triggering inference).
+//
+// Call Release on the returned Result when done with it to recycle its
+// buffers; steady-state inference then performs zero heap allocations.
 func (e *Engine) Infer(rb *RuleBase, inputs map[string]float64) (*Result, error) {
+	return rb.program().run(e, inputs)
+}
+
+// inferInterpreted is the reference tree-walking implementation the
+// compiled path is differential-tested against (see compile_test.go).
+func (e *Engine) inferInterpreted(rb *RuleBase, inputs map[string]float64) (*Result, error) {
 	// Fuzzification is memoized per (variable, term).
 	type key struct{ v, t string }
 	memo := make(map[key]float64)

@@ -77,6 +77,43 @@ func (s *Set) UnionScaled(mf MembershipFunc, h float64) {
 	}
 }
 
+// UnionClippedSet merges a pre-sampled consequent set, clipped at height
+// h, into the set by pointwise maximum — the fast-path equivalent of
+// UnionClipped for membership functions already discretized over the
+// same universe (compiled inference pre-samples every consequent term
+// once at compile time). pre's grades are assumed clamped to [0, 1], as
+// Fill guarantees.
+func (s *Set) UnionClippedSet(pre *Set, h float64) {
+	h = clamp01(h)
+	if h == 0 {
+		return
+	}
+	for i := range s.grades {
+		g := pre.grades[i]
+		if g > h {
+			g = h
+		}
+		if g > s.grades[i] {
+			s.grades[i] = g
+		}
+	}
+}
+
+// UnionScaledSet merges a pre-sampled consequent set scaled by h into
+// the set — the fast-path equivalent of UnionScaled.
+func (s *Set) UnionScaledSet(pre *Set, h float64) {
+	h = clamp01(h)
+	if h == 0 {
+		return
+	}
+	for i := range s.grades {
+		g := pre.grades[i] * h
+		if g > s.grades[i] {
+			s.grades[i] = g
+		}
+	}
+}
+
 // Union merges another set (over the same universe) by pointwise max.
 func (s *Set) Union(o *Set) error {
 	if s.Min != o.Min || s.Max != o.Max {

@@ -1,0 +1,63 @@
+package simulator
+
+import (
+	"reflect"
+	"testing"
+
+	"autoglobe/internal/service"
+)
+
+// TestConcurrentRunsIsolated is the safety argument behind the parallel
+// sweep engine (internal/experiments): simulator runs share no mutable
+// state — each builds its own deployment, workload generator, archive,
+// monitor, controller and RNG — so identically configured runs executed
+// concurrently must produce exactly the result of a sequential run.
+// Under -race this also proves the shared compiled default rule bases
+// are touched read-only.
+func TestConcurrentRunsIsolated(t *testing.T) {
+	cfg := PaperConfig(service.FullMobility, 1.15)
+	cfg.Hours = 12
+	cfg.Seed = 7
+
+	run := func() (*Result, error) {
+		sim, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run()
+	}
+
+	want, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const concurrent = 4
+	results := make([]*Result, concurrent)
+	errs := make([]error, concurrent)
+	done := make(chan int, concurrent)
+	for g := 0; g < concurrent; g++ {
+		go func(g int) {
+			results[g], errs[g] = run()
+			done <- g
+		}(g)
+	}
+	for i := 0; i < concurrent; i++ {
+		<-done
+	}
+	for g := 0; g < concurrent; g++ {
+		if errs[g] != nil {
+			t.Fatalf("concurrent run %d: %v", g, errs[g])
+		}
+		if results[g].String() != want.String() {
+			t.Errorf("concurrent run %d renders differently from the sequential run", g)
+		}
+		if !reflect.DeepEqual(results[g].HostLoad, want.HostLoad) {
+			t.Errorf("concurrent run %d: host load series differ from the sequential run", g)
+		}
+		if !reflect.DeepEqual(results[g].ActionCounts(), want.ActionCounts()) {
+			t.Errorf("concurrent run %d: action counts differ: %v vs %v",
+				g, results[g].ActionCounts(), want.ActionCounts())
+		}
+	}
+}

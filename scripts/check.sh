@@ -1,0 +1,31 @@
+#!/bin/sh
+# scripts/check.sh — the tier-1 gate (see ROADMAP.md).
+#
+# Runs, in order:
+#   1. go vet            over every package
+#   2. go build          over every package
+#   3. go test -race     the full suite under the race detector
+#      (exercises the parallel sweep engine, the shared compiled rule
+#      bases and the simulator-isolation tests concurrently)
+#   4. a short smoke run of the inference fast-path benchmark, so a
+#      regression that breaks the compiled path or its pooling shows up
+#      even when no test asserts on speed
+#
+# Usage: scripts/check.sh   (from the repository root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== benchmark smoke: FuzzyInference (100 iterations)"
+go test -run XXX -bench 'BenchmarkFuzzyInference$' -benchtime=100x -benchmem .
+
+echo "check.sh: all gates passed"
