@@ -8,15 +8,21 @@
 package autoglobe_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
+	"autoglobe/internal/agent"
+	"autoglobe/internal/cluster"
 	"autoglobe/internal/controller"
 	"autoglobe/internal/experiments"
 	"autoglobe/internal/fuzzy"
+	"autoglobe/internal/monitor"
 	"autoglobe/internal/service"
 	"autoglobe/internal/simulator"
+	"autoglobe/internal/wire"
 )
 
 // printed ensures each benchmark's reproduction output appears once,
@@ -337,6 +343,75 @@ func BenchmarkRuleParsing(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		controller.DefaultActionRules()
+	}
+}
+
+// BenchmarkHeartbeatIngest measures one control-plane heartbeat round
+// trip over the in-memory loopback: envelope encode/validate, transport
+// delivery, and the coordinator feeding the host and per-instance
+// samples into the monitor pipeline. This is the per-host, per-minute
+// cost of running the paper landscape in distributed mode.
+func BenchmarkHeartbeatIngest(b *testing.B) {
+	dep, err := service.BuildPaperDeployment(cluster.Paper(), service.FullMobility, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lms, err := monitor.NewSystem(monitor.PaperParams(), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := wire.NewLoopback()
+	p, err := agent.NewPlane(agent.PlaneConfig{Transport: tr}, dep, lms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	host := dep.Cluster().Names()[0]
+	hb := wire.Heartbeat{Host: host, CPU: 0.42}
+	for _, inst := range dep.InstancesOn(host) {
+		hb.Instances = append(hb.Instances, wire.InstanceSample{
+			ID: inst.ID, Service: inst.Service, Load: 0.42})
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hb.Minute = i
+		if err := p.Report(ctx, hb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkActionDispatchLoopback measures one acknowledged action
+// dispatch over the healthy loopback: key assignment, delivery, the
+// agent applying the operation to its process table, and the ack coming
+// back — the steady-state cost of carrying a controller decision to a
+// host (retries and backoff never fire on a healthy wire). Each
+// iteration is a start/stop pair so the process table stays bounded.
+func BenchmarkActionDispatchLoopback(b *testing.B) {
+	tr := wire.NewLoopback()
+	if _, err := agent.NewAgent("h1", agent.CoordinatorNode, tr); err != nil {
+		b.Fatal(err)
+	}
+	d := agent.NewDispatcher(agent.DispatchConfig{
+		Timeout: 2 * time.Second, Sleep: func(time.Duration) {},
+	}, tr)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := wire.OpStart
+		if i%2 == 1 {
+			op = wire.OpStop
+		}
+		ack, err := d.Do(ctx, wire.ActionRequest{
+			Op: op, Host: "h1", Service: "app", InstanceID: "app-bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ack.OK {
+			b.Fatalf("nack: %s", ack.Error)
+		}
 	}
 }
 

@@ -1,0 +1,290 @@
+// Command autoglobe-agentd runs AutoGlobe's distributed control plane
+// as real processes: a coordinator daemon that ingests heartbeats,
+// feeds the monitoring pipeline and dispatches the fuzzy controller's
+// actions, and per-host agent daemons that join the landscape, report
+// load and execute the actions. All traffic is protocol-version-1 JSON
+// over HTTP (see internal/wire).
+//
+// Usage:
+//
+//	# coordinator over a declared landscape, on a fixed port
+//	autoglobe-agentd -mode coordinator -landscape l.xml -listen 127.0.0.1:7700
+//
+//	# one agent per host, joining by hello (the agent announces its
+//	# own ephemeral URL, so only the coordinator needs a known address)
+//	autoglobe-agentd -mode agent -host b1 -coordinator http://127.0.0.1:7700 -load 0.4
+//
+//	# single-process demo: the whole plane over the in-memory loopback,
+//	# driving the simulator's distributed mode for a fast-forward run
+//	autoglobe-agentd -mode demo -landscape l.xml -hours 24
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"autoglobe/internal/agent"
+	"autoglobe/internal/console"
+	"autoglobe/internal/controller"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/simulator"
+	"autoglobe/internal/spec"
+	"autoglobe/internal/wire"
+)
+
+func main() {
+	var (
+		mode        = flag.String("mode", "demo", "coordinator, agent or demo")
+		landscape   = flag.String("landscape", "", "declarative XML landscape (coordinator and demo modes)")
+		listen      = flag.String("listen", "127.0.0.1:7700", "coordinator listen address")
+		coordinator = flag.String("coordinator", "http://127.0.0.1:7700", "coordinator base URL (agent mode)")
+		host        = flag.String("host", "", "host name this agent serves (agent mode)")
+		load        = flag.Float64("load", 0.30, "synthetic CPU load this agent reports (agent mode)")
+		interval    = flag.Duration("interval", 2*time.Second, "wall-clock duration of one control-plane minute")
+		hours       = flag.Int("hours", 24, "simulated hours (demo mode)")
+	)
+	flag.Parse()
+
+	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours); err != nil {
+		fatal(err)
+	}
+	var err error
+	switch *mode {
+	case "coordinator":
+		err = runCoordinator(*landscape, *listen, *interval)
+	case "agent":
+		err = runAgent(*host, *coordinator, *load, *interval)
+	case "demo":
+		err = runDemo(*landscape, *hours)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int) error {
+	switch mode {
+	case "coordinator", "demo":
+		if landscape == "" {
+			return fmt.Errorf("-mode %s needs -landscape", mode)
+		}
+	case "agent":
+		if host == "" {
+			return fmt.Errorf("-mode agent needs -host")
+		}
+	default:
+		return fmt.Errorf("unknown -mode %q (coordinator, agent or demo)", mode)
+	}
+	if load < 0 || load > 1 {
+		return fmt.Errorf("-load %g outside [0, 1]", load)
+	}
+	if interval <= 0 {
+		return fmt.Errorf("-interval %v must be positive", interval)
+	}
+	if mode == "demo" && hours <= 0 {
+		return fmt.Errorf("-hours %d must be positive", hours)
+	}
+	return nil
+}
+
+func loadLandscape(path string) (*spec.Landscape, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return spec.Parse(f)
+}
+
+// runCoordinator is the central autonomic manager as a daemon: it
+// listens for hellos and heartbeats, advances one control-plane minute
+// per interval (closing the service observations, probing silent
+// hosts), and hands every confirmed trigger to the fuzzy controller,
+// whose decisions are dispatched back to the agents.
+func runCoordinator(landscapePath, listenAddr string, interval time.Duration) error {
+	l, err := loadLandscape(landscapePath)
+	if err != nil {
+		return err
+	}
+	dep, err := l.BuildDeployment()
+	if err != nil {
+		return err
+	}
+	tr := wire.NewHTTP()
+	tr.DefaultListenAddr = listenAddr
+	defer tr.Close()
+
+	lms, err := monitor.NewSystem(monitor.PaperParams(), nil)
+	if err != nil {
+		return err
+	}
+	coord, err := agent.NewCoordinator("", dep, lms, tr, nil)
+	if err != nil {
+		return err
+	}
+	coord.OnHello = func(h wire.Hello) error {
+		if h.Addr != "" {
+			tr.Register(h.Host, h.Addr)
+		}
+		fmt.Printf("join: %s (PI %g, %d MB) at %s\n", h.Host, h.PerformanceIndex, h.MemoryMB, h.Addr)
+		return nil
+	}
+	disp := agent.NewDispatcher(agent.DispatchConfig{From: coord.Node()}, tr)
+	exec := agent.NewDispatchExecutor(dep,
+		controller.NewDeploymentExecutor(dep, controller.StickyUsers), disp)
+	ctl, err := controller.New(controller.Config{}, dep, lms.Archive(), exec)
+	if err != nil {
+		return err
+	}
+
+	base, _ := tr.Addr(coord.Node())
+	fmt.Printf("coordinator listening on %s (%s), one minute every %v\n", listenAddr, base, interval)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	events := 0
+	for minute := 0; ; minute++ {
+		select {
+		case <-ctx.Done():
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+		}
+		if err := coord.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "ingest: %v\n", err)
+		}
+		if err := coord.ObserveServices(minute); err != nil {
+			return err
+		}
+		dead, recovered := coord.CheckLiveness(ctx, minute)
+		for _, h := range dead {
+			fmt.Printf("minute %d: host %s confirmed dead\n", minute, h)
+		}
+		for _, h := range recovered {
+			fmt.Printf("minute %d: host %s recovered\n", minute, h)
+		}
+		for _, tg := range coord.TakeTriggers() {
+			if _, err := ctl.HandleTrigger(*tg); err != nil {
+				fmt.Fprintf(os.Stderr, "trigger %s(%s): %v\n", tg.Kind, tg.Entity, err)
+			}
+		}
+		for _, e := range ctl.Events()[events:] {
+			fmt.Printf("minute %d: %s\n", minute, renderEvent(e))
+			events++
+		}
+		st := disp.Stats()
+		fmt.Printf("minute %d: %d heartbeats, %d actions (%d retries, %d nacks)\n",
+			minute, coord.Heartbeats(), st.Actions, st.Retries, st.Nacks)
+	}
+}
+
+func renderEvent(e controller.Event) string {
+	if e.Decision != nil {
+		return fmt.Sprintf("%s [executed=%v] %s", e.Decision, e.Executed, e.Note)
+	}
+	return e.Note
+}
+
+// runAgent is the per-host daemon: it binds an ephemeral port, joins
+// the landscape by hello (announcing its own URL, so only the
+// coordinator needs a well-known address), and then reports a heartbeat
+// per interval with the configured synthetic load spread over whatever
+// instances the coordinator has started here.
+func runAgent(host, coordinatorURL string, load float64, interval time.Duration) error {
+	tr := wire.NewHTTP()
+	defer tr.Close()
+	tr.Register(agent.CoordinatorNode, coordinatorURL)
+	a, err := agent.NewAgent(host, agent.CoordinatorNode, tr)
+	if err != nil {
+		return err
+	}
+	base, _ := tr.Addr(host)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	hello := wire.Hello{Host: host, Addr: base}
+	for {
+		err := a.SendHello(ctx, hello)
+		if err == nil {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "hello: %v (retrying in %v)\n", err, interval)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
+	}
+	fmt.Printf("agent %s at %s joined %s, heartbeat every %v\n", host, base, coordinatorURL, interval)
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for minute := 0; ; minute++ {
+		select {
+		case <-ctx.Done():
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+		}
+		hb := wire.Heartbeat{Host: host, Minute: minute, CPU: load}
+		procs := a.Instances()
+		ids := make([]string, 0, len(procs))
+		for id := range procs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			hb.Instances = append(hb.Instances, wire.InstanceSample{
+				ID: id, Service: procs[id], Load: load / float64(len(ids))})
+		}
+		if err := a.SendHeartbeat(ctx, hb); err != nil {
+			fmt.Fprintf(os.Stderr, "heartbeat %d: %v\n", minute, err)
+		}
+	}
+}
+
+// runDemo fast-forwards the whole distributed plane in one process: the
+// declared landscape runs through the simulator's distributed mode over
+// the in-memory loopback, and the run ends with the control-plane panel
+// and the usual result summary.
+func runDemo(landscapePath string, hours int) error {
+	l, err := loadLandscape(landscapePath)
+	if err != nil {
+		return err
+	}
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	sim, err := simulator.FromLandscapeConfig(l, func(c *simulator.Config) {
+		c.Hours = hours
+		c.Distributed = &simulator.DistributedConfig{Transport: tr}
+	})
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println(console.PlaneView(sim.Deployment(), sim.Plane()))
+	fmt.Println()
+	fmt.Println(console.ServerView(sim.Deployment(), sim.Archive()))
+	fmt.Println()
+	fmt.Println(res)
+	if res.DemotedHosts > 0 || res.RepooledHosts > 0 {
+		fmt.Printf("demoted %d hosts, re-pooled %d\n", res.DemotedHosts, res.RepooledHosts)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autoglobe-agentd:", err)
+	os.Exit(1)
+}

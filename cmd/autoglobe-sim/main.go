@@ -45,6 +45,28 @@ func main() {
 	)
 	flag.Parse()
 
+	// Reject nonsensical parameters with a clear message before any
+	// work starts — a negative worker count or zero-hour run would
+	// otherwise surface as a confusing failure deep in the sweep engine.
+	switch {
+	case *hours <= 0:
+		fatal(fmt.Errorf("-hours %d must be positive", *hours))
+	case *multiplier <= 0:
+		fatal(fmt.Errorf("-multiplier %g must be positive", *multiplier))
+	case *failures < 0:
+		fatal(fmt.Errorf("-failures %g must not be negative", *failures))
+	case *seeds < 1:
+		fatal(fmt.Errorf("-seeds %d must be at least 1", *seeds))
+	case *workers < 1:
+		fatal(fmt.Errorf("-workers %d must be at least 1", *workers))
+	case *explain && !*actions:
+		fatal(fmt.Errorf("-explain requires -actions"))
+	case *recordCSV != "" && *record == "":
+		fatal(fmt.Errorf("-recordcsv requires -record"))
+	case *landscape != "" && *table7:
+		fatal(fmt.Errorf("-landscape and -table7 are mutually exclusive"))
+	}
+
 	if *dumpLandscape {
 		m, err := parseScenario(*scenario)
 		if err != nil {

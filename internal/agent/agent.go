@@ -1,0 +1,267 @@
+// Package agent implements AutoGlobe's distributed control plane: a
+// per-host agent daemon, the coordinator that feeds agent telemetry
+// into the monitoring pipeline, and a fault-tolerant action dispatcher
+// that carries controller decisions to the agents over a wire.Transport.
+//
+// The paper's controller administered its blade landscape through
+// ServiceGlobe's network substrate: load monitors on every host report
+// to the central load monitoring system, and the fuzzy controller's
+// remedy actions travel back to the affected hosts. This package is
+// that substrate for the reproduction. The logic is transport-agnostic
+// — a full monitor → controller → action round trip behaves identically
+// over the in-memory loopback and over TCP, because everything above
+// wire.Transport is shared.
+//
+// Layers, bottom up:
+//
+//   - Agent: one per service host. Receives action requests (start,
+//     stop, bind, unbind, priority), applies them to its host-local
+//     process table, and acknowledges. An idempotency cache makes
+//     re-delivered requests (lost acks) safe, and per-action deadlines
+//     reject requests the coordinator has already given up on.
+//   - Dispatcher: the coordinator's sending half. Per-attempt timeouts,
+//     bounded exponential backoff with deterministic jitter, and a
+//     permanent/transient failure distinction (an agent's NACK is
+//     final; a vanished message is retried).
+//   - DispatchExecutor: a controller.Executor that decomposes each
+//     decision into per-host operations, dispatches them inside a
+//     compensating transaction (txn), and only then applies the
+//     decision to the authoritative model — a partial compound failure
+//     mid-network is rolled back on the hosts that already acted.
+//   - Coordinator: the receiving half. Ingests heartbeats into the
+//     monitor pipeline (advisors and watchTime unchanged), tracks host
+//     liveness with hysteresis, probes silent hosts before declaring
+//     them dead, and hands confirmed triggers to the caller.
+//   - Plane: wires a coordinator and one agent per cluster host over a
+//     single transport.
+package agent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"autoglobe/internal/wire"
+)
+
+// CoordinatorNode is the transport node name of the coordinator.
+const CoordinatorNode = "coordinator"
+
+// proc is one entry of the agent's host-local process table.
+type proc struct {
+	service  string
+	priority int
+}
+
+// Agent is the per-host daemon of the control plane. It listens on the
+// transport under its host name, executes controller-issued operations
+// against its local process table, and reports load through heartbeats.
+// It is safe for concurrent use.
+type Agent struct {
+	host        string
+	coordinator string
+	tr          wire.Transport
+
+	// Now is the agent's clock, replaceable in tests to exercise
+	// per-action deadlines.
+	Now func() time.Time
+
+	mu    sync.Mutex
+	procs map[string]proc
+	acks  map[string]wire.ActionAck // idempotency cache, by action key
+	log   []string                  // audit trail of applied operations
+	seq   uint64
+
+	failNextOp  wire.Op // test/fault hook: NACK the next matching op
+	failNextMsg string
+}
+
+// NewAgent starts an agent for the host on the transport, listening
+// under the host's name. The coordinator node name is where heartbeats
+// are sent.
+func NewAgent(host, coordinator string, tr wire.Transport) (*Agent, error) {
+	if host == "" {
+		return nil, fmt.Errorf("agent: empty host name")
+	}
+	a := &Agent{
+		host:        host,
+		coordinator: coordinator,
+		tr:          tr,
+		Now:         time.Now,
+		procs:       make(map[string]proc),
+		acks:        make(map[string]wire.ActionAck),
+	}
+	if err := tr.Listen(host, a.Handle); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Host returns the agent's host name.
+func (a *Agent) Host() string { return a.host }
+
+// Adopt seeds the process table with an already-running instance (the
+// initial allocation existed before the control plane attached).
+func (a *Agent) Adopt(instanceID, svc string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.procs[instanceID] = proc{service: svc}
+}
+
+// Running returns whether the instance is in the local process table.
+func (a *Agent) Running(instanceID string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.procs[instanceID]
+	return ok
+}
+
+// Procs returns the number of instances in the local process table.
+func (a *Agent) Procs() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.procs)
+}
+
+// Instances returns a snapshot of the process table, instance ID →
+// service name — what a host daemon reports in its heartbeats.
+func (a *Agent) Instances() map[string]string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]string, len(a.procs))
+	for id, p := range a.procs {
+		out[id] = p.service
+	}
+	return out
+}
+
+// Log returns the audit trail of applied (non-duplicate) operations,
+// oldest first, one "op instanceID" entry per application.
+func (a *Agent) Log() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.log))
+	copy(out, a.log)
+	return out
+}
+
+// FailNext makes the agent reject the next request carrying the given
+// op with the message — a fault hook for partial-compound-failure
+// tests (the real-world analogue: the host-local start script fails).
+func (a *Agent) FailNext(op wire.Op, msg string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.failNextOp, a.failNextMsg = op, msg
+}
+
+// Handle is the agent's transport handler.
+func (a *Agent) Handle(env *wire.Envelope) (*wire.Envelope, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	switch env.Type {
+	case wire.TypeAction:
+		ack := a.apply(*env.Action)
+		return wire.AckEnvelope(a.host, env.From, ack), nil
+	case wire.TypeProbe:
+		// Answering at all is the proof of life.
+		reply := wire.NewEnvelope(wire.TypeProbeAck, a.host, env.From)
+		reply.Probe = &wire.Probe{Host: a.host, Minute: env.Probe.Minute}
+		return reply, nil
+	default:
+		return nil, fmt.Errorf("agent: %s cannot handle %q messages", a.host, env.Type)
+	}
+}
+
+// apply executes one operation against the process table, answering
+// duplicates from the idempotency cache without re-applying.
+func (a *Agent) apply(req wire.ActionRequest) wire.ActionAck {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	if cached, ok := a.acks[req.Key]; ok {
+		cached.Duplicate = true
+		return cached
+	}
+	ack := wire.ActionAck{Key: req.Key, OK: true}
+	if req.DeadlineUnixMS > 0 && a.Now().UnixMilli() > req.DeadlineUnixMS {
+		ack.OK = false
+		ack.Error = fmt.Sprintf("agent: %s: deadline for %s %s expired", a.host, req.Op, req.InstanceID)
+	} else if a.failNextOp == req.Op && a.failNextMsg != "" {
+		a.failNextOp, a.failNextMsg, ack.OK, ack.Error = "", "", false, a.failNextMsg
+	} else if err := a.applyOp(req); err != nil {
+		ack.OK = false
+		ack.Error = err.Error()
+	}
+	a.acks[req.Key] = ack
+	if ack.OK {
+		a.log = append(a.log, fmt.Sprintf("%s %s", req.Op, req.InstanceID))
+	}
+	return ack
+}
+
+// applyOp mutates the process table. Callers hold a.mu.
+func (a *Agent) applyOp(req wire.ActionRequest) error {
+	switch req.Op {
+	case wire.OpStart, wire.OpBind:
+		if _, dup := a.procs[req.InstanceID]; dup {
+			return fmt.Errorf("agent: %s already runs instance %q", a.host, req.InstanceID)
+		}
+		a.procs[req.InstanceID] = proc{service: req.Service}
+	case wire.OpStop, wire.OpUnbind:
+		if _, ok := a.procs[req.InstanceID]; !ok {
+			return fmt.Errorf("agent: %s does not run instance %q", a.host, req.InstanceID)
+		}
+		delete(a.procs, req.InstanceID)
+	case wire.OpPriority:
+		p, ok := a.procs[req.InstanceID]
+		if !ok {
+			return fmt.Errorf("agent: %s does not run instance %q", a.host, req.InstanceID)
+		}
+		p.priority += req.Delta
+		a.procs[req.InstanceID] = p
+	default:
+		return fmt.Errorf("agent: unknown operation %q", req.Op)
+	}
+	return nil
+}
+
+// SendHello announces the agent to the coordinator — the join message
+// of a freshly booted host daemon. The coordinator's OnHello hook
+// decides what joining means (registering the host's route, pooling
+// the blade); a rejected or unacknowledged hello is returned as an
+// error so the daemon can retry before it starts heartbeating.
+func (a *Agent) SendHello(ctx context.Context, h wire.Hello) error {
+	if h.Host == "" {
+		h.Host = a.host
+	}
+	reply, err := a.tr.Call(ctx, a.coordinator, wire.HelloEnvelope(a.host, a.coordinator, h))
+	if err != nil {
+		return err
+	}
+	if reply == nil || reply.Type != wire.TypeAck || reply.Ack == nil || !reply.Ack.OK {
+		return fmt.Errorf("agent: %s: hello not acknowledged by %s", a.host, a.coordinator)
+	}
+	return nil
+}
+
+// SendHeartbeat delivers one load report to the coordinator. Heartbeats
+// are deliberately fire-and-forget: a lost heartbeat is exactly the
+// signal the liveness detector exists for, so there are no retries.
+func (a *Agent) SendHeartbeat(ctx context.Context, hb wire.Heartbeat) error {
+	a.mu.Lock()
+	a.seq++
+	seq := a.seq
+	a.mu.Unlock()
+	env := wire.HeartbeatEnvelope(a.host, a.coordinator, hb)
+	env.Seq = seq
+	reply, err := a.tr.Call(ctx, a.coordinator, env)
+	if err != nil {
+		return err
+	}
+	if reply == nil || reply.Type != wire.TypeAck || reply.Ack == nil || !reply.Ack.OK {
+		return fmt.Errorf("agent: %s: heartbeat not acknowledged", a.host)
+	}
+	return nil
+}

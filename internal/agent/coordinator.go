@@ -1,0 +1,261 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+	"autoglobe/internal/wire"
+)
+
+// Coordinator is the receiving half of the control plane: it listens on
+// the transport as the coordinator node, ingests agent heartbeats into
+// the load monitoring system (the advisors and watchTime state machines
+// are untouched — a heartbeat is simply a load monitor's report arriving
+// over the network), tracks host liveness with hysteresis, and queues
+// the triggers the monitor confirms for the control loop to collect.
+//
+// Ingestion preserves the in-process observation semantics exactly:
+// host entities register with their performance index, an idle trigger
+// for an empty host is filtered (a pooled blade at rest is not an
+// exceptional situation), per-instance samples land in the archive for
+// the controller's instanceLoad variable, and service-level loads
+// aggregate across the instance samples of all heartbeats of a minute.
+type Coordinator struct {
+	node string
+	dep  *service.Deployment
+	lms  *monitor.System
+	tr   wire.Transport
+	live *monitor.Liveness
+
+	// ProbeTimeout bounds one liveness probe (default 1s).
+	ProbeTimeout time.Duration
+	// OnHello, when set, is invoked for every hello message (an agent
+	// joining the landscape); its error is returned to the agent.
+	OnHello func(wire.Hello) error
+
+	mu         sync.Mutex
+	registered map[string]bool
+	triggers   []*monitor.Trigger
+	samples    map[string][]wire.InstanceSample // service -> this minute's samples
+	heartbeats int
+	lastErr    error
+}
+
+// NewCoordinator starts a coordinator over the deployment and load
+// monitoring system, listening on the transport under node (empty:
+// CoordinatorNode). The liveness detector may be shared with the
+// caller; nil builds a hysteresis detector with the paper-scale
+// defaults (timeout 2 minutes, dead after 2 missed probes, alive after
+// 2 beats).
+func NewCoordinator(node string, dep *service.Deployment, lms *monitor.System, tr wire.Transport, live *monitor.Liveness) (*Coordinator, error) {
+	if node == "" {
+		node = CoordinatorNode
+	}
+	if dep == nil || lms == nil || tr == nil {
+		return nil, fmt.Errorf("agent: coordinator needs deployment, monitor system and transport")
+	}
+	if live == nil {
+		live = monitor.NewLivenessHysteresis(2, 2, 2)
+	}
+	c := &Coordinator{
+		node:         node,
+		dep:          dep,
+		lms:          lms,
+		tr:           tr,
+		live:         live,
+		ProbeTimeout: time.Second,
+		registered:   make(map[string]bool),
+		samples:      make(map[string][]wire.InstanceSample),
+	}
+	if err := tr.Listen(node, c.Handle); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Node returns the coordinator's transport node name.
+func (c *Coordinator) Node() string { return c.node }
+
+// Liveness exposes the host liveness detector.
+func (c *Coordinator) Liveness() *monitor.Liveness { return c.live }
+
+// Heartbeats returns how many heartbeats have been ingested.
+func (c *Coordinator) Heartbeats() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.heartbeats
+}
+
+// Err returns the first ingestion error since the last call, if any.
+// Transports swallow handler errors into timeouts on the agent side, so
+// the control loop checks here once per minute.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.lastErr
+	c.lastErr = nil
+	return err
+}
+
+// Handle is the coordinator's transport handler.
+func (c *Coordinator) Handle(env *wire.Envelope) (*wire.Envelope, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	switch env.Type {
+	case wire.TypeHeartbeat:
+		if err := c.Ingest(*env.Heartbeat); err != nil {
+			c.mu.Lock()
+			if c.lastErr == nil {
+				c.lastErr = err
+			}
+			c.mu.Unlock()
+			return nil, err
+		}
+		return wire.AckEnvelope(c.node, env.From, wire.ActionAck{OK: true}), nil
+	case wire.TypeHello:
+		if c.OnHello != nil {
+			if err := c.OnHello(*env.Hello); err != nil {
+				return nil, err
+			}
+		}
+		return wire.AckEnvelope(c.node, env.From, wire.ActionAck{OK: true}), nil
+	default:
+		return nil, fmt.Errorf("agent: coordinator cannot handle %q messages", env.Type)
+	}
+}
+
+// Ingest feeds one heartbeat into liveness tracking and the monitor
+// pipeline, queueing any confirmed host trigger.
+func (c *Coordinator) Ingest(hb wire.Heartbeat) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.heartbeats++
+	c.live.Beat(hb.Host, hb.Minute)
+
+	key := archive.HostEntity(hb.Host)
+	if !c.registered[key] {
+		perf := 1.0
+		if h, ok := c.dep.Cluster().Host(hb.Host); ok {
+			perf = h.PerformanceIndex
+		}
+		c.lms.Register(key, monitor.Server, perf)
+		c.registered[key] = true
+	}
+	tr, err := c.lms.Observe(key, hb.Minute, hb.CPU, hb.Mem)
+	if err != nil {
+		return err
+	}
+	if tr != nil {
+		// An idle host with nothing running on it is the normal resting
+		// state of a pooled blade, not an exceptional situation.
+		if !(tr.Kind == monitor.ServerIdle && len(hb.Instances) == 0) {
+			tr.Entity = hb.Host
+			c.triggers = append(c.triggers, tr)
+		}
+	}
+	for _, s := range hb.Instances {
+		if err := c.lms.Archive().Record(archive.InstanceEntity(s.ID),
+			archive.Sample{Minute: hb.Minute, CPU: s.Load}); err != nil {
+			return err
+		}
+		c.samples[s.Service] = append(c.samples[s.Service], s)
+	}
+	return nil
+}
+
+// ObserveServices closes the minute: the per-service loads accumulated
+// from this minute's heartbeats are observed in catalog order, exactly
+// like the in-process service loop, and any confirmed service triggers
+// are queued. The accumulators reset for the next minute.
+//
+// Samples are summed in instance-ID order — the order the in-process
+// observation loop iterates instances in — so the floating-point sum is
+// bit-identical regardless of which host's heartbeat arrived first.
+func (c *Coordinator) ObserveServices(minute int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, svcName := range c.dep.Catalog().Names() {
+		samples := c.samples[svcName]
+		if len(samples) == 0 {
+			continue
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i].ID < samples[j].ID })
+		var sum float64
+		for _, s := range samples {
+			sum += s.Load
+		}
+		key := archive.ServiceEntity(svcName)
+		if !c.registered[key] {
+			c.lms.Register(key, monitor.Service, 1)
+			c.registered[key] = true
+		}
+		tr, err := c.lms.Observe(key, minute, sum/float64(len(samples)), 0)
+		if err != nil {
+			return err
+		}
+		if tr != nil {
+			tr.Entity = svcName
+			c.triggers = append(c.triggers, tr)
+		}
+	}
+	clear(c.samples)
+	return nil
+}
+
+// TakeTriggers drains the queued confirmed triggers in arrival order.
+func (c *Coordinator) TakeTriggers() []*monitor.Trigger {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.triggers
+	c.triggers = nil
+	return out
+}
+
+// CheckLiveness probes the hosts that stayed silent this minute — and
+// the hosts already considered dead, so a healed partition is noticed —
+// and returns the hosts newly confirmed dead (after DeadAfter
+// consecutive misses, probes included) and those newly recovered (after
+// AliveAfter consecutive answered probes). A probe answer counts as a
+// beat: a host whose heartbeats are lost but which still answers probes
+// is degraded, not dead.
+func (c *Coordinator) CheckLiveness(ctx context.Context, minute int) (dead, recovered []string) {
+	for _, host := range append(c.live.Silent(minute), c.live.Down()...) {
+		probeCtx, cancel := context.WithTimeout(ctx, c.ProbeTimeout)
+		reply, err := c.tr.Call(probeCtx, host,
+			wire.ProbeEnvelope(c.node, host, wire.Probe{Host: host, Minute: minute}))
+		cancel()
+		if err == nil && reply != nil && reply.Type == wire.TypeProbeAck {
+			c.live.Beat(host, minute)
+		}
+	}
+	return c.live.Dead(minute), c.live.Recovered()
+}
+
+// Forget clears a demoted host's monitor registration. The liveness
+// detector keeps tracking it: a healed partition is then reported by
+// Recovered after the hysteresis streak, and the host's heartbeats
+// re-register it.
+func (c *Coordinator) Forget(host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := archive.HostEntity(host)
+	c.lms.Deregister(key)
+	delete(c.registered, key)
+}
+
+// Release fully removes a host (orderly pool removal): monitor
+// registration and liveness tracking both end, so the host is neither
+// probed nor ever reported dead or recovered.
+func (c *Coordinator) Release(host string) {
+	c.Forget(host)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.live.Forget(host)
+}

@@ -1,0 +1,203 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"autoglobe/internal/wire"
+)
+
+// DispatchConfig tunes the coordinator's action dispatcher.
+type DispatchConfig struct {
+	// From is the sender node name stamped on outgoing envelopes
+	// (default CoordinatorNode).
+	From string
+	// Timeout bounds one delivery attempt (default 2s).
+	Timeout time.Duration
+	// MaxAttempts is how often an unacknowledged action is retried
+	// before the dispatcher gives up (default 4).
+	MaxAttempts int
+	// BaseBackoff is the pause after the first failed attempt; each
+	// further attempt doubles it up to MaxBackoff (defaults 25ms / 1s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the backoff jitter deterministically.
+	Seed uint64
+	// Sleep and Now are clock hooks for tests (defaults: time.Sleep,
+	// time.Now).
+	Sleep func(time.Duration)
+	Now   func() time.Time
+}
+
+func (c DispatchConfig) withDefaults() DispatchConfig {
+	if c.From == "" {
+		c.From = CoordinatorNode
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 25 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// DispatchStats counts dispatcher outcomes, for tests and the console.
+type DispatchStats struct {
+	// Actions is the number of logical operations dispatched.
+	Actions int
+	// Retries counts re-sent attempts (lost requests or lost acks).
+	Retries int
+	// Duplicates counts acks served from an agent's idempotency cache —
+	// evidence a retry re-delivered an already-applied operation.
+	Duplicates int
+	// Nacks counts agent rejections (permanent failures).
+	Nacks int
+	// Expired counts operations abandoned after MaxAttempts.
+	Expired int
+}
+
+// NackError reports that the agent received the request and refused it.
+// It is permanent: retrying would yield the same answer, so the
+// dispatcher surfaces it immediately and the transaction layer
+// compensates.
+type NackError struct {
+	Host string
+	Ack  wire.ActionAck
+}
+
+func (e *NackError) Error() string {
+	return fmt.Sprintf("agent: %s rejected %s: %s", e.Host, e.Ack.Key, e.Ack.Error)
+}
+
+// Dispatcher sends action requests to agents with timeout, bounded
+// exponential backoff with deterministic jitter, and retries. Lost
+// messages and lost acks are indistinguishable to it — both retry with
+// the same idempotency key, and the agent's cache keeps re-delivery
+// safe. It is safe for concurrent use.
+type Dispatcher struct {
+	cfg DispatchConfig
+	tr  wire.Transport
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	seq   uint64
+	stats DispatchStats
+}
+
+// NewDispatcher builds a dispatcher over the transport.
+func NewDispatcher(cfg DispatchConfig, tr wire.Transport) *Dispatcher {
+	cfg = cfg.withDefaults()
+	return &Dispatcher{
+		cfg: cfg,
+		tr:  tr,
+		rng: rand.New(rand.NewSource(int64(cfg.Seed) + 41)),
+	}
+}
+
+// Stats returns a snapshot of the dispatch counters.
+func (d *Dispatcher) Stats() DispatchStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// nextKey mints a fresh idempotency key.
+func (d *Dispatcher) nextKey() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.seq++
+	return fmt.Sprintf("%s-%06d", d.cfg.From, d.seq)
+}
+
+// backoff returns the jittered pause before retry attempt+1. The jitter
+// spreads concurrent retriers over [50%, 100%] of the nominal delay;
+// the seeded source keeps failing runs replayable.
+func (d *Dispatcher) backoff(attempt int) time.Duration {
+	delay := d.cfg.BaseBackoff << (attempt - 1)
+	if delay > d.cfg.MaxBackoff || delay <= 0 {
+		delay = d.cfg.MaxBackoff
+	}
+	d.mu.Lock()
+	f := 0.5 + 0.5*d.rng.Float64()
+	d.mu.Unlock()
+	return time.Duration(float64(delay) * f)
+}
+
+// Do delivers one operation to the agent of req.Host and returns its
+// ack. A missing idempotency key is minted; a missing deadline is set
+// to the dispatcher's full retry budget, so an agent receiving a
+// stale straggler after the dispatcher has given up rejects it.
+func (d *Dispatcher) Do(ctx context.Context, req wire.ActionRequest) (wire.ActionAck, error) {
+	if req.Host == "" {
+		return wire.ActionAck{}, fmt.Errorf("agent: dispatch without destination host")
+	}
+	if req.Key == "" {
+		req.Key = d.nextKey()
+	}
+	if req.DeadlineUnixMS == 0 {
+		budget := time.Duration(d.cfg.MaxAttempts)*d.cfg.Timeout +
+			time.Duration(d.cfg.MaxAttempts)*d.cfg.MaxBackoff
+		req.DeadlineUnixMS = d.cfg.Now().Add(budget).UnixMilli()
+	}
+	d.mu.Lock()
+	d.stats.Actions++
+	d.mu.Unlock()
+
+	var lastErr error
+	for attempt := 1; attempt <= d.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			d.cfg.Sleep(d.backoff(attempt - 1))
+			d.mu.Lock()
+			d.stats.Retries++
+			d.mu.Unlock()
+		}
+		callCtx, cancel := context.WithTimeout(ctx, d.cfg.Timeout)
+		reply, err := d.tr.Call(callCtx, req.Host, wire.ActionEnvelope(d.cfg.From, req.Host, req))
+		cancel()
+		if err != nil {
+			lastErr = err
+			if ctx.Err() != nil {
+				break // the caller's deadline, not the attempt's
+			}
+			continue
+		}
+		if reply == nil || reply.Ack == nil {
+			lastErr = fmt.Errorf("agent: %s answered without ack", req.Host)
+			continue
+		}
+		ack := *reply.Ack
+		d.mu.Lock()
+		if ack.Duplicate {
+			d.stats.Duplicates++
+		}
+		if !ack.OK {
+			d.stats.Nacks++
+		}
+		d.mu.Unlock()
+		if !ack.OK {
+			return ack, &NackError{Host: req.Host, Ack: ack}
+		}
+		return ack, nil
+	}
+	d.mu.Lock()
+	d.stats.Expired++
+	d.mu.Unlock()
+	return wire.ActionAck{}, fmt.Errorf("agent: %s %s on %s: no ack after %d attempts: %w",
+		req.Op, req.InstanceID, req.Host, d.cfg.MaxAttempts, lastErr)
+}

@@ -1,0 +1,120 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"autoglobe/internal/controller"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/service"
+	"autoglobe/internal/wire"
+)
+
+// PlaneConfig assembles a control plane.
+type PlaneConfig struct {
+	// Transport carries all control-plane traffic (required).
+	Transport wire.Transport
+	// Dispatch tunes the action dispatcher.
+	Dispatch DispatchConfig
+	// Liveness is the host liveness detector (nil: hysteresis detector
+	// with timeout 2, dead after 2, alive after 2).
+	Liveness *monitor.Liveness
+	// Node overrides the coordinator's node name (default
+	// CoordinatorNode).
+	Node string
+}
+
+// Plane is a fully wired control plane for one deployment: the
+// coordinator plus one agent per cluster host, all over one transport.
+// The simulator (and cmd/autoglobe-agentd in its single-process mode)
+// drives it: heartbeats flow agent → coordinator, confirmed triggers
+// flow coordinator → controller, and decisions flow back through the
+// dispatching executor.
+type Plane struct {
+	tr     wire.Transport
+	coord  *Coordinator
+	disp   *Dispatcher
+	dep    *service.Deployment
+	agents map[string]*Agent
+
+	// HeartbeatTimeout bounds one heartbeat delivery (default 2s).
+	HeartbeatTimeout time.Duration
+}
+
+// NewPlane wires a coordinator and one agent per host of the
+// deployment's cluster over the configured transport. Existing
+// instances are adopted into their agents' process tables.
+func NewPlane(cfg PlaneConfig, dep *service.Deployment, lms *monitor.System) (*Plane, error) {
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("agent: plane needs a transport")
+	}
+	coord, err := NewCoordinator(cfg.Node, dep, lms, cfg.Transport, cfg.Liveness)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Dispatch.From = coord.Node()
+	p := &Plane{
+		tr:               cfg.Transport,
+		coord:            coord,
+		disp:             NewDispatcher(cfg.Dispatch, cfg.Transport),
+		dep:              dep,
+		agents:           make(map[string]*Agent),
+		HeartbeatTimeout: 2 * time.Second,
+	}
+	for _, host := range dep.Cluster().Names() {
+		if err := p.AttachHost(host); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// AttachHost starts an agent for the host (e.g. a hot-plugged blade)
+// and adopts the instances already allocated to it.
+func (p *Plane) AttachHost(host string) error {
+	if _, dup := p.agents[host]; dup {
+		return fmt.Errorf("agent: host %q already attached", host)
+	}
+	a, err := NewAgent(host, p.coord.Node(), p.tr)
+	if err != nil {
+		return err
+	}
+	for _, inst := range p.dep.InstancesOn(host) {
+		a.Adopt(inst.ID, inst.Service)
+	}
+	p.agents[host] = a
+	return nil
+}
+
+// Coordinator returns the plane's coordinator.
+func (p *Plane) Coordinator() *Coordinator { return p.coord }
+
+// Dispatcher returns the plane's action dispatcher.
+func (p *Plane) Dispatcher() *Dispatcher { return p.disp }
+
+// Agent returns the agent of a host.
+func (p *Plane) Agent(host string) (*Agent, bool) {
+	a, ok := p.agents[host]
+	return a, ok
+}
+
+// Executor wraps the inner executor with the plane's dispatching layer:
+// every decision is acknowledged by the affected hosts before it is
+// applied to the model.
+func (p *Plane) Executor(inner controller.Executor) *DispatchExecutor {
+	return NewDispatchExecutor(p.dep, inner, p.disp)
+}
+
+// Report sends one host's load report through its agent to the
+// coordinator. A transport failure is returned, not retried — a missed
+// heartbeat is the liveness detector's signal.
+func (p *Plane) Report(ctx context.Context, hb wire.Heartbeat) error {
+	a, ok := p.agents[hb.Host]
+	if !ok {
+		return fmt.Errorf("agent: no agent attached for host %q", hb.Host)
+	}
+	hbCtx, cancel := context.WithTimeout(ctx, p.HeartbeatTimeout)
+	defer cancel()
+	return a.SendHeartbeat(hbCtx, hb)
+}

@@ -1,0 +1,55 @@
+package console
+
+import (
+	"fmt"
+	"strings"
+
+	"autoglobe/internal/agent"
+	"autoglobe/internal/service"
+)
+
+// PlaneView renders the control-plane panel: the coordinator's ingest
+// counters, the dispatcher's retry/duplicate/nack statistics, and one
+// line per host with its liveness state and the size of its agent's
+// process table. It complements the server and service views with the
+// distributed-mode health an administrator watches during partitions:
+// which hosts are silent, which are demoted, how many actions needed
+// retries.
+func PlaneView(dep *service.Deployment, p *agent.Plane) string {
+	var sb strings.Builder
+	sb.WriteString("CONTROL PLANE\n")
+	coord := p.Coordinator()
+	st := p.Dispatcher().Stats()
+	fmt.Fprintf(&sb, "  coordinator %s: %d heartbeats ingested\n", coord.Node(), coord.Heartbeats())
+	fmt.Fprintf(&sb, "  dispatcher: %d actions, %d retries, %d duplicate acks, %d nacks, %d expired\n",
+		st.Actions, st.Retries, st.Duplicates, st.Nacks, st.Expired)
+
+	live := coord.Liveness()
+	down := make(map[string]bool)
+	for _, h := range live.Down() {
+		down[h] = true
+	}
+	fmt.Fprintf(&sb, "  %-12s %-8s %s\n", "host", "state", "agent procs")
+	for _, host := range dep.Cluster().Names() {
+		state := "unknown" // no beat seen yet
+		switch {
+		case down[host]:
+			state = "DEAD"
+		case live.Tracking(host):
+			state = "alive"
+		}
+		procs := "-"
+		if a, ok := p.Agent(host); ok {
+			procs = fmt.Sprintf("%d", a.Procs())
+		}
+		fmt.Fprintf(&sb, "  %-12s %-8s %s\n", host, state, procs)
+	}
+	// Demoted hosts are out of the cluster but still tracked: show them
+	// so the administrator sees what a healed partition would re-pool.
+	for _, host := range live.Down() {
+		if _, pooled := dep.Cluster().Host(host); !pooled {
+			fmt.Fprintf(&sb, "  %-12s %-8s (demoted, awaiting recovery)\n", host, "DEAD")
+		}
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -429,6 +429,26 @@ func (c *Controller) HandleFailure(svcName, failedHost string, minute int) (*Dec
 	return d, nil
 }
 
+// HandleHostFailure remedies a dead host: every service that lost an
+// instance with the host is restarted elsewhere through HandleFailure.
+// The caller must already have removed the host's instances from the
+// deployment (they are gone — the host stopped answering); lostServices
+// names their services, one entry per lost instance. Returned decisions
+// align with lostServices; a nil entry means no host could take the
+// restart (an administrator alert is logged for it).
+func (c *Controller) HandleHostFailure(host string, lostServices []string, minute int) ([]*Decision, error) {
+	c.note(minute, "host failure: %s stopped responding, %d instances lost", host, len(lostServices))
+	out := make([]*Decision, len(lostServices))
+	for i, svc := range lostServices {
+		d, err := c.HandleFailure(svc, host, minute)
+		if err != nil {
+			return out, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
 // Approve executes the i-th pending decision (semi-automatic mode).
 func (c *Controller) Approve(i int) (*Decision, error) {
 	if i < 0 || i >= len(c.pending) {

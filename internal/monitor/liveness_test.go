@@ -41,6 +41,104 @@ func TestLivenessMinimumTimeout(t *testing.T) {
 	}
 }
 
+// TestLivenessHysteresisFlapSequences drives a single entity through
+// scripted beat/silence sequences and checks the dead/alive transitions
+// a hysteresis detector (N consecutive missed probes before dead, M
+// successes before alive) must produce. Each step is one minute: 'b'
+// beats then evaluates, '.' stays silent and evaluates. The expected
+// string records the evaluation outcome per minute: 'D' the entity is
+// reported dead this minute, 'R' it is reported recovered, '-' neither.
+func TestLivenessHysteresisFlapSequences(t *testing.T) {
+	cases := []struct {
+		name                 string
+		timeout, dead, alive int
+		steps                string
+		want                 string
+	}{
+		{
+			// One silent evaluation is not enough at DeadAfter=2: the
+			// beat at minute 3 resets the miss streak; only the two
+			// consecutive misses at minutes 5 and 6 kill.
+			name: "single gap survives", timeout: 1, dead: 2, alive: 1,
+			steps: "b..b....",
+			want:  "------D-",
+		},
+		{
+			// Classic flap: alternating beat/silence never reaches two
+			// consecutive misses — the entity is never declared dead.
+			name: "alternating flap stays alive", timeout: 1, dead: 2, alive: 1,
+			steps: "b.b.b.b.b.",
+			want:  "----------",
+		},
+		{
+			// Without hysteresis the same flap kills on the first gap.
+			name: "alternating flap dies without hysteresis", timeout: 1, dead: 1, alive: 1,
+			steps: "b..b",
+			want:  "--DR",
+		},
+		{
+			// A dead entity needs AliveAfter=3 consecutive beats; two
+			// beats followed by a relapse (silence past the timeout)
+			// restart the count.
+			name: "recovery needs a streak", timeout: 1, dead: 2, alive: 3,
+			steps: "b...bb..bbb",
+			want:  "---D------R",
+		},
+		{
+			// A long partition: death reported exactly once.
+			name: "death reported once", timeout: 2, dead: 3, alive: 1,
+			steps: "b..........",
+			want:  "-----D-----",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			l := NewLivenessHysteresis(c.timeout, c.dead, c.alive)
+			want := c.want
+			if len(want) != len(c.steps) {
+				t.Fatalf("bad test: %d steps, %d expectations", len(c.steps), len(want))
+			}
+			for m, step := range c.steps {
+				if step == 'b' {
+					l.Beat("e", m)
+				}
+				got := byte('-')
+				if dead := l.Dead(m); len(dead) == 1 && dead[0] == "e" {
+					got = 'D'
+				} else if len(dead) != 0 {
+					t.Fatalf("minute %d: unexpected dead set %v", m, dead)
+				}
+				if rec := l.Recovered(); len(rec) == 1 && rec[0] == "e" {
+					if got == 'D' {
+						t.Fatalf("minute %d: dead and recovered at once", m)
+					}
+					got = 'R'
+				}
+				if got != want[m] {
+					t.Errorf("minute %d: got %c, want %c", m, got, want[m])
+				}
+			}
+		})
+	}
+}
+
+func TestLivenessSilent(t *testing.T) {
+	l := NewLivenessHysteresis(1, 3, 1)
+	l.Beat("a", 0)
+	l.Beat("b", 0)
+	if s := l.Silent(1); len(s) != 0 {
+		t.Fatalf("Silent(1) = %v, want none", s)
+	}
+	l.Beat("a", 2)
+	if s := l.Silent(3); len(s) != 1 || s[0] != "b" {
+		t.Fatalf("Silent(3) = %v, want [b]", s)
+	}
+	// Silent entities are probe candidates, not dead yet.
+	if l.Dead(3); !l.Tracking("b") {
+		t.Fatal("b declared dead after a single miss at DeadAfter=3")
+	}
+}
+
 func TestLivenessSortedOutput(t *testing.T) {
 	l := NewLiveness(1)
 	l.Beat("z", 0)

@@ -230,6 +230,40 @@ func (f *Federation) Deregister(instanceID string) error {
 	return nil
 }
 
+// DemoteHost force-removes a dead host from the federation: every
+// endpoint bound to it is deregistered (its service IPs unbound) and
+// the host leaves, so the directory and the failover router stop
+// handing out its addresses. This is the registry half of dead-host
+// demotion — the controller separately restarts the lost instances
+// elsewhere. It returns the deregistered endpoints so the caller can
+// remedy each one.
+func (f *Federation) DemoteHost(host string) ([]Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.hosts[host] {
+		return nil, fmt.Errorf("registry: host %q not in federation", host)
+	}
+	ids := make([]string, 0, len(f.byHost[host]))
+	for id := range f.byHost[host] {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	lost := make([]Endpoint, 0, len(ids))
+	for _, id := range ids {
+		ep := f.endpoints[id]
+		lost = append(lost, *ep)
+		delete(f.endpoints, id)
+		delete(f.byService[ep.Service], id)
+		delete(f.byIP, ep.ServiceIP)
+	}
+	delete(f.byHost, host)
+	delete(f.hosts, host)
+	for _, hosts := range f.code {
+		delete(hosts, host)
+	}
+	return lost, nil
+}
+
 // Lookup returns the endpoints of a service (the UDDI-style directory
 // query), sorted by instance ID.
 func (f *Federation) Lookup(service string) []Endpoint {

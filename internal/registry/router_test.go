@@ -2,6 +2,8 @@ package registry
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -77,6 +79,104 @@ func TestSendFailsOver(t *testing.T) {
 	}
 	if len(calls) == 0 {
 		t.Fatal("handler never invoked")
+	}
+}
+
+// TestRouterConcurrentRebind races the read path (Route, RouteAddr,
+// Send with failover) against a controller continuously rebinding an
+// instance between hosts — the online-move scenario where a client must
+// never observe a torn binding. Run under -race, this is both a memory
+// safety check and a semantic one: every lookup lands on a currently
+// bound endpoint, and the stable service IP never stops resolving
+// mid-rebind.
+func TestRouterConcurrentRebind(t *testing.T) {
+	f := fed(t, "a", "b", "c")
+	ep1, err := f.Instantiate("svc", "svc-1", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Instantiate("svc", "svc-2", "b"); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(f)
+	stableIP := ep1.ServiceIP
+
+	const movesWanted = 500
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// The mover: svc-1 oscillates between hosts a and c.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hosts := [2]string{"c", "a"}
+		for i := 0; i < movesWanted; i++ {
+			if _, err := f.Rebind("svc-1", hosts[i%2]); err != nil {
+				t.Errorf("rebind %d: %v", i, err)
+				break
+			}
+		}
+		stop.Store(true)
+	}()
+
+	// Readers: directory lookups, service-IP resolution and failing-over
+	// sends, all while the binding flips underneath them.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				ep, err := r.Route("svc")
+				if err != nil {
+					t.Errorf("Route: %v", err)
+					return
+				}
+				if ep.InstanceID != "svc-1" && ep.InstanceID != "svc-2" {
+					t.Errorf("Route returned foreign endpoint %+v", ep)
+					return
+				}
+				got, err := r.RouteAddr(stableIP)
+				if err != nil {
+					t.Errorf("service IP stopped resolving mid-rebind: %v", err)
+					return
+				}
+				if got.InstanceID != "svc-1" {
+					t.Errorf("stable IP resolved to %+v", got)
+					return
+				}
+				if got.Host != "a" && got.Host != "c" {
+					t.Errorf("svc-1 bound to unexpected host %q", got.Host)
+					return
+				}
+				// Failover path: refuse everything on the moving hosts;
+				// the send must settle on svc-2.
+				ep, err = r.Send("svc", func(e Endpoint) error {
+					if e.InstanceID == "svc-1" {
+						return errors.New("connection reset by rebind")
+					}
+					return nil
+				})
+				if err != nil {
+					t.Errorf("Send did not fail over: %v", err)
+					return
+				}
+				if ep.InstanceID != "svc-2" {
+					t.Errorf("failover landed on %+v, want svc-2", ep)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The dust settles on a consistent directory: both instances bound,
+	// svc-1 on one of the two hosts it oscillated between.
+	if got := len(f.Lookup("svc")); got != 2 {
+		t.Fatalf("%d endpoints after the race, want 2", got)
+	}
+	final, ok := f.Resolve(stableIP)
+	if !ok || (final.Host != "a" && final.Host != "c") {
+		t.Fatalf("final binding = %+v (ok=%v)", final, ok)
 	}
 }
 

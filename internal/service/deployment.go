@@ -137,6 +137,16 @@ func (d *Deployment) Start(svcName, hostName string) (*Instance, error) {
 	return inst, nil
 }
 
+// NextID returns the instance ID the next successful Start of the
+// service will assign. The distributed action dispatcher uses it to
+// address the host agent that will run an instance *before* the model
+// applies the start — the agent and the model must agree on the ID so
+// later stop/move operations can name it. The preview is only valid
+// until the next Start on this deployment.
+func (d *Deployment) NextID(svcName string) string {
+	return fmt.Sprintf("%s-%d", svcName, d.nextID+1)
+}
+
 // Stop terminates the instance. It fails if stopping would leave the
 // service below its minimum instance count; pass force to override (used
 // by the stop action that shuts a whole service down, and by failure

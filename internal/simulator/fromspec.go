@@ -19,6 +19,15 @@ import (
 // the controller's built-in rule bases ("the rules for the fuzzy
 // controller can be specified" in the XML language).
 func FromLandscape(l *spec.Landscape) (*Simulator, error) {
+	return FromLandscapeConfig(l, nil)
+}
+
+// FromLandscapeConfig builds a simulator from a declarative landscape
+// like FromLandscape, but lets the caller adjust the derived Config
+// before the simulator is assembled — e.g. to attach a Distributed
+// control plane or wrap the executor. The adjustment runs after every
+// declared tunable has been applied.
+func FromLandscapeConfig(l *spec.Landscape, adjust func(*Config)) (*Simulator, error) {
 	dep, err := l.BuildDeployment()
 	if err != nil {
 		return nil, err
@@ -86,6 +95,9 @@ func FromLandscape(l *spec.Landscape) (*Simulator, error) {
 
 	if err := applyDeclaredRules(&cfg, l); err != nil {
 		return nil, err
+	}
+	if adjust != nil {
+		adjust(&cfg)
 	}
 
 	gen, err := generatorFromSpec(l, sim, multiplier, cfg.Seed, cfg.JitterAmplitude)

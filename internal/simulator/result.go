@@ -62,6 +62,11 @@ type Result struct {
 	// FailedRestarts counts crashes the restart could not remedy.
 	Restarts       int
 	FailedRestarts int
+	// DemotedHosts counts hosts the liveness detector confirmed dead
+	// and removed from the pool (distributed mode); RepooledHosts
+	// counts demoted hosts re-admitted after a healed partition.
+	DemotedHosts  int
+	RepooledHosts int
 	// ProactiveTriggers counts controller invocations raised by the
 	// forecast extension ahead of a confirmed overload.
 	ProactiveTriggers int

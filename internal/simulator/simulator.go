@@ -14,6 +14,7 @@ import (
 	"math"
 	"math/rand"
 
+	"autoglobe/internal/agent"
 	"autoglobe/internal/archive"
 	"autoglobe/internal/cluster"
 	"autoglobe/internal/controller"
@@ -91,6 +92,13 @@ type Config struct {
 	// the heartbeat detector notices and the controller restarts them
 	// elsewhere.
 	HostEvents []HostEvent
+	// Distributed, when set, runs the simulation over the real control
+	// plane: heartbeats and actions travel as wire messages through
+	// per-host agents instead of in-process calls. With a fault-free
+	// transport the run is byte-identical to the in-process one; with
+	// injected faults it exercises retries, compensation and dead-host
+	// demotion. See DistributedConfig.
+	Distributed *DistributedConfig
 }
 
 // HostEvent is one scheduled change to the host pool.
@@ -130,6 +138,14 @@ func (c Config) validate() error {
 	case c.FluctuationPerHour < 0 || c.FluctuationPerHour > 1:
 		return fmt.Errorf("simulator: fluctuation %g outside [0, 1]", c.FluctuationPerHour)
 	}
+	if c.Distributed != nil {
+		if c.Distributed.Transport == nil {
+			return fmt.Errorf("simulator: distributed mode needs a transport")
+		}
+		if c.ForecastHorizon > 0 {
+			return fmt.Errorf("simulator: the proactive forecast extension is not available in distributed mode (the predictor reads local monitor state)")
+		}
+	}
 	return c.Monitor.Validate()
 }
 
@@ -150,6 +166,11 @@ type Simulator struct {
 	liveness   *monitor.Liveness
 	crashed    map[string]crashInfo // by instance ID, until remedied
 	res        *Result
+
+	// Distributed mode only: the control plane and the hosts demoted
+	// after confirmed death, kept for re-pooling on recovery.
+	plane     *agent.Plane
+	lostHosts map[string]cluster.Host
 }
 
 // crashInfo remembers what a crashed instance looked like so the
@@ -209,23 +230,32 @@ func newWithDeployment(cfg Config, dep *service.Deployment) (*Simulator, error) 
 			return nil, err
 		}
 	}
-	ctl, err := controller.New(cfg.Controller, dep, arch, exec)
-	if err != nil {
-		return nil, err
-	}
 	s := &Simulator{
 		cfg:        cfg,
 		dep:        dep,
 		gen:        workload.PaperGenerator(cfg.Multiplier, cfg.Seed),
 		arch:       arch,
 		lms:        lms,
-		ctl:        ctl,
 		rng:        rand.New(rand.NewSource(int64(cfg.Seed) + 17)),
 		registered: make(map[string]bool),
 		demand:     make(map[string]float64),
 		actual:     make(map[string]float64),
 		res:        newResult(cfg, dep.Cluster().Names()),
 	}
+	// The dispatch layer wraps outermost (after any WrapExecutor
+	// decoration): hosts must acknowledge before the model — and any
+	// federation mirror — changes.
+	if cfg.Distributed != nil {
+		if err := s.buildPlane(cfg.Distributed, lms); err != nil {
+			return nil, err
+		}
+		exec = s.plane.Executor(exec)
+	}
+	ctl, err := controller.New(cfg.Controller, dep, arch, exec)
+	if err != nil {
+		return nil, err
+	}
+	s.ctl = ctl
 	if cfg.ForecastHorizon > 0 {
 		s.predictor = forecast.New(arch)
 	}
@@ -304,6 +334,15 @@ func (s *Simulator) applyHostEvents(minute int) error {
 			}
 			s.res.HostLoad[ev.Add.Name] = make([]float64, s.res.Minutes)
 			s.res.Hosts = append(s.res.Hosts, ev.Add.Name)
+			if s.plane != nil {
+				// A hot-plugged blade gets an agent; a re-added blade
+				// still has one listening.
+				if _, ok := s.plane.Agent(ev.Add.Name); !ok {
+					if err := s.plane.AttachHost(ev.Add.Name); err != nil {
+						return err
+					}
+				}
+			}
 		case ev.Remove != "":
 			for _, inst := range s.dep.InstancesOn(ev.Remove) {
 				s.crashed[inst.ID] = crashInfo{
@@ -320,6 +359,11 @@ func (s *Simulator) applyHostEvents(minute int) error {
 			key := archive.HostEntity(ev.Remove)
 			s.lms.Deregister(key)
 			delete(s.registered, key)
+			if s.plane != nil {
+				// Orderly pool removal: the host is neither probed nor
+				// ever reported dead.
+				s.plane.Coordinator().Release(ev.Remove)
+			}
 		}
 	}
 	return nil
@@ -427,6 +471,9 @@ func (s *Simulator) instanceLoad(inst *service.Instance) float64 {
 // monitored; instances are recorded in the archive for the controller's
 // instanceLoad variable.
 func (s *Simulator) observe(minute int) ([]*monitor.Trigger, error) {
+	if s.plane != nil {
+		return s.observeDistributed(minute)
+	}
 	var triggers []*monitor.Trigger
 
 	for _, hostName := range s.dep.Cluster().Names() {

@@ -33,8 +33,35 @@ type Step struct {
 // nothing, via compensation). The zero value is an empty, usable
 // transaction.
 type Transaction struct {
-	steps []Step
-	done  int // number of completed steps (for tests and inspection)
+	steps    []Step
+	done     int // number of completed steps (for tests and inspection)
+	observer func(StepEvent)
+}
+
+// StepEvent records one step execution for the audit trail: which step
+// ran (or was compensated) and how it ended. The distributed action
+// dispatcher observes these to log every network side effect of a
+// compound action.
+type StepEvent struct {
+	// Step is the step name.
+	Step string
+	// Compensation is true for an Undo execution during rollback.
+	Compensation bool
+	// Err is the step's outcome (nil on success).
+	Err error
+}
+
+// Observe registers a callback invoked after every Do and every Undo
+// with the step's outcome. It returns the transaction for chaining.
+func (t *Transaction) Observe(fn func(StepEvent)) *Transaction {
+	t.observer = fn
+	return t
+}
+
+func (t *Transaction) emit(step string, compensation bool, err error) {
+	if t.observer != nil {
+		t.observer(StepEvent{Step: step, Compensation: compensation, Err: err})
+	}
 }
 
 // Add appends a step and returns the transaction for chaining.
@@ -80,6 +107,7 @@ func (t *Transaction) Run() error {
 			return fmt.Errorf("txn: step %q has no Do", s.Name)
 		}
 		err := s.Do()
+		t.emit(s.Name, false, err)
 		if err == nil {
 			t.done++
 			continue
@@ -90,7 +118,9 @@ func (t *Transaction) Run() error {
 			if u.Undo == nil {
 				continue
 			}
-			if uerr := u.Undo(); uerr != nil {
+			uerr := u.Undo()
+			t.emit(u.Name, true, uerr)
+			if uerr != nil {
 				return &RollbackError{Cause: cause, FailedUndo: u.Name, UndoErr: uerr}
 			}
 		}

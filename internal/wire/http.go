@@ -1,0 +1,222 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// WirePath is the HTTP endpoint every node serves the protocol on.
+const WirePath = "/autoglobe/v1/wire"
+
+// HTTP is the TCP transport: each listening node runs a stdlib
+// net/http server accepting JSON envelopes on WirePath, and calls POST
+// to the destination's base URL. Node names map to base URLs through an
+// internal peer table — filled automatically for nodes listening on the
+// same transport instance (single-process tests) and explicitly via
+// Register for real multi-process landscapes (cmd/autoglobe-agentd).
+type HTTP struct {
+	// DefaultListenAddr, when non-empty, is the address Listen binds
+	// instead of an ephemeral localhost port — e.g. "0.0.0.0:7700" for a
+	// daemon on a routable interface. Set it before the first Listen; it
+	// only makes sense for processes hosting a single node (each Listen
+	// binds the address once).
+	DefaultListenAddr string
+
+	mu        sync.Mutex
+	peers     map[string]string // node -> base URL
+	listeners []net.Listener
+	servers   []*http.Server
+	closed    bool
+
+	client *http.Client
+}
+
+// NewHTTP returns an HTTP transport with a default client.
+func NewHTTP() *HTTP {
+	return &HTTP{
+		peers:  make(map[string]string),
+		client: &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// Listen implements Transport: it binds DefaultListenAddr (fallback: an
+// ephemeral localhost port) for the node and registers the node → URL
+// mapping locally. Use ListenOn to control the address per node.
+func (t *HTTP) Listen(node string, h Handler) error {
+	addr := t.DefaultListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	_, err := t.ListenOn(node, addr, h)
+	return err
+}
+
+// ListenOn binds the given address for the node and returns the node's
+// base URL (useful with ":0" ports).
+func (t *HTTP) ListenOn(node, addr string, h Handler) (string, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return "", ErrClosed
+	}
+	if _, dup := t.peers[node]; dup {
+		t.mu.Unlock()
+		return "", errDuplicateListener(node)
+	}
+	t.mu.Unlock()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(WirePath, func(w http.ResponseWriter, r *http.Request) {
+		serveWire(w, r, h)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+
+	base := "http://" + ln.Addr().String()
+	t.mu.Lock()
+	t.peers[node] = base
+	t.listeners = append(t.listeners, ln)
+	t.servers = append(t.servers, srv)
+	t.mu.Unlock()
+	return base, nil
+}
+
+// Register maps a remote node name to its base URL (e.g.
+// "http://10.0.0.7:7700") so Call can reach nodes served by another
+// process.
+func (t *HTTP) Register(node, baseURL string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.peers[node] = baseURL
+}
+
+// Addr returns the base URL registered for a node.
+func (t *HTTP) Addr(node string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u, ok := t.peers[node]
+	return u, ok
+}
+
+func serveWire(w http.ResponseWriter, r *http.Request, h Handler) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "wire: POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		http.Error(w, "wire: read: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		http.Error(w, "wire: decode: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Version negotiation happens here: an incompatible frame is
+	// rejected loudly before any handler state changes.
+	if err := env.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reply, err := h(&env)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if reply == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if err := json.NewEncoder(w).Encode(reply); err != nil {
+		// Header already sent; nothing more to do.
+		return
+	}
+}
+
+// Call implements Transport.
+func (t *HTTP) Call(ctx context.Context, node string, env *Envelope) (*Envelope, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	base, ok := t.peers[node]
+	client := t.client
+	t.mu.Unlock()
+	if !ok {
+		return nil, ErrNoRoute
+	}
+
+	buf, err := json.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+WirePath, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ErrTimeout
+		}
+		return nil, fmt.Errorf("wire: call %s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, fmt.Errorf("wire: call %s: read reply: %w", node, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var reply Envelope
+		if err := json.Unmarshal(body, &reply); err != nil {
+			return nil, fmt.Errorf("wire: call %s: decode reply: %w", node, err)
+		}
+		if err := reply.Validate(); err != nil {
+			return nil, err
+		}
+		return &reply, nil
+	case http.StatusNoContent:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("wire: call %s: HTTP %d: %s", node, resp.StatusCode, bytes.TrimSpace(body))
+	}
+}
+
+// Close implements Transport: shuts down every server this instance
+// started.
+func (t *HTTP) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	servers := t.servers
+	t.servers = nil
+	t.listeners = nil
+	t.mu.Unlock()
+	var firstErr error
+	for _, srv := range servers {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		if err := srv.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		cancel()
+	}
+	return firstErr
+}

@@ -1,0 +1,197 @@
+package wire
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Loopback is the in-memory transport: delivery is a synchronous
+// function call in the caller's goroutine, so tests are deterministic,
+// and an injectable fault model — latency, message drops, lost replies,
+// partitions — turns it into a miniature unreliable network. It is the
+// reference transport: the distributed simulator scenario must produce
+// byte-identical action logs over Loopback and over HTTP.
+type Loopback struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	closed   bool
+
+	// fault state, all guarded by mu
+	dropNext      map[string]int // node -> calls to swallow before the handler runs
+	dropReplyNext map[string]int // node -> replies to swallow after the handler ran
+	latency       map[string]time.Duration
+	isolated      map[string]bool
+	dropRate      float64
+	rng           *rand.Rand
+
+	calls   int
+	dropped int
+}
+
+// NewLoopback returns an empty loopback network.
+func NewLoopback() *Loopback {
+	return &Loopback{
+		handlers:      make(map[string]Handler),
+		dropNext:      make(map[string]int),
+		dropReplyNext: make(map[string]int),
+		latency:       make(map[string]time.Duration),
+		isolated:      make(map[string]bool),
+	}
+}
+
+// Listen implements Transport.
+func (l *Loopback) Listen(node string, h Handler) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if _, dup := l.handlers[node]; dup {
+		return errDuplicateListener(node)
+	}
+	l.handlers[node] = h
+	return nil
+}
+
+func errDuplicateListener(node string) error {
+	return &listenerError{node}
+}
+
+type listenerError struct{ node string }
+
+func (e *listenerError) Error() string { return "wire: node " + e.node + " already listening" }
+
+// Call implements Transport. Faults are evaluated in order: isolation,
+// scheduled drops, random drops, latency, handler, scheduled reply
+// drops. A swallowed message or reply surfaces as ErrTimeout, exactly
+// what a caller waiting for an ack over a real network would see.
+func (l *Loopback) Call(ctx context.Context, node string, env *Envelope) (*Envelope, error) {
+	if err := env.Validate(); err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	l.calls++
+	h, ok := l.handlers[node]
+	if !ok {
+		l.mu.Unlock()
+		return nil, ErrNoRoute
+	}
+	if l.isolated[node] || l.isolated[env.From] {
+		l.dropped++
+		l.mu.Unlock()
+		return nil, ErrTimeout
+	}
+	if l.dropNext[node] > 0 {
+		l.dropNext[node]--
+		l.dropped++
+		l.mu.Unlock()
+		return nil, ErrTimeout
+	}
+	if l.dropRate > 0 && l.rng != nil && l.rng.Float64() < l.dropRate {
+		l.dropped++
+		l.mu.Unlock()
+		return nil, ErrTimeout
+	}
+	lat := l.latency[node]
+	l.mu.Unlock()
+
+	if lat > 0 {
+		select {
+		case <-time.After(lat):
+		case <-ctx.Done():
+			return nil, ErrTimeout
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ErrTimeout
+	}
+
+	reply, err := h(env)
+	if err != nil {
+		return nil, err
+	}
+	if reply != nil {
+		if err := reply.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.dropReplyNext[node] > 0 {
+		l.dropReplyNext[node]--
+		l.dropped++
+		return nil, ErrTimeout
+	}
+	return reply, nil
+}
+
+// Close implements Transport.
+func (l *Loopback) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+// DropNext swallows the next n messages addressed to node before they
+// reach its handler (lost requests).
+func (l *Loopback) DropNext(node string, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dropNext[node] += n
+}
+
+// DropReplyNext lets the next n messages to node execute but swallows
+// their replies (lost acks) — the scenario idempotency keys exist for:
+// the caller retries an operation the agent already applied.
+func (l *Loopback) DropReplyNext(node string, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dropReplyNext[node] += n
+}
+
+// SetLatency delays every delivery to node; a call whose context
+// expires during the delay times out.
+func (l *Loopback) SetLatency(node string, d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.latency[node] = d
+}
+
+// Isolate partitions a node from the network: every message to or from
+// it vanishes until Heal.
+func (l *Loopback) Isolate(node string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.isolated[node] = true
+}
+
+// Heal reconnects an isolated node.
+func (l *Loopback) Heal(node string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.isolated, node)
+}
+
+// SetDropRate makes a fraction of deliveries vanish at random, driven
+// by the given seed so a failing run replays exactly.
+func (l *Loopback) SetDropRate(rate float64, seed uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dropRate = rate
+	l.rng = rand.New(rand.NewSource(int64(seed)))
+}
+
+// Stats reports delivered-call and dropped-message counters.
+func (l *Loopback) Stats() (calls, dropped int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.calls, l.dropped
+}

@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// rawPost posts an envelope without client-side validation, to test
+// server-side rejection.
+func rawPost(base string, env *Envelope) (*Envelope, error) {
+	buf, err := json.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+WirePath, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg bytes.Buffer
+		msg.ReadFrom(resp.Body) //nolint:errcheck
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg.String())
+	}
+	var reply Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+func TestLoopbackDropNext(t *testing.T) {
+	tr := NewLoopback()
+	defer tr.Close()
+	delivered := 0
+	tr.Listen("a", func(env *Envelope) (*Envelope, error) { //nolint:errcheck
+		delivered++
+		return AckEnvelope("a", env.From, ActionAck{Key: env.Action.Key, OK: true}), nil
+	})
+	ctx := context.Background()
+	tr.DropNext("a", 2)
+	for i := 0; i < 2; i++ {
+		if _, err := tr.Call(ctx, "a", ActionEnvelope("c", "a", ActionRequest{Key: "k", Op: OpStart})); err != ErrTimeout {
+			t.Fatalf("dropped call %d: err = %v, want ErrTimeout", i, err)
+		}
+	}
+	if delivered != 0 {
+		t.Fatalf("handler ran %d times during drop window", delivered)
+	}
+	if _, err := tr.Call(ctx, "a", ActionEnvelope("c", "a", ActionRequest{Key: "k", Op: OpStart})); err != nil {
+		t.Fatalf("call after drop window: %v", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+	if calls, dropped := tr.Stats(); calls != 3 || dropped != 2 {
+		t.Errorf("stats = (%d, %d), want (3, 2)", calls, dropped)
+	}
+}
+
+// TestLoopbackDropReply: the handler runs — the operation is applied —
+// but the ack vanishes. This is the failure mode idempotency keys
+// exist for.
+func TestLoopbackDropReply(t *testing.T) {
+	tr := NewLoopback()
+	defer tr.Close()
+	delivered := 0
+	tr.Listen("a", func(env *Envelope) (*Envelope, error) { //nolint:errcheck
+		delivered++
+		return AckEnvelope("a", env.From, ActionAck{Key: env.Action.Key, OK: true}), nil
+	})
+	tr.DropReplyNext("a", 1)
+	_, err := tr.Call(context.Background(), "a", ActionEnvelope("c", "a", ActionRequest{Key: "k", Op: OpStart}))
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if delivered != 1 {
+		t.Fatalf("delivered = %d: reply drop must still run the handler", delivered)
+	}
+}
+
+func TestLoopbackPartition(t *testing.T) {
+	tr := NewLoopback()
+	defer tr.Close()
+	tr.Listen("a", echoHandler("a")) //nolint:errcheck
+	tr.Listen("b", echoHandler("b")) //nolint:errcheck
+	ctx := context.Background()
+	tr.Isolate("a")
+	if _, err := tr.Call(ctx, "a", ActionEnvelope("c", "a", ActionRequest{Key: "k", Op: OpStart})); err != ErrTimeout {
+		t.Fatalf("call into partition: err = %v, want ErrTimeout", err)
+	}
+	// Traffic from the isolated node vanishes too.
+	if _, err := tr.Call(ctx, "b", ActionEnvelope("a", "b", ActionRequest{Key: "k", Op: OpStart})); err != ErrTimeout {
+		t.Fatalf("call out of partition: err = %v, want ErrTimeout", err)
+	}
+	// Unaffected pairs keep working.
+	if _, err := tr.Call(ctx, "b", ActionEnvelope("c", "b", ActionRequest{Key: "k", Op: OpStart})); err != nil {
+		t.Fatalf("healthy pair: %v", err)
+	}
+	tr.Heal("a")
+	if _, err := tr.Call(ctx, "a", ActionEnvelope("c", "a", ActionRequest{Key: "k", Op: OpStart})); err != nil {
+		t.Fatalf("call after heal: %v", err)
+	}
+}
+
+func TestLoopbackLatencyTimesOut(t *testing.T) {
+	tr := NewLoopback()
+	defer tr.Close()
+	tr.Listen("a", echoHandler("a")) //nolint:errcheck
+	tr.SetLatency("a", 30*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := tr.Call(ctx, "a", ActionEnvelope("c", "a", ActionRequest{Key: "k", Op: OpStart})); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// A generous deadline rides out the latency.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if _, err := tr.Call(ctx2, "a", ActionEnvelope("c", "a", ActionRequest{Key: "k", Op: OpStart})); err != nil {
+		t.Fatalf("err = %v, want delivered after latency", err)
+	}
+}
+
+func TestLoopbackDropRateDeterministic(t *testing.T) {
+	run := func() []bool {
+		tr := NewLoopback()
+		defer tr.Close()
+		tr.Listen("a", echoHandler("a")) //nolint:errcheck
+		tr.SetDropRate(0.5, 7)
+		var outcomes []bool
+		for i := 0; i < 32; i++ {
+			_, err := tr.Call(context.Background(), "a", ActionEnvelope("c", "a", ActionRequest{Key: "k", Op: OpStart}))
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	var delivered int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded drop sequence diverged at call %d", i)
+		}
+		if a[i] {
+			delivered++
+		}
+	}
+	if delivered == 0 || delivered == len(a) {
+		t.Fatalf("drop rate 0.5 delivered %d/%d", delivered, len(a))
+	}
+}
+
+func TestLoopbackClosed(t *testing.T) {
+	tr := NewLoopback()
+	tr.Listen("a", echoHandler("a")) //nolint:errcheck
+	tr.Close()
+	if err := tr.Listen("b", echoHandler("b")); err != ErrClosed {
+		t.Errorf("Listen after close: %v", err)
+	}
+	if _, err := tr.Call(context.Background(), "a", ActionEnvelope("c", "a", ActionRequest{Key: "k", Op: OpStart})); err != ErrClosed {
+		t.Errorf("Call after close: %v", err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package wire defines the control-plane protocol between AutoGlobe's
+// central autonomic manager (the coordinator) and the per-host agents
+// (cmd/autoglobe-agentd): versioned messages — heartbeat/load report,
+// action request/ack, liveness probe — exchanged over a pluggable
+// Transport. Two transports are provided: a deterministic in-memory
+// loopback with injectable latency/drop/partition faults (for tests and
+// single-process deployments) and a stdlib net/http JSON transport for
+// real TCP landscapes. The paper's controller administered 19 blade
+// hosts through ServiceGlobe's network substrate; this package is the
+// equivalent substrate for the reproduction, shaped after the
+// agent-streams-telemetry / manager-pushes-actions pattern of
+// constraint-based autonomic deployment middleware.
+package wire
+
+import "fmt"
+
+// Version is the protocol version carried in every envelope. A node
+// receiving an envelope with a different version must reject it — the
+// stacked-deployment story (rolling agent upgrades) depends on loud,
+// early incompatibility errors rather than silent misparses.
+const Version = 1
+
+// MsgType enumerates the control-plane message kinds.
+type MsgType string
+
+// The message kinds of protocol version 1.
+const (
+	// TypeHeartbeat is the agent → coordinator load report; it doubles
+	// as the liveness heartbeat (every load monitor's report is a
+	// heartbeat, as in the monitoring pipeline).
+	TypeHeartbeat MsgType = "heartbeat"
+	// TypeAction is a coordinator → agent action request (start, stop,
+	// bind, unbind, priority) carrying an idempotency key and deadline.
+	TypeAction MsgType = "action"
+	// TypeAck answers both heartbeats and actions.
+	TypeAck MsgType = "ack"
+	// TypeProbe is the coordinator → agent liveness probe, sent before a
+	// silent host is declared dead.
+	TypeProbe MsgType = "probe"
+	// TypeProbeAck answers a probe.
+	TypeProbeAck MsgType = "probeAck"
+	// TypeHello announces an agent joining the landscape (host name and
+	// hardware attributes), used by cmd/autoglobe-agentd.
+	TypeHello MsgType = "hello"
+)
+
+// Op enumerates the host-local operations an action request can carry.
+// A controller decision decomposes into one or more ops, each addressed
+// to the agent of the affected host (see agent.OpsFor).
+type Op string
+
+// The host-local operations of protocol version 1.
+const (
+	// OpStart launches a new instance of a service on the agent's host.
+	OpStart Op = "start"
+	// OpStop terminates an instance on the agent's host.
+	OpStop Op = "stop"
+	// OpBind binds a relocating instance to the agent's host (the
+	// service-IP bind half of a move).
+	OpBind Op = "bind"
+	// OpUnbind releases a relocating instance from the agent's host.
+	OpUnbind Op = "unbind"
+	// OpPriority adjusts an instance's scheduling priority.
+	OpPriority Op = "priority"
+)
+
+// InstanceSample is one instance's load measurement inside a heartbeat.
+type InstanceSample struct {
+	ID      string  `json:"id"`
+	Service string  `json:"service"`
+	Load    float64 `json:"load"`
+}
+
+// Heartbeat is the per-minute load report of one host: the host-level
+// CPU and memory loads plus a sample per resident instance. Its arrival
+// is also the host's liveness beat.
+type Heartbeat struct {
+	Host      string           `json:"host"`
+	Minute    int              `json:"minute"`
+	CPU       float64          `json:"cpu"`
+	Mem       float64          `json:"mem"`
+	Instances []InstanceSample `json:"instances,omitempty"`
+}
+
+// ActionRequest asks an agent to apply one host-local operation.
+type ActionRequest struct {
+	// Key is the idempotency key: retries of the same logical operation
+	// reuse the key, and the agent answers duplicates from its applied
+	// cache instead of double-applying.
+	Key string `json:"key"`
+	// Op is the operation.
+	Op Op `json:"op"`
+	// Host is the destination host (redundant with the envelope's To,
+	// kept for auditability of persisted logs).
+	Host string `json:"host"`
+	// Service names the service for start/bind operations.
+	Service string `json:"service,omitempty"`
+	// InstanceID identifies the affected instance.
+	InstanceID string `json:"instanceID,omitempty"`
+	// Delta is the priority adjustment for OpPriority.
+	Delta int `json:"delta,omitempty"`
+	// DeadlineUnixMS is the per-action deadline: an agent receiving the
+	// request after this wall-clock instant rejects it (the coordinator
+	// has given up and may already be compensating). Zero disables.
+	DeadlineUnixMS int64 `json:"deadlineUnixMS,omitempty"`
+}
+
+// ActionAck answers an action request.
+type ActionAck struct {
+	Key string `json:"key"`
+	OK  bool   `json:"ok"`
+	// Error explains a rejected request (OK false).
+	Error string `json:"error,omitempty"`
+	// Duplicate reports that the ack was served from the agent's
+	// idempotency cache — the operation was NOT applied again.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// Probe is a liveness probe for a silent host.
+type Probe struct {
+	Host   string `json:"host"`
+	Minute int    `json:"minute"`
+}
+
+// Hello announces an agent joining the landscape.
+type Hello struct {
+	Host             string  `json:"host"`
+	PerformanceIndex float64 `json:"performanceIndex"`
+	MemoryMB         int     `json:"memoryMB"`
+	// Addr is the agent's reachable base URL on routed transports
+	// (HTTP), so the coordinator can register the return route for
+	// actions and probes. Empty on transports with implicit routing
+	// (loopback).
+	Addr string `json:"addr,omitempty"`
+}
+
+// Envelope is the versioned frame every message travels in.
+type Envelope struct {
+	Version int     `json:"v"`
+	Type    MsgType `json:"type"`
+	From    string  `json:"from"`
+	To      string  `json:"to"`
+	Seq     uint64  `json:"seq,omitempty"`
+
+	Heartbeat *Heartbeat     `json:"heartbeat,omitempty"`
+	Action    *ActionRequest `json:"action,omitempty"`
+	Ack       *ActionAck     `json:"ack,omitempty"`
+	Probe     *Probe         `json:"probe,omitempty"`
+	Hello     *Hello         `json:"hello,omitempty"`
+}
+
+// NewEnvelope frames a payload. Exactly one payload field should be set
+// by the caller afterwards (or use the typed constructors below).
+func NewEnvelope(t MsgType, from, to string) *Envelope {
+	return &Envelope{Version: Version, Type: t, From: from, To: to}
+}
+
+// HeartbeatEnvelope frames a heartbeat.
+func HeartbeatEnvelope(from, to string, hb Heartbeat) *Envelope {
+	e := NewEnvelope(TypeHeartbeat, from, to)
+	e.Heartbeat = &hb
+	return e
+}
+
+// ActionEnvelope frames an action request.
+func ActionEnvelope(from, to string, req ActionRequest) *Envelope {
+	e := NewEnvelope(TypeAction, from, to)
+	e.Action = &req
+	return e
+}
+
+// AckEnvelope frames an action ack.
+func AckEnvelope(from, to string, ack ActionAck) *Envelope {
+	e := NewEnvelope(TypeAck, from, to)
+	e.Ack = &ack
+	return e
+}
+
+// ProbeEnvelope frames a liveness probe.
+func ProbeEnvelope(from, to string, p Probe) *Envelope {
+	e := NewEnvelope(TypeProbe, from, to)
+	e.Probe = &p
+	return e
+}
+
+// HelloEnvelope frames a join announcement.
+func HelloEnvelope(from, to string, h Hello) *Envelope {
+	e := NewEnvelope(TypeHello, from, to)
+	e.Hello = &h
+	return e
+}
+
+// Validate checks version and payload consistency. Transports call it
+// on receipt so a malformed or incompatible frame is rejected at the
+// boundary, before any handler state changes.
+func (e *Envelope) Validate() error {
+	if e == nil {
+		return fmt.Errorf("wire: nil envelope")
+	}
+	if e.Version != Version {
+		return fmt.Errorf("wire: protocol version %d, want %d", e.Version, Version)
+	}
+	switch e.Type {
+	case TypeHeartbeat:
+		if e.Heartbeat == nil {
+			return fmt.Errorf("wire: heartbeat envelope without heartbeat payload")
+		}
+	case TypeAction:
+		if e.Action == nil {
+			return fmt.Errorf("wire: action envelope without action payload")
+		}
+		if e.Action.Key == "" {
+			return fmt.Errorf("wire: action without idempotency key")
+		}
+	case TypeAck:
+		if e.Ack == nil {
+			return fmt.Errorf("wire: ack envelope without ack payload")
+		}
+	case TypeProbe, TypeProbeAck:
+		if e.Probe == nil {
+			return fmt.Errorf("wire: probe envelope without probe payload")
+		}
+	case TypeHello:
+		if e.Hello == nil {
+			return fmt.Errorf("wire: hello envelope without hello payload")
+		}
+	default:
+		return fmt.Errorf("wire: unknown message type %q", e.Type)
+	}
+	return nil
+}

@@ -2,12 +2,14 @@
 # scripts/check.sh — the tier-1 gate (see ROADMAP.md).
 #
 # Runs, in order:
-#   1. go vet            over every package
-#   2. go build          over every package
-#   3. go test -race     the full suite under the race detector
+#   1. gofmt -l          over the tree — unformatted files fail the gate
+#   2. go vet            over every package
+#   3. go build          over every package
+#   4. go test -race     the full suite under the race detector
 #      (exercises the parallel sweep engine, the shared compiled rule
-#      bases and the simulator-isolation tests concurrently)
-#   4. a short smoke run of the inference fast-path benchmark, so a
+#      bases, the simulator-isolation tests and the control-plane
+#      transports concurrently)
+#   5. a short smoke run of the inference fast-path benchmark, so a
 #      regression that breaks the compiled path or its pooling shows up
 #      even when no test asserts on speed
 #
@@ -15,6 +17,14 @@
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l cmd internal ./*.go)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
