@@ -23,9 +23,12 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
+	"sync"
 	"syscall"
 	"time"
 
@@ -33,6 +36,7 @@ import (
 	"autoglobe/internal/console"
 	"autoglobe/internal/controller"
 	"autoglobe/internal/monitor"
+	"autoglobe/internal/obs"
 	"autoglobe/internal/simulator"
 	"autoglobe/internal/spec"
 	"autoglobe/internal/wire"
@@ -48,6 +52,7 @@ func main() {
 		load        = flag.Float64("load", 0.30, "synthetic CPU load this agent reports (agent mode)")
 		interval    = flag.Duration("interval", 2*time.Second, "wall-clock duration of one control-plane minute")
 		hours       = flag.Int("hours", 24, "simulated hours (demo mode)")
+		obsAddr     = flag.String("obs", "", "demo mode: keep serving /healthz and /autoglobe/v1/{metrics,traces} on this address after the run (coordinator and agent modes always serve them on their wire listener)")
 	)
 	flag.Parse()
 
@@ -61,11 +66,21 @@ func main() {
 	case "agent":
 		err = runAgent(*host, *coordinator, *load, *interval)
 	case "demo":
-		err = runDemo(*landscape, *hours)
+		err = runDemo(*landscape, *hours, *obsAddr)
 	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// mountObs rides the observability surface on a wire HTTP listener:
+// every daemon answers /healthz, /autoglobe/v1/metrics and
+// /autoglobe/v1/traces next to the wire endpoint. Must be called
+// before the transport starts listening.
+func mountObs(tr *wire.HTTP, reg *obs.Registry, tracer *obs.Tracer, health *obs.Health) {
+	tr.Mount(obs.MetricsPath, obs.MetricsHandler(reg))
+	tr.Mount(obs.TracesPath, obs.TracesHandler(tracer))
+	tr.Mount(obs.HealthPath, obs.HealthHandler(health))
 }
 
 func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int) error {
@@ -120,14 +135,27 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration) er
 	tr.DefaultListenAddr = listenAddr
 	defer tr.Close()
 
+	// The full observability surface rides on the coordinator's wire
+	// listener: metrics from every layer, the decision trace ring, and a
+	// health report wired to the ingest error state.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	health := obs.NewHealth()
+	health.SetInfo("mode", "coordinator")
+	tr.Instrument(reg)
+	mountObs(tr, reg, tracer, health)
+
 	lms, err := monitor.NewSystem(monitor.PaperParams(), nil)
 	if err != nil {
 		return err
 	}
+	lms.Instrument(reg)
 	coord, err := agent.NewCoordinator("", dep, lms, tr, nil)
 	if err != nil {
 		return err
 	}
+	coord.Instrument(reg)
+	coord.Liveness().Instrument(reg)
 	coord.OnHello = func(h wire.Hello) error {
 		if h.Addr != "" {
 			tr.Register(h.Host, h.Addr)
@@ -136,15 +164,36 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration) er
 		return nil
 	}
 	disp := agent.NewDispatcher(agent.DispatchConfig{From: coord.Node()}, tr)
+	disp.Instrument(reg)
+	disp.Trace(tracer)
 	exec := agent.NewDispatchExecutor(dep,
 		controller.NewDeploymentExecutor(dep, controller.StickyUsers), disp)
 	ctl, err := controller.New(controller.Config{}, dep, lms.Archive(), exec)
 	if err != nil {
 		return err
 	}
+	ctl.Instrument(reg)
+	ctl.Trace(tracer)
+	health.SetInfo("node", coord.Node())
+	// Coordinator.Err drains on read, so the minute loop records the
+	// drained value here and the health check reports it until the next
+	// minute overwrites it.
+	var ingestMu sync.Mutex
+	var ingestErr error
+	setIngest := func(err error) {
+		ingestMu.Lock()
+		ingestErr = err
+		ingestMu.Unlock()
+	}
+	health.Register("ingest", func() error {
+		ingestMu.Lock()
+		defer ingestMu.Unlock()
+		return ingestErr
+	})
 
 	base, _ := tr.Addr(coord.Node())
 	fmt.Printf("coordinator listening on %s (%s), one minute every %v\n", listenAddr, base, interval)
+	fmt.Printf("observability: %s%s, %s%s, %s%s\n", base, obs.HealthPath, base, obs.MetricsPath, base, obs.TracesPath)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -158,8 +207,10 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration) er
 			return nil
 		case <-ticker.C:
 		}
-		if err := coord.Err(); err != nil {
-			fmt.Fprintf(os.Stderr, "ingest: %v\n", err)
+		ingest := coord.Err()
+		setIngest(ingest)
+		if ingest != nil {
+			fmt.Fprintf(os.Stderr, "ingest: %v\n", ingest)
 		}
 		if err := coord.ObserveServices(minute); err != nil {
 			return err
@@ -201,12 +252,22 @@ func renderEvent(e controller.Event) string {
 func runAgent(host, coordinatorURL string, load float64, interval time.Duration) error {
 	tr := wire.NewHTTP()
 	defer tr.Close()
+	// The agent serves the same observability surface as the
+	// coordinator on its own listener: wire-call metrics plus a health
+	// report naming the host (no tracer — traces are controller-side).
+	reg := obs.NewRegistry()
+	health := obs.NewHealth()
+	health.SetInfo("mode", "agent")
+	health.SetInfo("host", host)
+	tr.Instrument(reg)
+	mountObs(tr, reg, nil, health)
 	tr.Register(agent.CoordinatorNode, coordinatorURL)
 	a, err := agent.NewAgent(host, agent.CoordinatorNode, tr)
 	if err != nil {
 		return err
 	}
 	base, _ := tr.Addr(host)
+	fmt.Printf("observability: %s%s, %s%s\n", base, obs.HealthPath, base, obs.MetricsPath)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -255,16 +316,20 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration)
 // declared landscape runs through the simulator's distributed mode over
 // the in-memory loopback, and the run ends with the control-plane panel
 // and the usual result summary.
-func runDemo(landscapePath string, hours int) error {
+func runDemo(landscapePath string, hours int, obsAddr string) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
 	}
 	tr := wire.NewLoopback()
 	defer tr.Close()
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
 	sim, err := simulator.FromLandscapeConfig(l, func(c *simulator.Config) {
 		c.Hours = hours
 		c.Distributed = &simulator.DistributedConfig{Transport: tr}
+		c.Obs = reg
+		c.Tracer = tracer
 	})
 	if err != nil {
 		return err
@@ -277,9 +342,41 @@ func runDemo(landscapePath string, hours int) error {
 	fmt.Println()
 	fmt.Println(console.ServerView(sim.Deployment(), sim.Archive()))
 	fmt.Println()
+	fmt.Println(console.ObsView(reg, tracer, 10))
+	fmt.Println()
 	fmt.Println(res)
 	if res.DemotedHosts > 0 || res.RepooledHosts > 0 {
 		fmt.Printf("demoted %d hosts, re-pooled %d\n", res.DemotedHosts, res.RepooledHosts)
+	}
+	if obsAddr == "" {
+		return nil
+	}
+	// -obs keeps the finished run inspectable: the metrics, traces and
+	// health of the fast-forwarded plane stay scrapeable until
+	// interrupted.
+	health := obs.NewHealth()
+	health.SetInfo("mode", "demo")
+	srv := &http.Server{
+		Addr:              obsAddr,
+		Handler:           obs.Handler(reg, tracer, health),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	ln, err := net.Listen("tcp", obsAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving observability on http://%s (%s, %s, %s) — ^C to stop\n",
+		ln.Addr(), obs.HealthPath, obs.MetricsPath, obs.TracesPath)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		_ = srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
 	}
 	return nil
 }

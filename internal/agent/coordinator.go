@@ -9,6 +9,7 @@ import (
 
 	"autoglobe/internal/archive"
 	"autoglobe/internal/monitor"
+	"autoglobe/internal/obs"
 	"autoglobe/internal/service"
 	"autoglobe/internal/wire"
 )
@@ -44,7 +45,9 @@ type Coordinator struct {
 	triggers   []*monitor.Trigger
 	samples    map[string][]wire.InstanceSample // service -> this minute's samples
 	heartbeats int
+	maxMinute  int
 	lastErr    error
+	metrics    *coordMetrics
 }
 
 // NewCoordinator starts a coordinator over the deployment and load
@@ -77,6 +80,15 @@ func NewCoordinator(node string, dep *service.Deployment, lms *monitor.System, t
 		return nil, err
 	}
 	return c, nil
+}
+
+// Instrument attaches an obs registry: ingested heartbeats are counted
+// and their staleness (minutes behind the newest observed minute) is
+// recorded. A nil registry leaves the coordinator uninstrumented.
+func (c *Coordinator) Instrument(r *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = newCoordMetrics(r)
 }
 
 // Node returns the coordinator's transport node name.
@@ -137,6 +149,10 @@ func (c *Coordinator) Ingest(hb wire.Heartbeat) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.heartbeats++
+	if hb.Minute > c.maxMinute {
+		c.maxMinute = hb.Minute
+	}
+	c.metrics.ingest(c.maxMinute - hb.Minute)
 	c.live.Beat(hb.Host, hb.Minute)
 
 	key := archive.HostEntity(hb.Host)

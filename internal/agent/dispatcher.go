@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"autoglobe/internal/obs"
 	"autoglobe/internal/wire"
 )
 
@@ -94,10 +95,12 @@ type Dispatcher struct {
 	cfg DispatchConfig
 	tr  wire.Transport
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	seq   uint64
-	stats DispatchStats
+	mu      sync.Mutex
+	rng     *rand.Rand
+	seq     uint64
+	stats   DispatchStats
+	metrics *dispatchMetrics
+	tracer  *obs.Tracer
 }
 
 // NewDispatcher builds a dispatcher over the transport.
@@ -108,6 +111,23 @@ func NewDispatcher(cfg DispatchConfig, tr wire.Transport) *Dispatcher {
 		tr:  tr,
 		rng: rand.New(rand.NewSource(int64(cfg.Seed) + 41)),
 	}
+}
+
+// Instrument attaches an obs registry: subsequent dispatches count
+// attempts, acks, nacks, duplicates, expirations and compensations.
+// A nil registry leaves the dispatcher uninstrumented.
+func (d *Dispatcher) Instrument(r *obs.Registry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.metrics = newDispatchMetrics(r)
+}
+
+// Trace attaches a tracer: every completed dispatch appends one
+// per-host TraceDispatch event to the open control-loop trace.
+func (d *Dispatcher) Trace(tr *obs.Tracer) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.tracer = tr
 }
 
 // Stats returns a snapshot of the dispatch counters.
@@ -144,6 +164,13 @@ func (d *Dispatcher) backoff(attempt int) time.Duration {
 // to the dispatcher's full retry budget, so an agent receiving a
 // stale straggler after the dispatcher has given up rejects it.
 func (d *Dispatcher) Do(ctx context.Context, req wire.ActionRequest) (wire.ActionAck, error) {
+	return d.do(ctx, req, false)
+}
+
+// do is Do with the compensation flag the transaction layer sets on
+// Undo dispatches, so metrics and traces can tell rollback traffic
+// from forward progress.
+func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensation bool) (wire.ActionAck, error) {
 	if req.Host == "" {
 		return wire.ActionAck{}, fmt.Errorf("agent: dispatch without destination host")
 	}
@@ -157,16 +184,27 @@ func (d *Dispatcher) Do(ctx context.Context, req wire.ActionRequest) (wire.Actio
 	}
 	d.mu.Lock()
 	d.stats.Actions++
+	m, tracer := d.metrics, d.tracer
+	if compensation && m != nil {
+		m.compensations.Inc()
+	}
 	d.mu.Unlock()
+	ev := obs.TraceDispatch{
+		Host: req.Host, Op: string(req.Op), Key: req.Key,
+		InstanceID: req.InstanceID, Compensation: compensation,
+	}
 
 	var lastErr error
+	attempts := 0
 	for attempt := 1; attempt <= d.cfg.MaxAttempts; attempt++ {
+		attempts = attempt
 		if attempt > 1 {
 			d.cfg.Sleep(d.backoff(attempt - 1))
 			d.mu.Lock()
 			d.stats.Retries++
 			d.mu.Unlock()
 		}
+		m.attempt()
 		callCtx, cancel := context.WithTimeout(ctx, d.cfg.Timeout)
 		reply, err := d.tr.Call(callCtx, req.Host, wire.ActionEnvelope(d.cfg.From, req.Host, req))
 		cancel()
@@ -190,14 +228,37 @@ func (d *Dispatcher) Do(ctx context.Context, req wire.ActionRequest) (wire.Actio
 			d.stats.Nacks++
 		}
 		d.mu.Unlock()
+		ev.Attempts = attempt
+		ev.OK = ack.OK
+		ev.Duplicate = ack.Duplicate
 		if !ack.OK {
+			if m != nil {
+				m.nacks.Inc()
+			}
+			ev.Error = ack.Error
+			tracer.Dispatch(ev)
 			return ack, &NackError{Host: req.Host, Ack: ack}
 		}
+		if m != nil {
+			m.acks.Inc()
+			if ack.Duplicate {
+				m.duplicates.Inc()
+			}
+		}
+		tracer.Dispatch(ev)
 		return ack, nil
 	}
 	d.mu.Lock()
 	d.stats.Expired++
 	d.mu.Unlock()
-	return wire.ActionAck{}, fmt.Errorf("agent: %s %s on %s: no ack after %d attempts: %w",
+	if m != nil {
+		m.expired.Inc()
+	}
+	err := fmt.Errorf("agent: %s %s on %s: no ack after %d attempts: %w",
 		req.Op, req.InstanceID, req.Host, d.cfg.MaxAttempts, lastErr)
+	ev.Attempts = attempts
+	ev.OK = false
+	ev.Error = err.Error()
+	tracer.Dispatch(ev)
+	return wire.ActionAck{}, err
 }

@@ -149,8 +149,8 @@ func (e *DispatchExecutor) Execute(d *controller.Decision) error {
 	for i := range ops {
 		p := ops[i]
 		t.Add(p.Name,
-			func() error { return e.dispatch(p.Do) },
-			func() error { return e.dispatch(p.Undo) },
+			func() error { return e.dispatch(p.Do, false) },
+			func() error { return e.dispatch(p.Undo, true) },
 		)
 	}
 	if err := t.Run(); err != nil {
@@ -161,7 +161,7 @@ func (e *DispatchExecutor) Execute(d *controller.Decision) error {
 	// verbatim.
 	if err := e.inner.Execute(d); err != nil {
 		for i := len(ops) - 1; i >= 0; i-- {
-			uerr := e.dispatch(ops[i].Undo)
+			uerr := e.dispatch(ops[i].Undo, true)
 			if e.Audit != nil {
 				e.Audit(txn.StepEvent{Step: ops[i].Name, Compensation: true, Err: uerr})
 			}
@@ -174,12 +174,13 @@ func (e *DispatchExecutor) Execute(d *controller.Decision) error {
 	return nil
 }
 
-// dispatch sends one operation and folds its outcome to an error.
-func (e *DispatchExecutor) dispatch(req wire.ActionRequest) error {
+// dispatch sends one operation and folds its outcome to an error. The
+// compensation flag marks Undo dispatches in metrics and traces.
+func (e *DispatchExecutor) dispatch(req wire.ActionRequest, compensation bool) error {
 	ctx := e.Context
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	_, err := e.disp.Do(ctx, req)
+	_, err := e.disp.do(ctx, req, compensation)
 	return err
 }

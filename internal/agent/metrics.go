@@ -1,0 +1,88 @@
+package agent
+
+import (
+	"autoglobe/internal/obs"
+)
+
+// Metric families the control-plane agent layer emits.
+const (
+	// MetricDispatchAttempts counts individual delivery attempts,
+	// including retries after lost requests or lost acks.
+	MetricDispatchAttempts = "autoglobe_dispatch_attempts_total"
+	// MetricDispatch counts logical dispatch outcomes by kind:
+	// ack (the agent applied the operation), nack (the agent refused),
+	// expired (no ack after MaxAttempts).
+	MetricDispatch = "autoglobe_dispatch_total"
+	// MetricDispatchDuplicates counts acks served from an agent's
+	// idempotency cache — evidence a retry re-delivered an operation.
+	MetricDispatchDuplicates = "autoglobe_dispatch_duplicates_total"
+	// MetricDispatchCompensations counts compensating (Undo) dispatches
+	// issued while rolling back a partially applied compound action.
+	MetricDispatchCompensations = "autoglobe_dispatch_compensations_total"
+	// MetricHeartbeats counts heartbeats the coordinator ingested.
+	MetricHeartbeats = "autoglobe_heartbeats_total"
+	// MetricHeartbeatLag is a histogram of heartbeat staleness: how many
+	// minutes behind the coordinator's newest observed minute a
+	// heartbeat arrived. 0 is the healthy steady state.
+	MetricHeartbeatLag = "autoglobe_heartbeat_ingest_lag_minutes"
+)
+
+// dispatchMetrics pre-resolves the dispatcher's series. Nil-safe.
+type dispatchMetrics struct {
+	attempts      *obs.Counter
+	acks          *obs.Counter
+	nacks         *obs.Counter
+	expired       *obs.Counter
+	duplicates    *obs.Counter
+	compensations *obs.Counter
+}
+
+func newDispatchMetrics(r *obs.Registry) *dispatchMetrics {
+	if r == nil {
+		return nil
+	}
+	r.Help(MetricDispatchAttempts, "Delivery attempts, retries included.")
+	r.Help(MetricDispatch, "Logical dispatch outcomes, by kind.")
+	r.Help(MetricDispatchDuplicates, "Acks served from an agent idempotency cache.")
+	r.Help(MetricDispatchCompensations, "Compensating dispatches during rollback.")
+	return &dispatchMetrics{
+		attempts:      r.Counter(MetricDispatchAttempts),
+		acks:          r.Counter(MetricDispatch, "outcome", "ack"),
+		nacks:         r.Counter(MetricDispatch, "outcome", "nack"),
+		expired:       r.Counter(MetricDispatch, "outcome", "expired"),
+		duplicates:    r.Counter(MetricDispatchDuplicates),
+		compensations: r.Counter(MetricDispatchCompensations),
+	}
+}
+
+func (m *dispatchMetrics) attempt() {
+	if m != nil {
+		m.attempts.Inc()
+	}
+}
+
+// coordMetrics pre-resolves the coordinator's series. Nil-safe.
+type coordMetrics struct {
+	heartbeats *obs.Counter
+	lag        *obs.Histogram
+}
+
+func newCoordMetrics(r *obs.Registry) *coordMetrics {
+	if r == nil {
+		return nil
+	}
+	r.Help(MetricHeartbeats, "Heartbeats ingested by the coordinator.")
+	r.Help(MetricHeartbeatLag, "Heartbeat staleness in minutes behind the newest observed minute.")
+	return &coordMetrics{
+		heartbeats: r.Counter(MetricHeartbeats),
+		lag:        r.Histogram(MetricHeartbeatLag, []float64{0, 1, 2, 5, 10}),
+	}
+}
+
+func (m *coordMetrics) ingest(lagMinutes int) {
+	if m == nil {
+		return
+	}
+	m.heartbeats.Inc()
+	m.lag.Observe(float64(lagMinutes))
+}

@@ -1,0 +1,157 @@
+package agent
+
+import (
+	"context"
+	"testing"
+
+	"autoglobe/internal/controller"
+	"autoglobe/internal/obs"
+	"autoglobe/internal/service"
+	"autoglobe/internal/wire"
+)
+
+// TestDispatcherInstrumentationAndTraces covers the metric counters and
+// the per-host trace events the dispatcher emits: a fresh ack, a
+// duplicate ack after a lost reply, a NACK, and an expiration.
+func TestDispatcherInstrumentationAndTraces(t *testing.T) {
+	tr := wire.NewLoopback()
+	a, err := NewAgent("h1", CoordinatorNode, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := obs.NewRegistry()
+	tc := obs.NewTracer(8)
+	d := NewDispatcher(fastDispatch(), tr)
+	d.Instrument(r)
+	d.Trace(tc)
+	tc.Begin(1, obs.TraceTrigger{Kind: "serverOverloaded", Entity: "h1", Minute: 1})
+	ctx := context.Background()
+
+	// Fresh ack.
+	if _, err := d.Do(ctx, wire.ActionRequest{Op: wire.OpStart, Host: "h1", Service: "app", InstanceID: "app-1"}); err != nil {
+		t.Fatal(err)
+	}
+	// Lost reply: retry served from the idempotency cache.
+	tr.DropReplyNext("h1", 1)
+	if _, err := d.Do(ctx, wire.ActionRequest{Op: wire.OpStart, Host: "h1", Service: "app", InstanceID: "app-2"}); err != nil {
+		t.Fatal(err)
+	}
+	// NACK: the agent refuses the next bind.
+	a.FailNext(wire.OpBind, "disk full")
+	if _, err := d.Do(ctx, wire.ActionRequest{Op: wire.OpBind, Host: "h1", Service: "app", InstanceID: "app-1"}); err == nil {
+		t.Fatal("nack did not surface as error")
+	}
+	// Expired: no such node, every attempt times out.
+	if _, err := d.Do(ctx, wire.ActionRequest{Op: wire.OpStop, Host: "ghost", Service: "app", InstanceID: "app-9"}); err == nil {
+		t.Fatal("dispatch to unknown host succeeded")
+	}
+	tc.End(obs.OutcomeExecuted, "")
+
+	snap := r.Snapshot()
+	for key, want := range map[string]float64{
+		`autoglobe_dispatch_total{outcome="ack"}`:     2,
+		`autoglobe_dispatch_total{outcome="nack"}`:    1,
+		`autoglobe_dispatch_total{outcome="expired"}`: 1,
+		`autoglobe_dispatch_duplicates_total`:         1,
+		`autoglobe_dispatch_compensations_total`:      0,
+		// 1 (fresh) + 2 (lost reply) + 1 (nack) + 3 (expired, MaxAttempts).
+		`autoglobe_dispatch_attempts_total`: 7,
+	} {
+		if snap[key] != want {
+			t.Errorf("snapshot[%s] = %v, want %v", key, snap[key], want)
+		}
+	}
+
+	traces := tc.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	evs := traces[0].Dispatches
+	if len(evs) != 4 {
+		t.Fatalf("got %d dispatch events, want 4: %+v", len(evs), evs)
+	}
+	if !evs[0].OK || evs[0].Attempts != 1 || evs[0].Duplicate {
+		t.Errorf("fresh ack event wrong: %+v", evs[0])
+	}
+	if !evs[1].OK || evs[1].Attempts != 2 || !evs[1].Duplicate {
+		t.Errorf("duplicate event wrong: %+v", evs[1])
+	}
+	if evs[2].OK || evs[2].Error == "" {
+		t.Errorf("nack event wrong: %+v", evs[2])
+	}
+	if evs[3].OK || evs[3].Attempts != 3 {
+		t.Errorf("expired event wrong: %+v", evs[3])
+	}
+}
+
+// TestCoordinatorHeartbeatLag pins the ingest-lag metric: a heartbeat
+// for an older minute than the newest one seen records a positive lag.
+func TestCoordinatorHeartbeatLag(t *testing.T) {
+	_, _, p, _ := plumb(t)
+	r := obs.NewRegistry()
+	p.Instrument(r)
+	c := p.Coordinator()
+	for _, hb := range []wire.Heartbeat{
+		{Host: "h1", Minute: 1, CPU: 0.2},
+		{Host: "h2", Minute: 3, CPU: 0.2}, // newest observed minute: 3
+		{Host: "h1", Minute: 1, CPU: 0.2}, // two minutes stale
+	} {
+		if err := c.Ingest(hb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := r.Snapshot()
+	if got := snap[`autoglobe_heartbeats_total`]; got != 3 {
+		t.Errorf("heartbeats = %v, want 3", got)
+	}
+	// Lag 0, 0, 2: two land in the le=0 bucket, all three in le=2.
+	if got := snap[`autoglobe_heartbeat_ingest_lag_minutes_bucket{le="0"}`]; got != 2 {
+		t.Errorf("lag le=0 bucket = %v, want 2", got)
+	}
+	if got := snap[`autoglobe_heartbeat_ingest_lag_minutes_bucket{le="2"}`]; got != 3 {
+		t.Errorf("lag le=2 bucket = %v, want 3", got)
+	}
+}
+
+// TestExecutorMarksCompensations verifies rollback traffic is flagged:
+// the target host of a move refuses the bind, the source host's applied
+// unbind is compensated, and both metrics and the trace say so.
+func TestExecutorMarksCompensations(t *testing.T) {
+	dep, _, p, exec := plumb(t)
+	r := obs.NewRegistry()
+	tc := obs.NewTracer(8)
+	p.Instrument(r)
+	p.Trace(tc)
+
+	id := dep.InstancesOn("h1")[0].ID
+	agentOf(t, p, "h3").FailNext(wire.OpBind, "refused")
+
+	tc.Begin(1, obs.TraceTrigger{Kind: "serverOverloaded", Entity: "h1", Minute: 1})
+	err := exec.Execute(&controller.Decision{Action: service.ActionMove, Service: "app",
+		InstanceID: id, SourceHost: "h1", TargetHost: "h3"})
+	tc.End(obs.OutcomeError, "")
+	if err == nil {
+		t.Fatal("move with refused bind must fail")
+	}
+
+	snap := r.Snapshot()
+	if got := snap[`autoglobe_dispatch_compensations_total`]; got != 1 {
+		t.Errorf("compensations = %v, want 1", got)
+	}
+	traces := tc.Snapshot()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	var sawComp bool
+	for _, ev := range traces[0].Dispatches {
+		if ev.Compensation {
+			sawComp = true
+			if ev.Op != string(wire.OpBind) {
+				t.Errorf("compensation op = %s, want bind (inverse of unbind)", ev.Op)
+			}
+		}
+	}
+	if !sawComp {
+		t.Fatalf("no compensation event in trace: %+v", traces[0].Dispatches)
+	}
+}

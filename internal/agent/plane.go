@@ -7,6 +7,7 @@ import (
 
 	"autoglobe/internal/controller"
 	"autoglobe/internal/monitor"
+	"autoglobe/internal/obs"
 	"autoglobe/internal/service"
 	"autoglobe/internal/wire"
 )
@@ -85,6 +86,20 @@ func (p *Plane) AttachHost(host string) error {
 	}
 	p.agents[host] = a
 	return nil
+}
+
+// Instrument attaches an obs registry to the plane's coordinator and
+// dispatcher (heartbeat ingest, dispatch outcomes). The transport is
+// instrumented by whoever owns it. Nil is a no-op.
+func (p *Plane) Instrument(r *obs.Registry) {
+	p.coord.Instrument(r)
+	p.disp.Instrument(r)
+}
+
+// Trace attaches a tracer to the plane's dispatcher so per-host
+// dispatch outcomes land in the open control-loop trace.
+func (p *Plane) Trace(tr *obs.Tracer) {
+	p.disp.Trace(tr)
 }
 
 // Coordinator returns the plane's coordinator.

@@ -1,0 +1,99 @@
+package console
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autoglobe/internal/obs"
+)
+
+// ObsView renders the observability panel: the registry's metric
+// families as sorted "series = value" lines and the most recent
+// control-loop traces (trigger → decision → outcome). It is the
+// console twin of the /autoglobe/v1/metrics and /autoglobe/v1/traces
+// endpoints, for the administrator watching a run from a terminal
+// instead of a scrape pipeline. Nil arguments render as absent
+// sections, so the panel degrades gracefully on uninstrumented runs.
+func ObsView(r *obs.Registry, tr *obs.Tracer, traceLimit int) string {
+	var sb strings.Builder
+	sb.WriteString("OBSERVABILITY\n")
+
+	if r == nil {
+		sb.WriteString("  (metrics not attached)\n")
+	} else {
+		snap := r.Snapshot()
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if len(keys) == 0 {
+			sb.WriteString("  (no metrics recorded)\n")
+		}
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "  %s = %g\n", k, snap[k])
+		}
+	}
+
+	sb.WriteString("RECENT TRACES\n")
+	switch {
+	case tr == nil:
+		sb.WriteString("  (traces not attached)\n")
+	default:
+		traces := tr.Snapshot()
+		if len(traces) == 0 {
+			sb.WriteString("  (no traces recorded)\n")
+		}
+		start := 0
+		if traceLimit > 0 && len(traces) > traceLimit {
+			start = len(traces) - traceLimit
+			fmt.Fprintf(&sb, "  … %d earlier traces\n", start)
+		}
+		for _, t := range traces[start:] {
+			fmt.Fprintf(&sb, "  [%5d] %s(%s) -> %s", t.Minute, t.Trigger.Kind, t.Trigger.Entity, t.Outcome)
+			if t.Note != "" {
+				fmt.Fprintf(&sb, " (%s)", t.Note)
+			}
+			sb.WriteString("\n")
+			if d := t.Decision; d != nil {
+				fmt.Fprintf(&sb, "          %s %s", d.Action, d.Service)
+				if d.InstanceID != "" {
+					fmt.Fprintf(&sb, " inst=%s", d.InstanceID)
+				}
+				if d.SourceHost != "" || d.TargetHost != "" {
+					fmt.Fprintf(&sb, " %s->%s", d.SourceHost, d.TargetHost)
+				}
+				fmt.Fprintf(&sb, " applicability=%.2f", d.Applicability)
+				if d.TargetHost != "" {
+					fmt.Fprintf(&sb, " hostScore=%.2f", d.HostScore)
+				}
+				sb.WriteString("\n")
+				// Rule provenance, one indented line per firing rule.
+				for _, line := range strings.Split(d.Provenance, "\n") {
+					if line != "" {
+						fmt.Fprintf(&sb, "            %s\n", line)
+					}
+				}
+			}
+			for _, ev := range t.Dispatches {
+				status := "ack"
+				switch {
+				case !ev.OK:
+					status = "FAILED"
+				case ev.Duplicate:
+					status = "duplicate ack"
+				}
+				fmt.Fprintf(&sb, "          dispatch %s %s attempts=%d %s", ev.Op, ev.Host, ev.Attempts, status)
+				if ev.Compensation {
+					sb.WriteString(" (compensation)")
+				}
+				if ev.Error != "" {
+					fmt.Fprintf(&sb, " err=%q", ev.Error)
+				}
+				sb.WriteString("\n")
+			}
+		}
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

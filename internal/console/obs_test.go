@@ -1,0 +1,76 @@
+package console
+
+import (
+	"strings"
+	"testing"
+
+	"autoglobe/internal/obs"
+)
+
+func TestObsView(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("autoglobe_controller_decisions_total", "action", "scaleUp", "trigger", "serviceOverloaded").Inc()
+	r.Counter("autoglobe_heartbeats_total").Add(42)
+
+	tr := obs.NewTracer(8)
+	tr.Begin(100, obs.TraceTrigger{Kind: "serviceOverloaded", Entity: "app", Minute: 100})
+	tr.Decide(obs.TraceDecision{
+		Action: "scaleUp", Service: "app", InstanceID: "app-1",
+		SourceHost: "weak1", TargetHost: "big1",
+		Applicability: 0.82, HostScore: 0.61,
+		Provenance: "0.82  IF cpuLoad IS high THEN scaleUp IS applicable",
+	})
+	tr.Dispatch(obs.TraceDispatch{Host: "big1", Op: "start", Attempts: 2, OK: true})
+	tr.Dispatch(obs.TraceDispatch{Host: "weak1", Op: "stop", Attempts: 1, OK: true, Compensation: true})
+	tr.End(obs.OutcomeExecuted, "")
+	tr.Begin(105, obs.TraceTrigger{Kind: "serverIdle", Entity: "weak2", Minute: 105})
+	tr.End(obs.OutcomeNoAction, "nothing to consolidate")
+
+	v := ObsView(r, tr, 10)
+	for _, want := range []string{
+		"OBSERVABILITY",
+		`autoglobe_controller_decisions_total{action="scaleUp",trigger="serviceOverloaded"} = 1`,
+		"autoglobe_heartbeats_total = 42",
+		"RECENT TRACES",
+		"[  100] serviceOverloaded(app) -> executed",
+		"scaleUp app inst=app-1 weak1->big1 applicability=0.82 hostScore=0.61",
+		"IF cpuLoad IS high THEN scaleUp IS applicable",
+		"dispatch start big1 attempts=2 ack",
+		"dispatch stop weak1 attempts=1 ack (compensation)",
+		"[  105] serverIdle(weak2) -> no-action (nothing to consolidate)",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("obs view missing %q:\n%s", want, v)
+		}
+	}
+}
+
+func TestObsViewTraceLimit(t *testing.T) {
+	tr := obs.NewTracer(16)
+	for m := 0; m < 5; m++ {
+		tr.Begin(m, obs.TraceTrigger{Kind: "serverIdle", Entity: "h", Minute: m})
+		tr.End(obs.OutcomeNoAction, "")
+	}
+	v := ObsView(nil, tr, 2)
+	if !strings.Contains(v, "… 3 earlier traces") {
+		t.Errorf("limit not applied:\n%s", v)
+	}
+	if strings.Contains(v, "[    0]") || !strings.Contains(v, "[    4]") {
+		t.Errorf("wrong traces kept:\n%s", v)
+	}
+}
+
+func TestObsViewDegradesGracefully(t *testing.T) {
+	v := ObsView(nil, nil, 0)
+	for _, want := range []string{"(metrics not attached)", "(traces not attached)"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("nil view missing %q:\n%s", want, v)
+		}
+	}
+	v = ObsView(obs.NewRegistry(), obs.NewTracer(1), 0)
+	for _, want := range []string{"(no metrics recorded)", "(no traces recorded)"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("empty view missing %q:\n%s", want, v)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"autoglobe/internal/archive"
 	"autoglobe/internal/fuzzy"
 	"autoglobe/internal/monitor"
+	"autoglobe/internal/obs"
 	"autoglobe/internal/service"
 )
 
@@ -205,6 +206,9 @@ type Controller struct {
 	protSvc  map[string]int
 	events   []Event
 	pending  []*Decision
+
+	metrics *controllerMetrics
+	tracer  *obs.Tracer
 }
 
 // New builds a controller over the deployment, reading load data from
@@ -298,11 +302,14 @@ func (c *Controller) note(minute int, format string, args ...any) {
 // decision, or nil if no applicable remedy was found — in which case an
 // administrator alert is logged.
 func (c *Controller) HandleTrigger(tr monitor.Trigger) (*Decision, error) {
+	c.tracer.Begin(tr.Minute, traceTrigger(tr))
 	if c.triggerProtected(tr) {
+		c.tracer.End(obs.OutcomeProtected, "")
 		return nil, nil
 	}
 	candidates, err := c.SelectActions(tr)
 	if err != nil {
+		c.tracer.End(obs.OutcomeError, err.Error())
 		return nil, err
 	}
 	for _, cand := range candidates {
@@ -314,6 +321,7 @@ func (c *Controller) HandleTrigger(tr monitor.Trigger) (*Decision, error) {
 		}
 		d, err := c.resolve(tr, cand)
 		if err != nil {
+			c.tracer.End(obs.OutcomeError, err.Error())
 			return nil, err
 		}
 		if d == nil {
@@ -323,9 +331,15 @@ func (c *Controller) HandleTrigger(tr monitor.Trigger) (*Decision, error) {
 			c.pending = append(c.pending, d)
 			c.appendEvent(Event{Minute: tr.Minute, Decision: d,
 				Note: "awaiting administrator confirmation"})
+			c.metrics.decision(tr.Kind, d.Action)
+			c.traceDecide(d)
+			c.tracer.End(obs.OutcomeQueued, "")
 			return d, nil
 		}
 		if ok := c.execute(d); ok {
+			c.metrics.decision(tr.Kind, d.Action)
+			c.traceDecide(d)
+			c.tracer.End(obs.OutcomeExecuted, "")
 			return d, nil
 		}
 		// Execution failed on all hosts: fall through to the next action.
@@ -337,6 +351,7 @@ func (c *Controller) HandleTrigger(tr monitor.Trigger) (*Decision, error) {
 	case monitor.ServerOverloaded, monitor.ServiceOverloaded:
 		c.note(tr.Minute, "ALERT %s: no applicable action — administrator interaction requested", tr)
 	}
+	c.tracer.End(obs.OutcomeNoAction, "")
 	return nil, nil
 }
 
@@ -403,6 +418,7 @@ func (c *Controller) HandleFailure(svcName, failedHost string, minute int) (*Dec
 		return nil, fmt.Errorf("controller: failure of unknown service %q", svcName)
 	}
 	c.note(minute, "failure detected: instance of %s on %s stopped responding", svcName, failedHost)
+	c.tracer.Begin(minute, obs.TraceTrigger{Kind: "failure", Entity: svcName, Minute: minute})
 	tr := monitor.Trigger{Kind: monitor.ServiceOverloaded, Entity: svcName,
 		Minute: minute, WatchedFrom: minute}
 	d := &Decision{
@@ -418,14 +434,19 @@ func (c *Controller) HandleFailure(svcName, failedHost string, minute int) (*Dec
 		host, score := c.selectHost(service.ActionStart, svcName, "", minute, nil)
 		if host == "" {
 			c.note(minute, "ALERT failure of %s on %s: no host can take a restarted instance", svcName, failedHost)
+			c.tracer.End(obs.OutcomeNoAction, "no host can take a restarted instance")
 			return nil, nil
 		}
 		d.TargetHost, d.HostScore = host, score
 	}
 	if !c.execute(d) {
 		c.note(minute, "ALERT failure of %s on %s: restart failed on every host", svcName, failedHost)
+		c.tracer.End(obs.OutcomeError, "restart failed on every host")
 		return nil, nil
 	}
+	c.metrics.decision("failure", d.Action)
+	c.traceDecide(d)
+	c.tracer.End(obs.OutcomeExecuted, "")
 	return d, nil
 }
 
@@ -456,14 +477,20 @@ func (c *Controller) Approve(i int) (*Decision, error) {
 	}
 	d := c.pending[i]
 	c.pending = append(c.pending[:i], c.pending[i+1:]...)
+	c.tracer.Begin(d.Trigger.Minute, traceTrigger(d.Trigger))
 	if !c.feasible(d.Action, d.Service, d.InstanceID, d.Trigger.Minute) {
 		c.appendEvent(Event{Minute: d.Trigger.Minute, Decision: d,
 			Note: "stale pending decision discarded"})
+		c.tracer.End(obs.OutcomeNoAction, "stale pending decision discarded")
 		return nil, fmt.Errorf("controller: pending decision no longer feasible")
 	}
 	if !c.execute(d) {
+		c.tracer.End(obs.OutcomeError, "execution of approved decision failed")
 		return nil, fmt.Errorf("controller: execution of approved decision failed")
 	}
+	c.metrics.decision(d.Trigger.Kind, d.Action)
+	c.traceDecide(d)
+	c.tracer.End(obs.OutcomeExecuted, "")
 	return d, nil
 }
 

@@ -1,0 +1,107 @@
+package controller
+
+import (
+	"time"
+
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/obs"
+	"autoglobe/internal/service"
+)
+
+// Metric families the controller emits.
+const (
+	// MetricDecisions counts resolved decisions by trigger kind and
+	// selected action. Queued (semi-automatic) and executed decisions
+	// both count — the controller decided either way.
+	MetricDecisions = "autoglobe_controller_decisions_total"
+	// MetricInference is the latency of one fuzzy inference run (action
+	// selection per instance, server selection per candidate host).
+	MetricInference = "autoglobe_controller_inference_seconds"
+)
+
+// controllerMetrics holds the registry for the dynamic decision labels
+// and the pre-resolved inference histogram. Nil-safe.
+type controllerMetrics struct {
+	reg       *obs.Registry
+	inference *obs.Histogram
+}
+
+func newControllerMetrics(r *obs.Registry) *controllerMetrics {
+	if r == nil {
+		return nil
+	}
+	r.Help(MetricDecisions, "Controller decisions, by trigger kind and action.")
+	r.Help(MetricInference, "Latency of one fuzzy inference run.")
+	return &controllerMetrics{
+		reg:       r,
+		inference: r.Histogram(MetricInference, obs.LatencySecondsBuckets()),
+	}
+}
+
+// decision counts one resolved decision. The (trigger, action) space is
+// small and bounded, so the registry lookup per decision is fine —
+// decisions happen at most a few times per minute.
+func (m *controllerMetrics) decision(kind monitor.TriggerKind, action service.Action) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(MetricDecisions, "action", string(action), "trigger", string(kind)).Inc()
+}
+
+// inferred records the latency of one engine.Infer call. The call sites
+// sit outside the fuzzy package's zero-allocation hot path: time.Now
+// and an atomic histogram update allocate nothing.
+func (m *controllerMetrics) inferred(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.inference.Observe(time.Since(start).Seconds())
+}
+
+// Instrument attaches an obs registry: resolved decisions are counted
+// by trigger and action, and every fuzzy inference run lands in a
+// latency histogram. A nil registry leaves the controller
+// uninstrumented.
+func (c *Controller) Instrument(r *obs.Registry) {
+	c.metrics = newControllerMetrics(r)
+}
+
+// Trace attaches a tracer: HandleTrigger (and the failure handlers)
+// open one trace per iteration, attach the resolved decision with its
+// rule provenance from Decision.Explain, and seal it with the outcome.
+// The dispatcher appends per-host dispatch events to the same open
+// trace in distributed mode.
+func (c *Controller) Trace(tr *obs.Tracer) {
+	c.tracer = tr
+}
+
+// traceTrigger flattens a monitor trigger for the trace stream.
+func traceTrigger(tr monitor.Trigger) obs.TraceTrigger {
+	return obs.TraceTrigger{
+		Kind:        string(tr.Kind),
+		Entity:      tr.Entity,
+		Minute:      tr.Minute,
+		AvgLoad:     tr.AvgLoad,
+		WatchedFrom: tr.WatchedFrom,
+		Resource:    tr.Resource,
+	}
+}
+
+// traceDecide attaches a resolved decision (with provenance) to the
+// open trace. Called again after host fallback: the sealed trace
+// reports what finally happened.
+func (c *Controller) traceDecide(d *Decision) {
+	if c.tracer == nil || d == nil {
+		return
+	}
+	c.tracer.Decide(obs.TraceDecision{
+		Action:        string(d.Action),
+		Service:       d.Service,
+		InstanceID:    d.InstanceID,
+		SourceHost:    d.SourceHost,
+		TargetHost:    d.TargetHost,
+		Applicability: d.Applicability,
+		HostScore:     d.HostScore,
+		Provenance:    d.Explain(),
+	})
+}

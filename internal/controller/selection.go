@@ -3,6 +3,7 @@ package controller
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"autoglobe/internal/archive"
 	"autoglobe/internal/fuzzy"
@@ -41,7 +42,9 @@ func (c *Controller) SelectActions(tr monitor.Trigger) ([]Candidate, error) {
 		if err != nil {
 			return nil, err
 		}
+		start := time.Now()
 		res, err := c.engine.Infer(rb, inputs)
+		c.metrics.inferred(start)
 		if err != nil {
 			return nil, err
 		}
@@ -307,7 +310,9 @@ func (c *Controller) selectHost(a service.Action, svcName, instID string, minute
 		if err != nil {
 			continue
 		}
+		start := time.Now()
 		res, err := c.engine.Infer(rb, inputs)
+		c.metrics.inferred(start)
 		if err != nil {
 			continue
 		}

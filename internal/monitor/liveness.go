@@ -29,7 +29,8 @@ type Liveness struct {
 	// default) 1.
 	AliveAfter int
 
-	state map[string]*livenessState
+	state   map[string]*livenessState
+	metrics *livenessMetrics
 }
 
 type livenessState struct {
@@ -87,6 +88,9 @@ func (l *Liveness) Beat(entity string, minute int) {
 			st.successes = 0
 			st.missedAt = -1
 			st.recovered = true
+			if l.metrics != nil {
+				l.metrics.recovered.Inc()
+			}
 		}
 		return
 	}
@@ -160,6 +164,13 @@ func (l *Liveness) Dead(minute int) []string {
 		if st.misses >= l.DeadAfter {
 			st.dead = true
 			st.successes = 0
+			// A recovery completed but not yet drained by Recovered is
+			// void now: reporting it after this re-death would re-pool a
+			// dead host.
+			st.recovered = false
+			if l.metrics != nil {
+				l.metrics.dead.Inc()
+			}
 			out = append(out, e)
 		}
 	}

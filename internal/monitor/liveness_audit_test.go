@@ -1,0 +1,158 @@
+package monitor
+
+import (
+	"testing"
+
+	"autoglobe/internal/obs"
+)
+
+// TestLivenessRedeathVoidsUndrainedRecovery pins the fix for a stale
+// recovery report: an entity recovers, the caller has not yet drained
+// Recovered, and the entity dies again. The pending recovery must be
+// void — reporting it would re-pool a host that is dead right now.
+func TestLivenessRedeathVoidsUndrainedRecovery(t *testing.T) {
+	l := NewLivenessHysteresis(1, 1, 1)
+	l.Beat("e", 0)
+	if d := l.Dead(2); len(d) != 1 {
+		t.Fatalf("Dead(2) = %v, want [e]", d)
+	}
+	l.Beat("e", 3) // completes the recovery streak; Recovered not drained
+	if d := l.Dead(5); len(d) != 1 {
+		t.Fatalf("Dead(5) = %v, want [e] (re-death)", d)
+	}
+	if rec := l.Recovered(); len(rec) != 0 {
+		t.Fatalf("stale recovery reported after re-death: %v", rec)
+	}
+	// The next genuine recovery still reports.
+	l.Beat("e", 6)
+	if rec := l.Recovered(); len(rec) != 1 || rec[0] != "e" {
+		t.Fatalf("genuine recovery after re-death lost: %v", rec)
+	}
+}
+
+// TestLivenessDeadEvaluatedRepeatedlyPerMinute pins the missedAt guard:
+// however often the control loop evaluates Dead within one minute, a
+// silent entity accrues exactly one miss for that minute.
+func TestLivenessDeadEvaluatedRepeatedlyPerMinute(t *testing.T) {
+	l := NewLivenessHysteresis(1, 2, 1)
+	l.Beat("e", 0)
+	// Minute 2 is past the timeout. Three evaluations in the same
+	// minute must count one miss, not reach DeadAfter=2.
+	for i := 0; i < 3; i++ {
+		if d := l.Dead(2); len(d) != 0 {
+			t.Fatalf("evaluation %d at minute 2 declared dead: %v", i, d)
+		}
+	}
+	// The second consecutive miss (a new minute) kills.
+	if d := l.Dead(3); len(d) != 1 || d[0] != "e" {
+		t.Fatalf("Dead(3) = %v, want [e]", d)
+	}
+}
+
+// TestLivenessRecoveryStreakSemantics pins how probe answers interleave
+// with Dead evaluations during recovery: gaps within Timeout keep the
+// AliveAfter streak alive (a degraded-but-answering host is converging),
+// while silence beyond Timeout resets it.
+func TestLivenessRecoveryStreakSemantics(t *testing.T) {
+	t.Run("short gaps tolerated", func(t *testing.T) {
+		l := NewLivenessHysteresis(2, 1, 3)
+		l.Beat("e", 0)
+		if d := l.Dead(3); len(d) != 1 {
+			t.Fatalf("Dead(3) = %v, want [e]", d)
+		}
+		// Probe answers at minutes 4, 6, 8 — each gap is within the
+		// 2-minute timeout, so the streak completes on the third beat.
+		l.Beat("e", 4)
+		l.Dead(5)
+		l.Beat("e", 6)
+		l.Dead(7)
+		l.Beat("e", 8)
+		if rec := l.Recovered(); len(rec) != 1 || rec[0] != "e" {
+			t.Fatalf("streak with short gaps did not recover: %v", rec)
+		}
+	})
+	t.Run("long silence resets", func(t *testing.T) {
+		l := NewLivenessHysteresis(1, 1, 3)
+		l.Beat("e", 0)
+		if d := l.Dead(2); len(d) != 1 {
+			t.Fatalf("Dead(2) = %v, want [e]", d)
+		}
+		l.Beat("e", 3) // streak 1
+		// Relapse: silence beyond the timeout resets the streak.
+		l.Dead(6)
+		l.Beat("e", 7)
+		l.Beat("e", 8)
+		if rec := l.Recovered(); len(rec) != 0 {
+			t.Fatalf("recovered with only 2 beats after relapse: %v", rec)
+		}
+		l.Beat("e", 9) // streak 3 → recovered
+		if rec := l.Recovered(); len(rec) != 1 || rec[0] != "e" {
+			t.Fatalf("streak of 3 after relapse did not recover: %v", rec)
+		}
+	})
+}
+
+// TestLivenessTransitionMetrics counts death and recovery transitions.
+func TestLivenessTransitionMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	l := NewLivenessHysteresis(1, 1, 1)
+	l.Instrument(r)
+	l.Beat("e", 0)
+	l.Dead(2)      // dead
+	l.Beat("e", 3) // recovered
+	l.Dead(5)      // dead again
+	snap := r.Snapshot()
+	if got := snap[`autoglobe_liveness_transitions_total{transition="dead"}`]; got != 2 {
+		t.Errorf("dead transitions = %v, want 2", got)
+	}
+	if got := snap[`autoglobe_liveness_transitions_total{transition="recovered"}`]; got != 1 {
+		t.Errorf("recovered transitions = %v, want 1", got)
+	}
+}
+
+// TestMonitorWatchMetrics counts observed / expired / confirmed watches
+// through the System state machine.
+func TestMonitorWatchMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	s, err := NewSystem(Params{
+		OverloadThreshold: 0.7, OverloadWatch: 2,
+		IdleThresholdBase: 0.125, IdleWatch: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Instrument(r)
+	s.Register("h1", Server, 1)
+
+	// Short peak: watch opens at minute 0, recedes by minute 2 → expired.
+	feed := func(minute int, cpu float64) *Trigger {
+		t.Helper()
+		tr, err := s.Observe("h1", minute, cpu, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	feed(0, 0.9)
+	feed(1, 0.2)
+	if tr := feed(2, 0.2); tr != nil {
+		t.Fatalf("short peak confirmed: %+v", tr)
+	}
+	// Sustained overload: watch opens at minute 3, confirms at minute 5.
+	feed(3, 0.9)
+	feed(4, 0.9)
+	if tr := feed(5, 0.9); tr == nil || tr.Kind != ServerOverloaded {
+		t.Fatalf("sustained overload not confirmed: %+v", tr)
+	}
+
+	snap := r.Snapshot()
+	for key, want := range map[string]float64{
+		`autoglobe_monitor_watches_total{phase="observed"}`:  2,
+		`autoglobe_monitor_watches_total{phase="expired"}`:   1,
+		`autoglobe_monitor_watches_total{phase="confirmed"}`: 1,
+	} {
+		if snap[key] != want {
+			t.Errorf("snapshot[%s] = %v, want %v", key, snap[key], want)
+		}
+	}
+}

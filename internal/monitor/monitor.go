@@ -141,6 +141,7 @@ type System struct {
 	params   Params
 	archive  *archive.Archive
 	watchers map[string]*watcher
+	metrics  *monitorMetrics
 }
 
 // NewSystem builds a load monitoring system writing to the given archive
@@ -208,6 +209,7 @@ func (s *System) Observe(entity string, minute int, cpu, mem float64) (*Trigger,
 				w.memMode = watchOverload
 				w.memStart = minute
 				w.memSum, w.memN = mem, 1
+				s.metrics.observe()
 				if s.params.OverloadWatch == 0 {
 					memTrigger = s.confirmMem(w, entity, minute, mem)
 				}
@@ -220,6 +222,7 @@ func (s *System) Observe(entity string, minute int, cpu, mem float64) (*Trigger,
 					memTrigger = s.confirmMem(w, entity, minute, avg)
 				} else {
 					w.memMode = watchNone
+					s.metrics.expire()
 				}
 			}
 		}
@@ -232,6 +235,7 @@ func (s *System) Observe(entity string, minute int, cpu, mem float64) (*Trigger,
 			w.mode = watchOverload
 			w.start = minute
 			w.sum, w.n = cpu, 1
+			s.metrics.observe()
 			if s.params.OverloadWatch == 0 {
 				return s.confirm(w, entity, minute, cpu)
 			}
@@ -239,6 +243,7 @@ func (s *System) Observe(entity string, minute int, cpu, mem float64) (*Trigger,
 			w.mode = watchIdle
 			w.start = minute
 			w.sum, w.n = cpu, 1
+			s.metrics.observe()
 			if s.params.IdleWatch == 0 {
 				return s.confirm(w, entity, minute, cpu)
 			}
@@ -255,6 +260,7 @@ func (s *System) Observe(entity string, minute int, cpu, mem float64) (*Trigger,
 			return s.confirm(w, entity, minute, avg)
 		}
 		w.mode = watchNone
+		s.metrics.expire()
 		return memTrigger, nil
 	case watchIdle:
 		w.sum += cpu
@@ -267,6 +273,7 @@ func (s *System) Observe(entity string, minute int, cpu, mem float64) (*Trigger,
 			return s.confirm(w, entity, minute, avg)
 		}
 		w.mode = watchNone
+		s.metrics.expire()
 		return memTrigger, nil
 	}
 	return memTrigger, nil
@@ -287,6 +294,7 @@ func (s *System) confirm(w *watcher, entity string, minute int, avg float64) (*T
 	start := w.start
 	w.mode = watchNone
 	w.sum, w.n = 0, 0
+	s.metrics.confirm()
 	return &Trigger{Kind: kind, Entity: entity, Minute: minute, AvgLoad: avg, WatchedFrom: start}, nil
 }
 
@@ -301,6 +309,7 @@ func (s *System) confirmMem(w *watcher, entity string, minute int, avg float64) 
 	start := w.memStart
 	w.memMode = watchNone
 	w.memSum, w.memN = 0, 0
+	s.metrics.confirm()
 	return &Trigger{Kind: kind, Entity: entity, Minute: minute, AvgLoad: avg,
 		WatchedFrom: start, Resource: "memory"}
 }

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the exact Prometheus text format
+// the registry emits — family ordering, TYPE/HELP lines, label
+// rendering, histogram bucket/sum/count expansion and float formatting
+// — so the exposition cannot silently regress into something scrapers
+// reject. This is the metrics-format lint scripts/check.sh runs.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Help("autoglobe_demo_calls_total", "Control-plane calls by transport and type.")
+	r.Counter("autoglobe_demo_calls_total", "transport", "loopback", "type", "heartbeat").Add(3)
+	r.Counter("autoglobe_demo_calls_total", "transport", "http", "type", "action").Add(1)
+	r.Gauge("autoglobe_demo_hosts_down").Set(2)
+	h := r.Histogram("autoglobe_demo_seconds", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	const golden = `# HELP autoglobe_demo_calls_total Control-plane calls by transport and type.
+# TYPE autoglobe_demo_calls_total counter
+autoglobe_demo_calls_total{transport="http",type="action"} 1
+autoglobe_demo_calls_total{transport="loopback",type="heartbeat"} 3
+# TYPE autoglobe_demo_hosts_down gauge
+autoglobe_demo_hosts_down 2
+# TYPE autoglobe_demo_seconds histogram
+autoglobe_demo_seconds_bucket{le="0.01"} 1
+autoglobe_demo_seconds_bucket{le="0.1"} 2
+autoglobe_demo_seconds_bucket{le="1"} 3
+autoglobe_demo_seconds_bucket{le="+Inf"} 4
+autoglobe_demo_seconds_sum 5.555
+autoglobe_demo_seconds_count 4
+`
+	if got := sb.String(); got != golden {
+		t.Fatalf("exposition format drifted.\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+
+	// The snapshot API must mirror the exposition exactly.
+	snap := r.Snapshot()
+	for key, want := range map[string]float64{
+		`autoglobe_demo_calls_total{transport="http",type="action"}`: 1,
+		`autoglobe_demo_hosts_down`:                                  2,
+		`autoglobe_demo_seconds_bucket{le="+Inf"}`:                   4,
+		`autoglobe_demo_seconds_count`:                               4,
+	} {
+		if snap[key] != want {
+			t.Errorf("snapshot[%s] = %v, want %v", key, snap[key], want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// The endpoints every AutoGlobe daemon serves.
+const (
+	// MetricsPath serves the registry in Prometheus text format.
+	MetricsPath = "/autoglobe/v1/metrics"
+	// TracesPath serves the tracer's ring as a JSON array.
+	TracesPath = "/autoglobe/v1/traces"
+	// HealthPath answers liveness probes (200 ok / 503 failing).
+	HealthPath = "/healthz"
+)
+
+// Health aggregates a daemon's liveness: static info (mode, node name)
+// plus named check functions evaluated per request. It is safe for
+// concurrent use; the nil Health reports plain "ok".
+type Health struct {
+	mu      sync.Mutex
+	info    map[string]string
+	checks  map[string]func() error
+	started time.Time
+}
+
+// NewHealth returns an empty health aggregate with the uptime clock
+// started now.
+func NewHealth() *Health {
+	return &Health{
+		info:    make(map[string]string),
+		checks:  make(map[string]func() error),
+		started: time.Now(),
+	}
+}
+
+// SetInfo attaches a static key/value (e.g. mode=coordinator) to the
+// health report.
+func (h *Health) SetInfo(key, value string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.info[key] = value
+}
+
+// Register adds a named check evaluated on every health request; a
+// non-nil error degrades the report to 503.
+func (h *Health) Register(name string, check func() error) {
+	if h == nil || check == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.checks[name] = check
+}
+
+// healthReport is the JSON body of a health response.
+type healthReport struct {
+	Status        string            `json:"status"`
+	UptimeSeconds float64           `json:"uptimeSeconds"`
+	Info          map[string]string `json:"info,omitempty"`
+	Checks        map[string]string `json:"checks,omitempty"`
+}
+
+// report evaluates the checks and assembles the response body.
+func (h *Health) report() (healthReport, bool) {
+	rep := healthReport{Status: "ok"}
+	if h == nil {
+		return rep, true
+	}
+	h.mu.Lock()
+	rep.UptimeSeconds = time.Since(h.started).Seconds()
+	rep.Info = make(map[string]string, len(h.info))
+	for k, v := range h.info {
+		rep.Info[k] = v
+	}
+	names := make([]string, 0, len(h.checks))
+	checks := make(map[string]func() error, len(h.checks))
+	for n, c := range h.checks {
+		names = append(names, n)
+		checks[n] = c
+	}
+	h.mu.Unlock()
+
+	sort.Strings(names)
+	ok := true
+	if len(names) > 0 {
+		rep.Checks = make(map[string]string, len(names))
+	}
+	for _, n := range names {
+		if err := checks[n](); err != nil {
+			rep.Checks[n] = err.Error()
+			ok = false
+		} else {
+			rep.Checks[n] = "ok"
+		}
+	}
+	if !ok {
+		rep.Status = "failing"
+	}
+	return rep, ok
+}
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format. A nil registry serves an empty (still valid) exposition.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// TracesHandler serves the tracer's sealed traces as a JSON array,
+// oldest first. A nil tracer serves "[]".
+func TracesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteJSON(w)
+	})
+}
+
+// HealthHandler serves the health report: 200 with status "ok" while
+// every registered check passes, 503 with the failing checks named
+// otherwise.
+func HealthHandler(h *Health) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		rep, ok := h.report()
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(rep)
+	})
+}
+
+// Handler mounts the full observability surface — MetricsPath,
+// TracesPath and HealthPath — on one mux. Any argument may be nil.
+func Handler(r *Registry, t *Tracer, h *Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle(MetricsPath, MetricsHandler(r))
+	mux.Handle(TracesPath, TracesHandler(t))
+	mux.Handle(HealthPath, HealthHandler(h))
+	return mux
+}

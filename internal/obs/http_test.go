@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("autoglobe_wire_calls_total", "transport", "loopback", "type", "heartbeat").Add(12)
+	srv := httptest.NewServer(Handler(r, nil, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + MetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "autoglobe_wire_calls_total") {
+		t.Fatalf("exposition missing the registered counter:\n%s", body)
+	}
+}
+
+func TestMetricsEndpointBody(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("autoglobe_wire_calls_total", "transport", "loopback", "type", "heartbeat").Add(12)
+	rec := httptest.NewRecorder()
+	MetricsHandler(r).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, MetricsPath, nil))
+	body := rec.Body.String()
+	want := "autoglobe_wire_calls_total{transport=\"loopback\",type=\"heartbeat\"} 12\n"
+	if !strings.Contains(body, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, body)
+	}
+	if !strings.Contains(body, "# TYPE autoglobe_wire_calls_total counter\n") {
+		t.Fatalf("exposition missing TYPE line:\n%s", body)
+	}
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	h := NewHealth()
+	h.SetInfo("mode", "demo")
+	failing := false
+	h.Register("transport", func() error {
+		if failing {
+			return fmt.Errorf("transport closed")
+		}
+		return nil
+	})
+	srv := httptest.NewServer(Handler(nil, nil, h))
+	defer srv.Close()
+
+	get := func() (int, healthReport) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + HealthPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rep healthReport
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, rep
+	}
+
+	code, rep := get()
+	if code != http.StatusOK || rep.Status != "ok" || rep.Info["mode"] != "demo" || rep.Checks["transport"] != "ok" {
+		t.Fatalf("healthy report wrong: %d %+v", code, rep)
+	}
+
+	failing = true
+	code, rep = get()
+	if code != http.StatusServiceUnavailable || rep.Status != "failing" || rep.Checks["transport"] != "transport closed" {
+		t.Fatalf("failing report wrong: %d %+v", code, rep)
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Begin(3, TraceTrigger{Kind: "serverOverloaded", Entity: "b1", Minute: 3})
+	tr.End(OutcomeNoAction, "")
+	srv := httptest.NewServer(Handler(nil, tr, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + TracesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var traces []Trace
+	if err := json.NewDecoder(resp.Body).Decode(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 1 || traces[0].Trigger.Entity != "b1" {
+		t.Fatalf("traces endpoint returned %+v", traces)
+	}
+}
+
+func TestNilEverythingStillServes(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil, nil))
+	defer srv.Close()
+	for _, path := range []string{MetricsPath, TracesPath, HealthPath} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d with nil backends", path, resp.StatusCode)
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"autoglobe/internal/controller"
 	"autoglobe/internal/forecast"
 	"autoglobe/internal/monitor"
+	"autoglobe/internal/obs"
 	"autoglobe/internal/service"
 	"autoglobe/internal/workload"
 )
@@ -99,6 +100,16 @@ type Config struct {
 	// injected faults it exercises retries, compensation and dead-host
 	// demotion. See DistributedConfig.
 	Distributed *DistributedConfig
+	// Obs, when set, instruments every component of the run: the monitor
+	// (watch transitions), the controller (decisions, inference latency),
+	// the liveness detector (death/recovery), and — in distributed mode —
+	// the coordinator and dispatcher. Observation never feeds back into
+	// the run: an instrumented simulation is byte-identical to an
+	// uninstrumented one.
+	Obs *obs.Registry
+	// Tracer, when set, records one trace per control-loop iteration
+	// (trigger → decision with rule provenance → dispatches → outcome).
+	Tracer *obs.Tracer
 }
 
 // HostEvent is one scheduled change to the host pool.
@@ -265,6 +276,17 @@ func newWithDeployment(cfg Config, dep *service.Deployment) (*Simulator, error) 
 	}
 	s.liveness = monitor.NewLiveness(timeout)
 	s.crashed = make(map[string]crashInfo)
+
+	// Observability is attach-only: nil registry/tracer arguments no-op,
+	// and nothing below reads a metric back into the control loop.
+	lms.Instrument(cfg.Obs)
+	s.liveness.Instrument(cfg.Obs)
+	ctl.Instrument(cfg.Obs)
+	ctl.Trace(cfg.Tracer)
+	if s.plane != nil {
+		s.plane.Instrument(cfg.Obs)
+		s.plane.Trace(cfg.Tracer)
+	}
 	return s, nil
 }
 

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"autoglobe/internal/obs"
 )
 
 // WirePath is the HTTP endpoint every node serves the protocol on.
@@ -29,11 +31,23 @@ type HTTP struct {
 	// binds the address once).
 	DefaultListenAddr string
 
+	// Server hardening knobs, applied to every server ListenOn starts.
+	// Zero values pick conservative defaults (see newServer): a slow or
+	// stalled client must never pin a handler goroutine forever. Set
+	// before the first Listen.
+	ReadHeaderTimeout time.Duration // default 5s
+	ReadTimeout       time.Duration // default 30s
+	WriteTimeout      time.Duration // default 30s
+	IdleTimeout       time.Duration // default 2m
+	MaxHeaderBytes    int           // default 64 KiB
+
 	mu        sync.Mutex
 	peers     map[string]string // node -> base URL
 	listeners []net.Listener
 	servers   []*http.Server
+	extra     map[string]http.Handler // Mount'ed sidecar handlers
 	closed    bool
+	metrics   *wireMetrics
 
 	client *http.Client
 }
@@ -44,6 +58,32 @@ func NewHTTP() *HTTP {
 		peers:  make(map[string]string),
 		client: &http.Client{Timeout: 30 * time.Second},
 	}
+}
+
+// Instrument attaches an obs registry: every subsequent Call is counted
+// by message type, failures by cause, latency into a histogram, and
+// envelope bytes by direction. A nil registry leaves the transport
+// uninstrumented. Safe to call before or after Listen.
+func (t *HTTP) Instrument(r *obs.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.metrics = newWireMetrics(r, "http")
+}
+
+// Mount registers a sidecar HTTP handler (e.g. obs.Handler's /metrics
+// and /healthz) served by every listener this transport starts. Call
+// before Listen/ListenOn; handlers mounted later only appear on
+// listeners started afterwards. The WirePath route cannot be shadowed.
+func (t *HTTP) Mount(path string, h http.Handler) {
+	if path == "" || path == WirePath || h == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.extra == nil {
+		t.extra = make(map[string]http.Handler)
+	}
+	t.extra[path] = h
 }
 
 // Listen implements Transport: it binds DefaultListenAddr (fallback: an
@@ -70,6 +110,10 @@ func (t *HTTP) ListenOn(node, addr string, h Handler) (string, error) {
 		t.mu.Unlock()
 		return "", errDuplicateListener(node)
 	}
+	extra := make(map[string]http.Handler, len(t.extra))
+	for p, eh := range t.extra {
+		extra[p] = eh
+	}
 	t.mu.Unlock()
 
 	ln, err := net.Listen("tcp", addr)
@@ -80,7 +124,10 @@ func (t *HTTP) ListenOn(node, addr string, h Handler) (string, error) {
 	mux.HandleFunc(WirePath, func(w http.ResponseWriter, r *http.Request) {
 		serveWire(w, r, h)
 	})
-	srv := &http.Server{Handler: mux}
+	for p, eh := range extra {
+		mux.Handle(p, eh)
+	}
+	srv := t.newServer(mux)
 	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
 
 	base := "http://" + ln.Addr().String()
@@ -90,6 +137,30 @@ func (t *HTTP) ListenOn(node, addr string, h Handler) (string, error) {
 	t.servers = append(t.servers, srv)
 	t.mu.Unlock()
 	return base, nil
+}
+
+// newServer builds a hardened http.Server: every timeout the stdlib
+// leaves at "unlimited" is capped so a slow-loris client (partial
+// header, stalled body) cannot pin connections indefinitely.
+func (t *HTTP) newServer(mux *http.ServeMux) *http.Server {
+	pick := func(v, def time.Duration) time.Duration {
+		if v > 0 {
+			return v
+		}
+		return def
+	}
+	maxHeader := t.MaxHeaderBytes
+	if maxHeader <= 0 {
+		maxHeader = 64 << 10
+	}
+	return &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: pick(t.ReadHeaderTimeout, 5*time.Second),
+		ReadTimeout:       pick(t.ReadTimeout, 30*time.Second),
+		WriteTimeout:      pick(t.WriteTimeout, 30*time.Second),
+		IdleTimeout:       pick(t.IdleTimeout, 2*time.Minute),
+		MaxHeaderBytes:    maxHeader,
+	}
 }
 
 // Register maps a remote node name to its base URL (e.g.
@@ -148,6 +219,21 @@ func serveWire(w http.ResponseWriter, r *http.Request, h Handler) {
 
 // Call implements Transport.
 func (t *HTTP) Call(ctx context.Context, node string, env *Envelope) (*Envelope, error) {
+	reply, err := t.call(ctx, node, env)
+	if err != nil {
+		t.instruments().fail(err)
+	}
+	return reply, err
+}
+
+// instruments returns the current metric sinks (nil → no-op methods).
+func (t *HTTP) instruments() *wireMetrics {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.metrics
+}
+
+func (t *HTTP) call(ctx context.Context, node string, env *Envelope) (*Envelope, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,15 +244,20 @@ func (t *HTTP) Call(ctx context.Context, node string, env *Envelope) (*Envelope,
 	}
 	base, ok := t.peers[node]
 	client := t.client
+	m := t.metrics
 	t.mu.Unlock()
 	if !ok {
 		return nil, ErrNoRoute
 	}
+	m.call(env.Type)
+	start := time.Now()
+	defer m.observe(start)
 
 	buf, err := json.Marshal(env)
 	if err != nil {
 		return nil, fmt.Errorf("wire: encode: %w", err)
 	}
+	m.sent(len(buf))
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+WirePath, bytes.NewReader(buf))
 	if err != nil {
 		return nil, err
@@ -182,8 +273,15 @@ func (t *HTTP) Call(ctx context.Context, node string, env *Envelope) (*Envelope,
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
 	if err != nil {
+		// A context deadline can expire mid-body just as well as
+		// mid-connect: the caller asked for a bounded call, so both
+		// surface as the same sentinel.
+		if ctx.Err() != nil {
+			return nil, ErrTimeout
+		}
 		return nil, fmt.Errorf("wire: call %s: read reply: %w", node, err)
 	}
+	m.received(len(body))
 	switch resp.StatusCode {
 	case http.StatusOK:
 		var reply Envelope

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"autoglobe/internal/obs"
 )
 
 // Loopback is the in-memory transport: delivery is a synchronous
@@ -28,6 +30,8 @@ type Loopback struct {
 
 	calls   int
 	dropped int
+
+	metrics *wireMetrics
 }
 
 // NewLoopback returns an empty loopback network.
@@ -39,6 +43,15 @@ func NewLoopback() *Loopback {
 		latency:       make(map[string]time.Duration),
 		isolated:      make(map[string]bool),
 	}
+}
+
+// Instrument attaches an obs registry: every subsequent Call is counted
+// by message type, failures by cause, and latency into a histogram. A
+// nil registry leaves the transport uninstrumented.
+func (l *Loopback) Instrument(r *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.metrics = newWireMetrics(r, "loopback")
 }
 
 // Listen implements Transport.
@@ -68,6 +81,17 @@ func (e *listenerError) Error() string { return "wire: node " + e.node + " alrea
 // drops. A swallowed message or reply surfaces as ErrTimeout, exactly
 // what a caller waiting for an ack over a real network would see.
 func (l *Loopback) Call(ctx context.Context, node string, env *Envelope) (*Envelope, error) {
+	reply, err := l.call(ctx, node, env)
+	if err != nil {
+		l.mu.Lock()
+		m := l.metrics
+		l.mu.Unlock()
+		m.fail(err)
+	}
+	return reply, err
+}
+
+func (l *Loopback) call(ctx context.Context, node string, env *Envelope) (*Envelope, error) {
 	if err := env.Validate(); err != nil {
 		return nil, err
 	}
@@ -77,6 +101,10 @@ func (l *Loopback) Call(ctx context.Context, node string, env *Envelope) (*Envel
 		return nil, ErrClosed
 	}
 	l.calls++
+	m := l.metrics
+	m.call(env.Type)
+	start := time.Now()
+	defer m.observe(start)
 	h, ok := l.handlers[node]
 	if !ok {
 		l.mu.Unlock()

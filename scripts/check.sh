@@ -9,7 +9,11 @@
 #      (exercises the parallel sweep engine, the shared compiled rule
 #      bases, the simulator-isolation tests and the control-plane
 #      transports concurrently)
-#   5. a short smoke run of the inference fast-path benchmark, so a
+#   5. the observability gate: a dedicated race-enabled run of
+#      internal/obs (including the Prometheus exposition golden test)
+#      plus a lint that every declared metric family keeps the
+#      autoglobe_ namespace and a conventional unit suffix
+#   6. a short smoke run of the inference fast-path benchmark, so a
 #      regression that breaks the compiled path or its pooling shows up
 #      even when no test asserts on speed
 #
@@ -31,6 +35,21 @@ go vet ./...
 
 echo "== go build ./..."
 go build ./...
+
+echo "== observability gate: vet + race tests + exposition golden"
+go vet ./internal/obs/...
+go test -race ./internal/obs/...
+
+# Metric-name lint: every metric family declared as a Metric* constant
+# must live in the autoglobe_ namespace and end in a conventional unit
+# suffix, so the exposition stays scrapeable and greppable.
+bad=$(grep -rhoE 'Metric[A-Za-z]+ += +"[^"]*"' internal --include='metrics.go' |
+	grep -vE '= +"autoglobe_[a-z_]+_(total|seconds|minutes)"' || true)
+if [ -n "$bad" ]; then
+	echo "metric-name lint: families outside the naming convention:" >&2
+	echo "$bad" >&2
+	exit 1
+fi
 
 echo "== go test -race ./..."
 go test -race ./...
