@@ -17,6 +17,15 @@
 //	# single-process demo: the whole plane over the in-memory loopback,
 //	# driving the simulator's distributed mode for a fast-forward run
 //	autoglobe-agentd -mode demo -landscape l.xml -hours 24
+//
+//	# crash-safe coordinator: every action is write-ahead journaled and
+//	# a restart recovers in-flight actions under a fresh epoch
+//	autoglobe-agentd -mode coordinator -landscape l.xml -journal /var/lib/autoglobe/journal
+//
+//	# chaos mode: the demo run under a seeded deterministic fault
+//	# schedule (coordinator crashes, duplicated and delayed deliveries,
+//	# short partitions), with the journal absorbing every crash
+//	autoglobe-agentd -mode demo -landscape l.xml -chaos-seed 11
 package main
 
 import (
@@ -33,8 +42,10 @@ import (
 	"time"
 
 	"autoglobe/internal/agent"
+	"autoglobe/internal/chaos"
 	"autoglobe/internal/console"
 	"autoglobe/internal/controller"
+	"autoglobe/internal/journal"
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/obs"
 	"autoglobe/internal/simulator"
@@ -53,20 +64,22 @@ func main() {
 		interval    = flag.Duration("interval", 2*time.Second, "wall-clock duration of one control-plane minute")
 		hours       = flag.Int("hours", 24, "simulated hours (demo mode)")
 		obsAddr     = flag.String("obs", "", "demo mode: keep serving /healthz and /autoglobe/v1/{metrics,traces} on this address after the run (coordinator and agent modes always serve them on their wire listener)")
+		journalDir  = flag.String("journal", "", "write-ahead action journal directory (coordinator and demo modes): every action is journaled before dispatch, and a restart recovers in-flight actions under a fresh epoch")
+		chaosSeed   = flag.Uint64("chaos-seed", 0, "demo mode: inject the deterministic fault schedule derived from this seed — coordinator crashes, duplicated and delayed deliveries, short partitions (0 disables)")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours); err != nil {
+	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed); err != nil {
 		fatal(err)
 	}
 	var err error
 	switch *mode {
 	case "coordinator":
-		err = runCoordinator(*landscape, *listen, *interval)
+		err = runCoordinator(*landscape, *listen, *interval, *journalDir)
 	case "agent":
 		err = runAgent(*host, *coordinator, *load, *interval)
 	case "demo":
-		err = runDemo(*landscape, *hours, *obsAddr)
+		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed)
 	}
 	if err != nil {
 		fatal(err)
@@ -83,7 +96,10 @@ func mountObs(tr *wire.HTTP, reg *obs.Registry, tracer *obs.Tracer, health *obs.
 	tr.Mount(obs.HealthPath, obs.HealthHandler(health))
 }
 
-func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int) error {
+func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64) error {
+	if chaosSeed != 0 && mode != "demo" {
+		return fmt.Errorf("-chaos-seed only applies to -mode demo")
+	}
 	switch mode {
 	case "coordinator", "demo":
 		if landscape == "" {
@@ -122,7 +138,7 @@ func loadLandscape(path string) (*spec.Landscape, error) {
 // per interval (closing the service observations, probing silent
 // hosts), and hands every confirmed trigger to the fuzzy controller,
 // whose decisions are dispatched back to the agents.
-func runCoordinator(landscapePath, listenAddr string, interval time.Duration) error {
+func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -166,6 +182,35 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration) er
 	disp := agent.NewDispatcher(agent.DispatchConfig{From: coord.Node()}, tr)
 	disp.Instrument(reg)
 	disp.Trace(tracer)
+	if journalDir != "" {
+		// Crash safety: fsync-on-commit journal, a fresh durable epoch per
+		// incarnation, and recovery of the previous incarnation's
+		// in-flight actions (answered from agent idempotency caches if
+		// they already applied; rejected on route errors until the agents
+		// rejoin, which journals the abandonment for the controller to
+		// re-plan).
+		cj, err := agent.OpenCoordinatorJournal(journalDir, journal.Options{})
+		if err != nil {
+			return err
+		}
+		defer cj.Close()
+		cj.Instrument(reg)
+		disp.AttachJournal(cj)
+		coord.AttachJournal(cj)
+		for h, m := range cj.Down() {
+			coord.Liveness().MarkDead(h, m)
+		}
+		if downs := cj.DownHosts(); len(downs) > 0 {
+			fmt.Printf("journal: hosts %v restored as down\n", downs)
+		}
+		reissued, rerr := cj.Recover(context.Background(), disp)
+		if rerr != nil {
+			fmt.Fprintf(os.Stderr, "journal recovery: %v\n", rerr)
+		}
+		fmt.Printf("journal: %s at epoch %d, %d in-flight actions re-issued\n",
+			journalDir, cj.Epoch(), reissued)
+		health.SetInfo("epoch", fmt.Sprintf("%d", cj.Epoch()))
+	}
 	exec := agent.NewDispatchExecutor(dep,
 		controller.NewDeploymentExecutor(dep, controller.StickyUsers), disp)
 	ctl, err := controller.New(controller.Config{}, dep, lms.Archive(), exec)
@@ -316,7 +361,7 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration)
 // declared landscape runs through the simulator's distributed mode over
 // the in-memory loopback, and the run ends with the control-plane panel
 // and the usual result summary.
-func runDemo(landscapePath string, hours int, obsAddr string) error {
+func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -325,18 +370,58 @@ func runDemo(landscapePath string, hours int, obsAddr string) error {
 	defer tr.Close()
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
+	jdir := journalDir
+	if chaosSeed != 0 && jdir == "" {
+		// Crash injections need a journal to recover from; an unjournaled
+		// chaos run would die at the first crash.
+		tmp, err := os.MkdirTemp("", "autoglobe-journal-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		jdir = tmp
+	}
+	var drv *chaos.Driver
 	sim, err := simulator.FromLandscapeConfig(l, func(c *simulator.Config) {
 		c.Hours = hours
-		c.Distributed = &simulator.DistributedConfig{Transport: tr}
+		dc := &simulator.DistributedConfig{Transport: tr, JournalDir: jdir}
+		if chaosSeed != 0 {
+			hosts := make([]string, 0, len(l.Servers))
+			for _, s := range l.Servers {
+				hosts = append(hosts, s.Name)
+			}
+			drv = chaos.NewDriver(chaos.NewPlan(chaosSeed, hours*60, hosts, chaos.DefaultProfile()), tr)
+			drv.Instrument(reg)
+			dc.Chaos = drv
+		}
+		c.Distributed = dc
 		c.Obs = reg
 		c.Tracer = tracer
 	})
 	if err != nil {
 		return err
 	}
+	if drv != nil {
+		drv.Crash = func() error {
+			_, err := sim.Plane().CrashCoordinator(context.Background())
+			return err
+		}
+		fmt.Printf("chaos: seed %d schedules %d injections over %d minutes\n",
+			chaosSeed, drv.Remaining(), hours*60)
+	}
 	res, err := sim.Run()
 	if err != nil {
 		return err
+	}
+	if drv != nil {
+		fmt.Printf("chaos: applied %v\n", drv.Stats())
+		if cj := sim.Plane().Dispatcher().Journal(); cj != nil {
+			fmt.Printf("journal: final epoch %d (initial open + one per crash)\n", cj.Epoch())
+		}
+		if err := sim.CheckInvariants(true); err != nil {
+			return fmt.Errorf("post-chaos invariant check: %w", err)
+		}
+		fmt.Println("invariants: landscape constraints hold after the fault schedule")
 	}
 	fmt.Println(console.PlaneView(sim.Deployment(), sim.Plane()))
 	fmt.Println()

@@ -42,6 +42,7 @@ import (
 	"sync"
 	"time"
 
+	"autoglobe/internal/obs"
 	"autoglobe/internal/wire"
 )
 
@@ -73,6 +74,14 @@ type Agent struct {
 	log   []string                  // audit trail of applied operations
 	seq   uint64
 
+	// coordEpoch is the highest coordinator incarnation observed on an
+	// action envelope. Requests carrying a lower epoch are NACKed: they
+	// come from a superseded (crashed or partitioned-away) coordinator
+	// that must not mutate a host the new incarnation administers.
+	coordEpoch   uint64
+	staleNacks   int
+	epochRejects *obs.Counter
+
 	failNextOp  wire.Op // test/fault hook: NACK the next matching op
 	failNextMsg string
 }
@@ -100,6 +109,34 @@ func NewAgent(host, coordinator string, tr wire.Transport) (*Agent, error) {
 
 // Host returns the agent's host name.
 func (a *Agent) Host() string { return a.host }
+
+// Instrument attaches an obs registry: stale-epoch rejections are
+// counted. A nil registry leaves the agent uninstrumented.
+func (a *Agent) Instrument(r *obs.Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r == nil {
+		a.epochRejects = nil
+		return
+	}
+	r.Help(MetricEpochRejections, "Action requests NACKed for carrying a superseded coordinator epoch.")
+	a.epochRejects = r.Counter(MetricEpochRejections)
+}
+
+// CoordEpoch returns the highest coordinator epoch the agent has seen.
+func (a *Agent) CoordEpoch() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.coordEpoch
+}
+
+// StaleNacks returns how many action requests were rejected for
+// carrying a superseded coordinator epoch.
+func (a *Agent) StaleNacks() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.staleNacks
+}
 
 // Adopt seeds the process table with an already-running instance (the
 // initial allocation existed before the control plane attached).
@@ -162,6 +199,9 @@ func (a *Agent) Handle(env *wire.Envelope) (*wire.Envelope, error) {
 	}
 	switch env.Type {
 	case wire.TypeAction:
+		if nack, stale := a.guardEpoch(env); stale {
+			return wire.AckEnvelope(a.host, env.From, nack), nil
+		}
 		ack := a.apply(*env.Action)
 		return wire.AckEnvelope(a.host, env.From, ack), nil
 	case wire.TypeProbe:
@@ -172,6 +212,36 @@ func (a *Agent) Handle(env *wire.Envelope) (*wire.Envelope, error) {
 	default:
 		return nil, fmt.Errorf("agent: %s cannot handle %q messages", a.host, env.Type)
 	}
+}
+
+// guardEpoch enforces the coordinator lease: an action envelope
+// carrying a lower epoch than the highest the agent has seen is NACKed
+// without touching the process table OR the idempotency cache — a
+// straggler from a crashed incarnation, or a split-brain predecessor,
+// cannot mutate the host and cannot poison the cache. Epoch zero
+// (unjournaled coordinators) disables the guard. The NACK is
+// deliberately uncached: epochs only move forward, so the same stale
+// sender can never legitimately retry into an OK.
+func (a *Agent) guardEpoch(env *wire.Envelope) (wire.ActionAck, bool) {
+	if env.Epoch == 0 {
+		return wire.ActionAck{}, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if env.Epoch < a.coordEpoch {
+		a.staleNacks++
+		if a.epochRejects != nil {
+			a.epochRejects.Inc()
+		}
+		return wire.ActionAck{
+			Key: env.Action.Key,
+			OK:  false,
+			Error: fmt.Sprintf("agent: %s: coordinator epoch %d superseded by %d",
+				a.host, env.Epoch, a.coordEpoch),
+		}, true
+	}
+	a.coordEpoch = env.Epoch
+	return wire.ActionAck{}, false
 }
 
 // apply executes one operation against the process table, answering

@@ -48,6 +48,7 @@ type Coordinator struct {
 	maxMinute  int
 	lastErr    error
 	metrics    *coordMetrics
+	journal    *CoordinatorJournal
 }
 
 // NewCoordinator starts a coordinator over the deployment and load
@@ -89,6 +90,16 @@ func (c *Coordinator) Instrument(r *obs.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.metrics = newCoordMetrics(r)
+}
+
+// AttachJournal makes liveness transitions durable: every host death
+// and recovery CheckLiveness confirms is journaled, so a restarted
+// coordinator keeps demoted hosts demoted (see Liveness.MarkDead). A
+// nil journal detaches.
+func (c *Coordinator) AttachJournal(cj *CoordinatorJournal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = cj
 }
 
 // Node returns the coordinator's transport node name.
@@ -251,7 +262,39 @@ func (c *Coordinator) CheckLiveness(ctx context.Context, minute int) (dead, reco
 			c.live.Beat(host, minute)
 		}
 	}
-	return c.live.Dead(minute), c.live.Recovered()
+	dead, recovered = c.live.Dead(minute), c.live.Recovered()
+	c.mu.Lock()
+	cj := c.journal
+	c.mu.Unlock()
+	if cj != nil {
+		// Liveness transitions are journaled AFTER detection but before
+		// the caller acts on them: a crash between the two leaves a
+		// journaled death whose demotion never ran — recovery re-reports
+		// it via DownHosts and the demotion is re-planned (demoting an
+		// already-demoted host is a no-op at the model layer).
+		for _, h := range dead {
+			if err := cj.LogLiveness(h, true, minute); err != nil && c.noteErr(err) {
+				break
+			}
+		}
+		for _, h := range recovered {
+			if err := cj.LogLiveness(h, false, minute); err != nil && c.noteErr(err) {
+				break
+			}
+		}
+	}
+	return dead, recovered
+}
+
+// noteErr records the first ingestion-path error for Err and reports
+// whether an error was present.
+func (c *Coordinator) noteErr(err error) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastErr == nil {
+		c.lastErr = err
+	}
+	return err != nil
 }
 
 // Forget clears a demoted host's monitor registration. The liveness

@@ -101,6 +101,8 @@ type Dispatcher struct {
 	stats   DispatchStats
 	metrics *dispatchMetrics
 	tracer  *obs.Tracer
+	journal *CoordinatorJournal
+	epoch   uint64
 }
 
 // NewDispatcher builds a dispatcher over the transport.
@@ -130,6 +132,32 @@ func (d *Dispatcher) Trace(tr *obs.Tracer) {
 	d.tracer = tr
 }
 
+// AttachJournal makes the dispatcher crash-safe: every dispatch is
+// write-ahead journaled before it reaches the transport, every terminal
+// outcome (ack or NACK) is journaled when it arrives, and outgoing
+// envelopes are stamped with the journal's epoch so agents can reject
+// traffic from superseded incarnations. Keys minted after attachment
+// are epoch-scoped ("from-e<epoch>-<seq>"), so a recovered incarnation
+// can never collide with its predecessor's keys in an agent's
+// idempotency cache. A nil journal detaches.
+func (d *Dispatcher) AttachJournal(cj *CoordinatorJournal) {
+	var epoch uint64
+	if cj != nil {
+		epoch = cj.Epoch()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.journal = cj
+	d.epoch = epoch
+}
+
+// Journal returns the attached coordinator journal, or nil.
+func (d *Dispatcher) Journal() *CoordinatorJournal {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.journal
+}
+
 // Stats returns a snapshot of the dispatch counters.
 func (d *Dispatcher) Stats() DispatchStats {
 	d.mu.Lock()
@@ -137,11 +165,17 @@ func (d *Dispatcher) Stats() DispatchStats {
 	return d.stats
 }
 
-// nextKey mints a fresh idempotency key.
+// nextKey mints a fresh idempotency key. With a journal attached the
+// key is epoch-scoped: two coordinator incarnations can never mint the
+// same key, so an agent's cached answer is always for the incarnation
+// that asked.
 func (d *Dispatcher) nextKey() string {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.seq++
+	if d.epoch > 0 {
+		return fmt.Sprintf("%s-e%d-%06d", d.cfg.From, d.epoch, d.seq)
+	}
 	return fmt.Sprintf("%s-%06d", d.cfg.From, d.seq)
 }
 
@@ -185,10 +219,20 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 	d.mu.Lock()
 	d.stats.Actions++
 	m, tracer := d.metrics, d.tracer
+	cj, epoch := d.journal, d.epoch
 	if compensation && m != nil {
 		m.compensations.Inc()
 	}
 	d.mu.Unlock()
+	if cj != nil {
+		// Write-ahead: the dispatch record must be durable BEFORE the
+		// action can reach the transport. A crash anywhere after this
+		// point leaves the action pending, and recovery re-issues it
+		// under the same idempotency key.
+		if err := cj.LogDispatch(req); err != nil {
+			return wire.ActionAck{}, err
+		}
+	}
 	ev := obs.TraceDispatch{
 		Host: req.Host, Op: string(req.Op), Key: req.Key,
 		InstanceID: req.InstanceID, Compensation: compensation,
@@ -204,9 +248,19 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 			d.stats.Retries++
 			d.mu.Unlock()
 		}
+		// The caller's context bounds the WHOLE retry loop, backoff
+		// included — once it expires no further attempt may be made.
+		if ctx.Err() != nil {
+			if lastErr == nil {
+				lastErr = wire.ErrTimeout
+			}
+			break
+		}
 		m.attempt()
+		env := wire.ActionEnvelope(d.cfg.From, req.Host, req)
+		env.Epoch = epoch
 		callCtx, cancel := context.WithTimeout(ctx, d.cfg.Timeout)
-		reply, err := d.tr.Call(callCtx, req.Host, wire.ActionEnvelope(d.cfg.From, req.Host, req))
+		reply, err := d.tr.Call(callCtx, req.Host, env)
 		cancel()
 		if err != nil {
 			lastErr = err
@@ -237,6 +291,12 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 			}
 			ev.Error = ack.Error
 			tracer.Dispatch(ev)
+			if cj != nil {
+				// A NACK is a known fate: journal it so recovery does not
+				// re-issue the rejected action. Losing the record is safe —
+				// a re-issue is answered from the agent's cache.
+				cj.LogAck(req.Key, ack) //nolint:errcheck
+			}
 			return ack, &NackError{Host: req.Host, Ack: ack}
 		}
 		if m != nil {
@@ -246,6 +306,15 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 			}
 		}
 		tracer.Dispatch(ev)
+		if cj != nil {
+			if jerr := cj.LogAck(req.Key, ack); jerr != nil {
+				// The operation applied but its fate could not be made
+				// durable. Surfacing the journal failure lets the
+				// transaction layer compensate; the agent's idempotency
+				// cache keeps any later re-issue harmless.
+				return ack, fmt.Errorf("agent: %s applied but journal failed: %w", req.Key, jerr)
+			}
+		}
 		return ack, nil
 	}
 	d.mu.Lock()
@@ -260,5 +329,15 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 	ev.OK = false
 	ev.Error = err.Error()
 	tracer.Dispatch(ev)
+	if cj != nil {
+		// Giving up IS a known fate: the caller (the transaction layer)
+		// handles the failure now — compensating the completed prefix —
+		// so a later recovery must NOT resurrect this action. Journal the
+		// abandonment as a terminal record; the action's own deadline
+		// keeps any straggler delivery rejected agent-side. Only a crash
+		// in the window between the dispatch record and this one leaves
+		// the action pending for recovery to resolve.
+		cj.LogAck(req.Key, wire.ActionAck{Key: req.Key, OK: false, Error: "abandoned: " + err.Error()}) //nolint:errcheck
+	}
 	return wire.ActionAck{}, err
 }

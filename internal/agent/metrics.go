@@ -25,6 +25,22 @@ const (
 	// minutes behind the coordinator's newest observed minute a
 	// heartbeat arrived. 0 is the healthy steady state.
 	MetricHeartbeatLag = "autoglobe_heartbeat_ingest_lag_minutes"
+	// MetricJournalAppends counts write-ahead journal records by kind
+	// (epoch, dispatch, ack, liveness).
+	MetricJournalAppends = "autoglobe_journal_appends_total"
+	// MetricJournalSnapshots counts journal compactions.
+	MetricJournalSnapshots = "autoglobe_journal_snapshots_total"
+	// MetricRecoveries counts coordinator recoveries (journal replays
+	// that found state to rebuild).
+	MetricRecoveries = "autoglobe_recoveries_total"
+	// MetricRecoveryPending counts actions found pending — dispatched,
+	// fate unknown — across all recoveries; each is re-issued under its
+	// original idempotency key.
+	MetricRecoveryPending = "autoglobe_recovery_pending_total"
+	// MetricEpochRejections counts action requests an agent NACKed
+	// because they carried a superseded coordinator epoch — traffic from
+	// a not-quite-dead predecessor incarnation.
+	MetricEpochRejections = "autoglobe_epoch_rejections_total"
 )
 
 // dispatchMetrics pre-resolves the dispatcher's series. Nil-safe.
@@ -85,4 +101,56 @@ func (m *coordMetrics) ingest(lagMinutes int) {
 	}
 	m.heartbeats.Inc()
 	m.lag.Observe(float64(lagMinutes))
+}
+
+// journalMetrics pre-resolves the coordinator journal's series.
+// Nil-safe: an uninstrumented journal carries a nil *journalMetrics.
+type journalMetrics struct {
+	appends    map[string]*obs.Counter // by record kind
+	snapshots  *obs.Counter
+	recoveries *obs.Counter
+	pending    *obs.Counter
+}
+
+func newJournalMetrics(r *obs.Registry) *journalMetrics {
+	if r == nil {
+		return nil
+	}
+	r.Help(MetricJournalAppends, "Write-ahead journal records appended, by kind.")
+	r.Help(MetricJournalSnapshots, "Journal compactions.")
+	r.Help(MetricRecoveries, "Coordinator journal recoveries.")
+	r.Help(MetricRecoveryPending, "Pending actions found and re-issued across recoveries.")
+	m := &journalMetrics{
+		appends:    make(map[string]*obs.Counter, 4),
+		snapshots:  r.Counter(MetricJournalSnapshots),
+		recoveries: r.Counter(MetricRecoveries),
+		pending:    r.Counter(MetricRecoveryPending),
+	}
+	for _, kind := range []string{recEpoch, recDispatch, recAck, recLiveness} {
+		m.appends[kind] = r.Counter(MetricJournalAppends, "kind", kind)
+	}
+	return m
+}
+
+func (m *journalMetrics) appendRecord(kind string) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.appends[kind]; ok {
+		c.Inc()
+	}
+}
+
+func (m *journalMetrics) snapshot() {
+	if m != nil {
+		m.snapshots.Inc()
+	}
+}
+
+func (m *journalMetrics) recovery(pending int) {
+	if m == nil {
+		return
+	}
+	m.recoveries.Inc()
+	m.pending.Add(float64(pending))
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"autoglobe/internal/controller"
+	"autoglobe/internal/journal"
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/obs"
 	"autoglobe/internal/service"
@@ -119,6 +120,60 @@ func (p *Plane) Agent(host string) (*Agent, bool) {
 // applied to the model.
 func (p *Plane) Executor(inner controller.Executor) *DispatchExecutor {
 	return NewDispatchExecutor(p.dep, inner, p.disp)
+}
+
+// AttachJournal opens (or reopens) the write-ahead action journal in
+// dir and makes the plane crash-safe: the dispatcher write-ahead logs
+// every action under the journal's fresh epoch, the coordinator
+// journals liveness transitions, journaled dead hosts are re-seeded
+// into the liveness detector (they stay demoted until they earn their
+// recovery streak), and the previous incarnation's unacked dispatches
+// are re-issued through the agents' idempotency caches. It returns the
+// re-seeded dead hosts and how many pending actions were re-issued.
+func (p *Plane) AttachJournal(ctx context.Context, dir string, opts journal.Options) (down []string, reissued int, err error) {
+	cj, err := OpenCoordinatorJournal(dir, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return p.adoptJournal(ctx, cj)
+}
+
+// adoptJournal wires an already-open journal into the plane and runs
+// recovery against it.
+func (p *Plane) adoptJournal(ctx context.Context, cj *CoordinatorJournal) (down []string, reissued int, err error) {
+	p.disp.AttachJournal(cj)
+	p.coord.AttachJournal(cj)
+	for host, minute := range cj.Down() {
+		p.coord.Liveness().MarkDead(host, minute)
+	}
+	down = cj.DownHosts()
+	reissued, err = cj.Recover(ctx, p.disp)
+	return down, reissued, err
+}
+
+// CrashCoordinator simulates a coordinator process crash and restart:
+// the journal is closed mid-flight (nothing is flushed beyond what the
+// write-ahead protocol already made durable), reopened from the same
+// directory — bumping the epoch, so agents fence the dead incarnation's
+// stragglers — and recovery re-issues the unacked dispatches. The
+// agents, transport and monitor state are untouched: only the
+// coordinator's volatile dispatch state dies. Returns the re-issued
+// action count. It is an error if no journal is attached.
+func (p *Plane) CrashCoordinator(ctx context.Context) (reissued int, err error) {
+	cj := p.disp.Journal()
+	if cj == nil {
+		return 0, fmt.Errorf("agent: CrashCoordinator without an attached journal")
+	}
+	dir, opts := cj.Dir(), cj.Options()
+	if err := cj.Close(); err != nil {
+		return 0, err
+	}
+	next, err := OpenCoordinatorJournal(dir, opts)
+	if err != nil {
+		return 0, err
+	}
+	_, reissued, err = p.adoptJournal(ctx, next)
+	return reissued, err
 }
 
 // Report sends one host's load report through its agent to the

@@ -1,0 +1,486 @@
+package agent
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+
+	"autoglobe/internal/journal"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/wire"
+)
+
+func openTestJournal(t *testing.T, dir string) *CoordinatorJournal {
+	t.Helper()
+	cj, err := OpenCoordinatorJournal(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cj
+}
+
+func startReq(host, id string) wire.ActionRequest {
+	return wire.ActionRequest{Op: wire.OpStart, Host: host, Service: "app", InstanceID: id}
+}
+
+// TestRecoveryReissuesLostDispatch: the dispatch record is durable but
+// the action never reached the agent — the coordinator died in the
+// window between the WAL append and the send. (Every other fate is
+// journaled terminally, abandonment included, so this window is the
+// ONLY way an action can be pending.) Recovery re-issues it under the
+// original key and the operation runs exactly once — now.
+func TestRecoveryReissuesLostDispatch(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	a, err := NewAgent("h1", CoordinatorNode, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cj := openTestJournal(t, dir)
+	ctx := context.Background()
+
+	req := startReq("h1", "i1")
+	req.Key = "coordinator-e1-000001"
+	if err := cj.LogDispatch(req); err != nil {
+		t.Fatal(err)
+	}
+	// ...crash: the send never happens.
+	if n := len(a.Log()); n != 0 {
+		t.Fatalf("agent applied %d ops before recovery, want 0", n)
+	}
+	if err := cj.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cj2 := openTestJournal(t, dir)
+	defer cj2.Close()
+	if cj2.Epoch() != cj.Epoch()+1 {
+		t.Fatalf("epoch = %d, want %d (one past the dead incarnation)", cj2.Epoch(), cj.Epoch()+1)
+	}
+	if p := cj2.Pending(); len(p) != 1 || p[0].InstanceID != "i1" {
+		t.Fatalf("pending = %+v, want the lost i1 start", p)
+	}
+	d2 := NewDispatcher(fastDispatch(), tr)
+	d2.AttachJournal(cj2)
+	reissued, err := cj2.Recover(ctx, d2)
+	if err != nil || reissued != 1 {
+		t.Fatalf("Recover = (%d, %v), want (1, nil)", reissued, err)
+	}
+	if got := a.Log(); len(got) != 1 || got[0] != "start i1" {
+		t.Fatalf("agent log after recovery = %v, want exactly [start i1]", got)
+	}
+	// The fate is journaled: the next incarnation has nothing to re-issue.
+	if err := cj2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cj3 := openTestJournal(t, dir)
+	defer cj3.Close()
+	if p := cj3.Pending(); len(p) != 0 {
+		t.Fatalf("pending after recovered run = %+v, want none", p)
+	}
+}
+
+// TestRecoveryLostAckNotReapplied: the agent applied the operation but
+// the coordinator crashed before the ack record could be journaled.
+// Recovery re-issues under the original key and the agent's idempotency
+// cache answers — the side effect happens once.
+func TestRecoveryLostAckNotReapplied(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	a, err := NewAgent("h1", CoordinatorNode, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cj := openTestJournal(t, dir)
+	ctx := context.Background()
+
+	req := startReq("h1", "i1")
+	req.Key = "coordinator-e1-000001"
+	if err := cj.LogDispatch(req); err != nil {
+		t.Fatal(err)
+	}
+	env := wire.ActionEnvelope(CoordinatorNode, "h1", req)
+	env.Epoch = cj.Epoch()
+	reply, err := tr.Call(ctx, "h1", env)
+	if err != nil || reply.Ack == nil || !reply.Ack.OK {
+		t.Fatalf("delivery = (%+v, %v), want a clean ack", reply, err)
+	}
+	// ...crash: the ack never reaches LogAck.
+	if got := a.Log(); len(got) != 1 {
+		t.Fatalf("agent log = %v, want the single application", got)
+	}
+	cj.Close() //nolint:errcheck
+
+	cj2 := openTestJournal(t, dir)
+	defer cj2.Close()
+	d2 := NewDispatcher(fastDispatch(), tr)
+	d2.AttachJournal(cj2)
+	reissued, err := cj2.Recover(ctx, d2)
+	if err != nil || reissued != 1 {
+		t.Fatalf("Recover = (%d, %v), want (1, nil)", reissued, err)
+	}
+	if got := a.Log(); len(got) != 1 {
+		t.Fatalf("agent log after recovery = %v: the re-issue was re-executed", got)
+	}
+	if s := d2.Stats(); s.Duplicates != 1 {
+		t.Fatalf("duplicates = %d, want 1 (answered from the applied cache)", s.Duplicates)
+	}
+}
+
+// TestAgentFencesStaleEpoch: after a coordinator restart, a straggler
+// request from the dead incarnation (lower epoch) is NACKed without
+// touching the process table — and the NACK is not cached, so the key
+// is not poisoned for legitimate use.
+func TestAgentFencesStaleEpoch(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	a, err := NewAgent("h1", CoordinatorNode, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cj1 := openTestJournal(t, dir)
+	d1 := NewDispatcher(fastDispatch(), tr)
+	d1.AttachJournal(cj1)
+	if _, err := d1.Do(ctx, startReq("h1", "i1")); err != nil {
+		t.Fatal(err)
+	}
+	if a.CoordEpoch() != cj1.Epoch() {
+		t.Fatalf("agent epoch = %d, want %d", a.CoordEpoch(), cj1.Epoch())
+	}
+	cj1.Close() //nolint:errcheck
+
+	cj2 := openTestJournal(t, dir)
+	defer cj2.Close()
+	d2 := NewDispatcher(fastDispatch(), tr)
+	d2.AttachJournal(cj2)
+	if _, err := d2.Do(ctx, startReq("h1", "i2")); err != nil {
+		t.Fatal(err)
+	}
+	if a.CoordEpoch() != cj2.Epoch() {
+		t.Fatalf("agent epoch = %d, want %d after restart traffic", a.CoordEpoch(), cj2.Epoch())
+	}
+
+	// The dead incarnation's straggler finally arrives (e.g. released
+	// from a healed partition), carrying the superseded epoch.
+	env := wire.ActionEnvelope(CoordinatorNode, "h1",
+		wire.ActionRequest{Key: "stale-1", Op: wire.OpStop, Host: "h1", InstanceID: "i1"})
+	env.Epoch = cj1.Epoch()
+	reply, err := tr.Call(ctx, "h1", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Ack == nil || reply.Ack.OK || !strings.Contains(reply.Ack.Error, "superseded") {
+		t.Fatalf("stale-epoch ack = %+v, want a superseded NACK", reply.Ack)
+	}
+	if !a.Running("i1") {
+		t.Fatal("stale stop mutated the process table")
+	}
+	if a.StaleNacks() != 1 {
+		t.Fatalf("staleNacks = %d, want 1", a.StaleNacks())
+	}
+	// The fence did not poison the key: the live incarnation can use it.
+	env2 := wire.ActionEnvelope(CoordinatorNode, "h1",
+		wire.ActionRequest{Key: "stale-1", Op: wire.OpStop, Host: "h1", InstanceID: "i1"})
+	env2.Epoch = cj2.Epoch()
+	reply2, err := tr.Call(ctx, "h1", env2)
+	if err != nil || reply2.Ack == nil || !reply2.Ack.OK || reply2.Ack.Duplicate {
+		t.Fatalf("current-epoch reuse = (%+v, %v), want a fresh OK", reply2.Ack, err)
+	}
+	if a.Running("i1") {
+		t.Fatal("legitimate stop was not applied")
+	}
+}
+
+// TestDispatchSurvivesDuplicateDelivery: the network delivers one
+// request twice (replayed packet). The agent executes once, answers the
+// replay from its idempotency cache, and the caller sees a single
+// duplicate-flagged ack — end to end through the real dispatcher.
+func TestDispatchSurvivesDuplicateDelivery(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	a, err := NewAgent("h1", CoordinatorNode, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(fastDispatch(), tr)
+	tr.DuplicateNext("h1", 1)
+	ack, err := d.Do(context.Background(), startReq("h1", "i1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.OK || !ack.Duplicate {
+		t.Fatalf("ack = %+v, want OK served from the applied cache", ack)
+	}
+	if got := a.Log(); len(got) != 1 || got[0] != "start i1" {
+		t.Fatalf("agent log = %v, want exactly one application", got)
+	}
+	if s := d.Stats(); s.Duplicates != 1 || s.Retries != 0 {
+		t.Fatalf("stats = %+v, want one duplicate, zero retries", s)
+	}
+	if calls, _ := tr.Stats(); calls != 1 {
+		t.Fatalf("transport calls = %d, want 1", calls)
+	}
+}
+
+// TestDispatcherHonorsCallerDeadline: the caller's context bounds the
+// WHOLE retry loop — once it expires mid-backoff no further attempt is
+// made, and the error reports the timeout (errors.Is wire.ErrTimeout).
+func TestDispatcherHonorsCallerDeadline(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	if _, err := NewAgent("h1", CoordinatorNode, tr); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := fastDispatch()
+	cfg.MaxAttempts = 10
+	cfg.Sleep = func(time.Duration) { cancel() } // the deadline expires during the first backoff
+	d := NewDispatcher(cfg, tr)
+	tr.DropNext("h1", 10) // a never-acking host
+
+	_, err := d.Do(ctx, startReq("h1", "i1"))
+	if err == nil {
+		t.Fatal("want an error from the expired caller deadline")
+	}
+	if !errors.Is(err, wire.ErrTimeout) {
+		t.Fatalf("err = %v, want errors.Is wire.ErrTimeout", err)
+	}
+	if calls, _ := tr.Stats(); calls != 1 {
+		t.Fatalf("transport calls = %d, want 1 (no attempts after expiry)", calls)
+	}
+	if s := d.Stats(); s.Expired != 1 {
+		t.Fatalf("stats = %+v, want the action counted expired", s)
+	}
+
+	// A deadline dead on arrival makes no attempt at all and still
+	// reports a timeout.
+	deadCtx, deadCancel := context.WithCancel(context.Background())
+	deadCancel()
+	d2 := NewDispatcher(fastDispatch(), tr)
+	if _, err := d2.Do(deadCtx, startReq("h1", "i2")); !errors.Is(err, wire.ErrTimeout) {
+		t.Fatalf("err = %v, want errors.Is wire.ErrTimeout", err)
+	}
+	if calls, _ := tr.Stats(); calls != 1 {
+		t.Fatalf("transport calls = %d, want still 1", calls)
+	}
+}
+
+// pendingOfPrefix independently computes the expected pending set of an
+// intact journal prefix: dispatch keys not yet matched by an ack.
+func pendingOfPrefix(t *testing.T, data []byte) map[string]bool {
+	t.Helper()
+	payloads, _ := journal.Frames(data)
+	pend := make(map[string]bool)
+	for _, p := range payloads {
+		var r journalRecord
+		if err := json.Unmarshal(p, &r); err != nil {
+			t.Fatal(err)
+		}
+		switch r.Kind {
+		case recDispatch:
+			pend[r.Action.Key] = true
+		case recAck:
+			delete(pend, r.Key)
+		}
+	}
+	return pend
+}
+
+// TestCrashPointSweep is the acceptance sweep: the coordinator is
+// "killed" at every journal record boundary AND mid-record (torn tail),
+// recovery runs against the surviving agents, and at every single crash
+// point (a) the agents' audit logs are byte-identical to the pre-crash
+// run — zero duplicate side effects — and (b) the recovered pending set
+// is exactly the dispatch-minus-ack set of the intact prefix — zero
+// lost acked actions.
+func TestCrashPointSweep(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	agents := make(map[string]*Agent)
+	for _, h := range []string{"h1", "h2"} {
+		a, err := NewAgent(h, CoordinatorNode, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[h] = a
+	}
+	dir := t.TempDir()
+	cj := openTestJournal(t, dir)
+	cfg := fastDispatch()
+	d := NewDispatcher(cfg, tr)
+	d.AttachJournal(cj)
+	ctx := context.Background()
+
+	// A run with every terminal fate represented: clean acks, an
+	// applied-but-ack-lost action that expires into a journaled
+	// abandonment (its pending window is a mid-sweep cut, not the final
+	// state), and a NACK.
+	if _, err := d.Do(ctx, startReq("h1", "i1")); err != nil {
+		t.Fatal(err)
+	}
+	tr.DropReplyNext("h2", cfg.MaxAttempts)
+	if _, err := d.Do(ctx, startReq("h2", "i2")); err == nil {
+		t.Fatal("want expiry: acks for i2 are lost")
+	}
+	var nack *NackError
+	if _, err := d.Do(ctx, wire.ActionRequest{Op: wire.OpStop, Host: "h1", InstanceID: "ghost"}); !errors.As(err, &nack) {
+		t.Fatalf("stop of unknown instance: err = %v, want NackError", err)
+	}
+	if _, err := d.Do(ctx, startReq("h2", "i4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cj.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := make(map[string][]string)
+	for h, a := range agents {
+		baseline[h] = a.Log()
+	}
+
+	// The whole run lives in one segment; sweep every record boundary
+	// and every mid-record cut.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	var data []byte
+	for _, s := range segs {
+		b, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) > 0 {
+			if data != nil {
+				t.Fatalf("more than one non-empty segment: %v", segs)
+			}
+			seg, data = filepath.Base(s), b
+		}
+	}
+	payloads, boundaries := journal.Frames(data)
+	// Every fate is terminal: epoch + 4 dispatches + 4 terminal records
+	// (two clean acks, i2's abandonment, ghost's NACK).
+	if len(payloads) != 9 {
+		t.Fatalf("journal has %d records, want 9 for the full run", len(payloads))
+	}
+	cuts := []int{0}
+	prev := 0
+	for _, b := range boundaries {
+		cuts = append(cuts, (prev+b)/2, b) // torn mid-record, then the clean boundary
+		prev = b
+	}
+	for _, cut := range cuts {
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, seg), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rj, err := OpenCoordinatorJournal(cdir, journal.Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		want := pendingOfPrefix(t, data[:cut])
+		got := make(map[string]bool)
+		for _, req := range rj.Pending() {
+			got[req.Key] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: pending = %v, want %v", cut, got, want)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("cut %d: acked-or-dispatched action %s lost from pending set", cut, k)
+			}
+		}
+		d2 := NewDispatcher(cfg, tr)
+		d2.AttachJournal(rj)
+		if _, err := rj.Recover(ctx, d2); err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		for h, a := range agents {
+			if !slices.Equal(a.Log(), baseline[h]) {
+				t.Fatalf("cut %d: host %s log changed %v -> %v (duplicate side effect)",
+					cut, h, baseline[h], a.Log())
+			}
+		}
+		rj.Close() //nolint:errcheck
+	}
+}
+
+// TestPlaneCrashCoordinator drives the whole-plane crash/restart cycle:
+// pending actions are re-issued through the agents' caches, the epoch
+// fences the dead incarnation, and journaled host deaths survive into
+// the restarted liveness detector.
+func TestPlaneCrashCoordinator(t *testing.T) {
+	dep := testDeployment(t)
+	lms, err := monitor.NewSystem(monitor.Params{OverloadThreshold: 0.70, OverloadWatch: 2,
+		IdleThresholdBase: 0.125, IdleWatch: 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	p, err := NewPlane(PlaneConfig{Transport: tr, Dispatch: fastDispatch()}, dep, lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	down, reissued, err := p.AttachJournal(ctx, t.TempDir(), journal.Options{NoSync: true})
+	if err != nil || len(down) != 0 || reissued != 0 {
+		t.Fatalf("fresh AttachJournal = (%v, %d, %v), want empty", down, reissued, err)
+	}
+	cjnl := p.Dispatcher().Journal()
+	epoch1 := cjnl.Epoch()
+
+	// One applied-but-unacked action (the crash lands between the
+	// agent's apply and the coordinator's ack record) and one journaled
+	// host death.
+	req := startReq("h3", "i-x")
+	req.Key = "coordinator-e1-000001"
+	if err := cjnl.LogDispatch(req); err != nil {
+		t.Fatal(err)
+	}
+	env := wire.ActionEnvelope(CoordinatorNode, "h3", req)
+	env.Epoch = epoch1
+	if reply, err := tr.Call(ctx, "h3", env); err != nil || reply.Ack == nil || !reply.Ack.OK {
+		t.Fatalf("delivery = (%+v, %v), want a clean ack", reply, err)
+	}
+	if err := cjnl.LogLiveness("h2", true, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	reissued, err = p.CrashCoordinator(ctx)
+	if err != nil || reissued != 1 {
+		t.Fatalf("CrashCoordinator = (%d, %v), want (1, nil)", reissued, err)
+	}
+	if e := p.Dispatcher().Journal().Epoch(); e != epoch1+1 {
+		t.Fatalf("epoch after crash = %d, want %d", e, epoch1+1)
+	}
+	a3, _ := p.Agent("h3")
+	if got := a3.Log(); len(got) != 1 || got[0] != "start i-x" {
+		t.Fatalf("h3 log = %v, want the single pre-crash application", got)
+	}
+	if a3.CoordEpoch() != epoch1+1 {
+		t.Fatalf("h3 sees epoch %d, want %d", a3.CoordEpoch(), epoch1+1)
+	}
+	// The journaled death survived the restart: h2 stays demoted until
+	// it earns its recovery streak.
+	if p.Coordinator().Liveness().Tracking("h2") {
+		t.Fatal("journaled dead host re-entered the landscape on restart")
+	}
+	if downHosts := p.Coordinator().Liveness().Down(); !slices.Contains(downHosts, "h2") {
+		t.Fatalf("down = %v, want h2 demoted", downHosts)
+	}
+}

@@ -1,0 +1,36 @@
+package chaos
+
+import "autoglobe/internal/obs"
+
+// Metric families the chaos driver emits.
+const (
+	// MetricChaosInjections counts applied fault injections by kind.
+	MetricChaosInjections = "autoglobe_chaos_injections_total"
+)
+
+// chaosMetrics pre-resolves the driver's series. Nil-safe.
+type chaosMetrics struct {
+	byKind map[Kind]*obs.Counter
+	r      *obs.Registry
+}
+
+func newChaosMetrics(r *obs.Registry) *chaosMetrics {
+	if r == nil {
+		return nil
+	}
+	r.Help(MetricChaosInjections, "Applied chaos fault injections, by kind.")
+	m := &chaosMetrics{byKind: make(map[Kind]*obs.Counter, 6), r: r}
+	for _, k := range []Kind{KindCrash, KindDuplicate, KindHold, KindRelease, KindIsolate, KindHeal} {
+		m.byKind[k] = r.Counter(MetricChaosInjections, "kind", string(k))
+	}
+	return m
+}
+
+func (m *chaosMetrics) injected(k Kind) {
+	if m == nil {
+		return
+	}
+	if c, ok := m.byKind[k]; ok {
+		c.Inc()
+	}
+}

@@ -97,6 +97,26 @@ func (l *Liveness) Beat(entity string, minute int) {
 	st.misses = 0
 }
 
+// MarkDead seeds an entity directly into the dead state, as if it had
+// exhausted its DeadAfter misses at the given minute. A recovered
+// coordinator uses it to replay journaled liveness transitions: a host
+// confirmed dead before the crash must stay demoted after the restart
+// (and must still earn its AliveAfter streak to be re-pooled) instead
+// of silently re-entering the landscape with the coordinator's memory.
+func (l *Liveness) MarkDead(entity string, minute int) {
+	st, ok := l.state[entity]
+	if !ok {
+		st = &livenessState{}
+		l.state[entity] = st
+	}
+	st.last = minute
+	st.misses = l.DeadAfter
+	st.missedAt = minute
+	st.dead = true
+	st.successes = 0
+	st.recovered = false
+}
+
 // Forget stops tracking an entity (orderly shutdown is not a failure).
 func (l *Liveness) Forget(entity string) {
 	delete(l.state, entity)

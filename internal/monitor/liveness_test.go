@@ -149,3 +149,41 @@ func TestLivenessSortedOutput(t *testing.T) {
 		t.Fatalf("Dead = %v, want sorted", dead)
 	}
 }
+
+// TestLivenessMarkDead seeds entities directly into the dead state —
+// the journal-replay path of a recovered coordinator: a host confirmed
+// dead before the crash stays demoted after the restart and must still
+// earn its full recovery streak.
+func TestLivenessMarkDead(t *testing.T) {
+	l := NewLivenessHysteresis(2, 2, 2)
+	l.MarkDead("h", 5)
+	if l.Tracking("h") {
+		t.Fatal("marked-dead entity is tracked as alive")
+	}
+	if down := l.Down(); len(down) != 1 || down[0] != "h" {
+		t.Fatalf("Down = %v, want [h]", down)
+	}
+	// The death was confirmed pre-crash: it is not re-reported.
+	if dead := l.Dead(8); len(dead) != 0 {
+		t.Fatalf("Dead(8) = %v, want none (already confirmed)", dead)
+	}
+	// The recovery streak starts from zero: one beat is not enough.
+	l.Beat("h", 9)
+	if rec := l.Recovered(); len(rec) != 0 {
+		t.Fatalf("Recovered after one beat = %v, want none", rec)
+	}
+	l.Beat("h", 10)
+	if rec := l.Recovered(); len(rec) != 1 || rec[0] != "h" {
+		t.Fatalf("Recovered after the full streak = %v, want [h]", rec)
+	}
+	if !l.Tracking("h") {
+		t.Fatal("recovered entity not tracked as alive")
+	}
+	// MarkDead on an already-tracked alive entity demotes it too (the
+	// replay may race a first post-restart heartbeat).
+	l.Beat("x", 0)
+	l.MarkDead("x", 1)
+	if l.Tracking("x") {
+		t.Fatal("MarkDead on a tracked entity left it alive")
+	}
+}

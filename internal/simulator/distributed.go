@@ -7,9 +7,21 @@ import (
 
 	"autoglobe/internal/agent"
 	"autoglobe/internal/cluster"
+	"autoglobe/internal/journal"
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/wire"
 )
+
+// Injector schedules fault injections against a distributed run. The
+// chaos package's Driver implements it; the interface keeps the
+// simulator from depending on the fault scheduler (the simulator only
+// promises to call Apply at every minute boundary, before any
+// heartbeat or dispatch of the minute).
+type Injector interface {
+	// Apply fires every injection scheduled at or before the step. An
+	// error aborts the run.
+	Apply(step int) error
+}
 
 // DistributedConfig runs the simulation over the real control plane
 // instead of in-process function calls: every host gets an agent, the
@@ -42,6 +54,20 @@ type DistributedConfig struct {
 	// AliveAfter is the number of consecutive beats a demoted host must
 	// deliver before it is re-pooled (default 2).
 	AliveAfter int
+	// JournalDir, when non-empty, makes the coordinator crash-safe: a
+	// write-ahead action journal is opened (or recovered) there before
+	// the run starts, every dispatched action is journaled ahead of the
+	// transport, and agents fence superseded coordinator epochs. See
+	// agent.Plane.AttachJournal.
+	JournalDir string
+	// JournalSync enables fsync-on-commit for the journal. Tests and
+	// simulations leave it off (the "disk" is a temp dir and the crash
+	// model is process death, not power loss); production daemons set it.
+	JournalSync bool
+	// Chaos, when set, injects faults at every minute boundary — before
+	// any heartbeat or dispatch of the minute, so a coordinator crash
+	// never lands mid-transaction. See the chaos package.
+	Chaos Injector
 }
 
 func (dc *DistributedConfig) timeout() int {
@@ -85,6 +111,15 @@ func (s *Simulator) buildPlane(dc *DistributedConfig, lms *monitor.System) error
 	}
 	s.plane = plane
 	s.lostHosts = make(map[string]cluster.Host)
+	s.everDemoted = make(map[string]bool)
+	s.everCrashed = make(map[string]bool)
+	s.chaos = dc.Chaos
+	if dc.JournalDir != "" {
+		if _, _, err := plane.AttachJournal(context.Background(), dc.JournalDir,
+			journal.Options{NoSync: !dc.JournalSync}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -173,6 +208,10 @@ func (s *Simulator) demoteHost(host string, minute int) error {
 			return err
 		}
 	}
+	// The dead host's agent was never told to stop anything — its process
+	// table keeps the orphans (a real blade would be rebooted before
+	// re-pooling). The invariant checker exempts it permanently.
+	s.everDemoted[host] = true
 	s.plane.Coordinator().Forget(host)
 	s.res.DemotedHosts++
 

@@ -178,10 +178,17 @@ type Simulator struct {
 	crashed    map[string]crashInfo // by instance ID, until remedied
 	res        *Result
 
-	// Distributed mode only: the control plane and the hosts demoted
-	// after confirmed death, kept for re-pooling on recovery.
-	plane     *agent.Plane
-	lostHosts map[string]cluster.Host
+	// Distributed mode only: the control plane, the hosts demoted after
+	// confirmed death (kept for re-pooling on recovery), the chaos
+	// injector, and the bookkeeping the invariant checker needs to tell
+	// legitimate model/agent divergence (simulated crashes never reach
+	// the agent; a dead host's agent keeps its orphaned processes) from
+	// a genuine double-executed or lost action.
+	plane       *agent.Plane
+	lostHosts   map[string]cluster.Host
+	chaos       Injector
+	everDemoted map[string]bool // hosts ever demoted or force-removed
+	everCrashed map[string]bool // instance IDs killed in-model (never via dispatch)
 }
 
 // crashInfo remembers what a crashed instance looked like so the
@@ -318,6 +325,16 @@ func (s *Simulator) Run() (*Result, error) {
 
 // Step advances the simulation by one minute.
 func (s *Simulator) Step(minute int) error {
+	if s.chaos != nil {
+		// Chaos fires at the minute boundary, before any heartbeat or
+		// dispatch of the minute: a coordinator crash lands between
+		// control-loop iterations, never mid-transaction, which is the
+		// crash model the journal's recovery protocol covers (mid-record
+		// crashes are swept separately by the crash-point tests).
+		if err := s.chaos.Apply(minute); err != nil {
+			return err
+		}
+	}
 	if err := s.applyHostEvents(minute); err != nil {
 		return err
 	}
@@ -366,7 +383,13 @@ func (s *Simulator) applyHostEvents(minute int) error {
 				}
 			}
 		case ev.Remove != "":
+			if s.everDemoted != nil {
+				s.everDemoted[ev.Remove] = true // its agent keeps the orphans
+			}
 			for _, inst := range s.dep.InstancesOn(ev.Remove) {
+				if s.everCrashed != nil {
+					s.everCrashed[inst.ID] = true
+				}
 				s.crashed[inst.ID] = crashInfo{
 					service: inst.Service, host: inst.Host,
 					users: inst.Users, priority: inst.Priority,
@@ -626,6 +649,9 @@ func (s *Simulator) injectFailures(minute int) error {
 		return nil
 	}
 	victim := insts[s.rng.Intn(len(insts))]
+	if s.everCrashed != nil {
+		s.everCrashed[victim.ID] = true // the agent never hears about it
+	}
 	s.crashed[victim.ID] = crashInfo{
 		service: victim.Service, host: victim.Host,
 		users: victim.Users, priority: victim.Priority,

@@ -95,18 +95,46 @@ func (e *RollbackError) Error() string {
 // Unwrap exposes the original cause.
 func (e *RollbackError) Unwrap() error { return e.Cause }
 
+// PanicError reports a step function that panicked. Run recovers the
+// panic into an ordinary step failure so the transaction's compensation
+// guarantee survives buggy step implementations: a panicking Do still
+// triggers the reverse rollback of the completed prefix, and a
+// panicking Undo still surfaces as a *RollbackError instead of
+// unwinding the control loop with half the landscape administered.
+type PanicError struct {
+	// Step names the panicking step.
+	Step string
+	// Value is the recovered panic value.
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("txn: step %q panicked: %v", e.Step, e.Value)
+}
+
+// protect runs fn, converting a panic into a *PanicError.
+func protect(name string, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Step: name, Value: v}
+		}
+	}()
+	return fn()
+}
+
 // Run executes the steps in order. On the first failure the completed
 // prefix is undone in reverse order and the step's error is returned
 // (wrapped with the step name). If a compensation itself fails, a
 // *RollbackError is returned instead — the caller must escalate to a
-// human.
+// human. A panic in a Do or Undo is recovered into a *PanicError and
+// treated exactly like the corresponding step failure.
 func (t *Transaction) Run() error {
 	t.done = 0
 	for i, s := range t.steps {
 		if s.Do == nil {
 			return fmt.Errorf("txn: step %q has no Do", s.Name)
 		}
-		err := s.Do()
+		err := protect(s.Name, s.Do)
 		t.emit(s.Name, false, err)
 		if err == nil {
 			t.done++
@@ -118,7 +146,7 @@ func (t *Transaction) Run() error {
 			if u.Undo == nil {
 				continue
 			}
-			uerr := u.Undo()
+			uerr := protect(u.Name, u.Undo)
 			t.emit(u.Name, true, uerr)
 			if uerr != nil {
 				return &RollbackError{Cause: cause, FailedUndo: u.Name, UndoErr: uerr}

@@ -95,3 +95,66 @@ func TestRunResetsCompleted(t *testing.T) {
 		t.Errorf("step ran %d times, want 2", n)
 	}
 }
+
+// TestPanicInDoCompensates: a Do that panics is recovered into a step
+// failure and the completed prefix is still rolled back in reverse —
+// the compensation guarantee survives buggy step code.
+func TestPanicInDoCompensates(t *testing.T) {
+	var undone []string
+	tr := (&Transaction{}).
+		Add("a", func() error { return nil }, func() error { undone = append(undone, "a"); return nil }).
+		Add("b", func() error { return nil }, func() error { undone = append(undone, "b"); return nil }).
+		Add("boom", func() error { panic("kaboom") }, nil)
+	err := tr.Run()
+	if err == nil {
+		t.Fatal("panicking Do reported success")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Step != "boom" {
+		t.Fatalf("err = %T %v, want *PanicError for step boom", err, err)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("error hides the panic value: %q", err.Error())
+	}
+	if len(undone) != 2 || undone[0] != "b" || undone[1] != "a" {
+		t.Fatalf("compensation order = %v, want [b a]", undone)
+	}
+}
+
+// TestPanicInUndoIsRollbackError: a panicking compensation surfaces as
+// a *RollbackError (landscape needs a human), not an unwound goroutine.
+func TestPanicInUndoIsRollbackError(t *testing.T) {
+	tr := (&Transaction{}).
+		Add("a", func() error { return nil }, func() error { panic("undo kaboom") }).
+		Add("fail", func() error { return ErrAborted }, nil)
+	err := tr.Run()
+	var re *RollbackError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v, want *RollbackError", err, err)
+	}
+	var pe *PanicError
+	if !errors.As(re.UndoErr, &pe) || pe.Step != "a" {
+		t.Fatalf("UndoErr = %T %v, want *PanicError for step a", re.UndoErr, re.UndoErr)
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Errorf("rollback error lost the original cause: %v", err)
+	}
+}
+
+// TestPanicSkipsNilUndo: rollback after a panic skips nil Undo steps
+// and still compensates the rest.
+func TestPanicSkipsNilUndo(t *testing.T) {
+	var undone []string
+	tr := (&Transaction{}).
+		Add("a", func() error { return nil }, func() error { undone = append(undone, "a"); return nil }).
+		Add("read-only", func() error { return nil }, nil).
+		Add("boom", func() error { panic(42) }, nil)
+	err := tr.Run()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != 42 {
+		t.Fatalf("err = %T %v, want *PanicError carrying 42", err, err)
+	}
+	if len(undone) != 1 || undone[0] != "a" {
+		t.Fatalf("undone = %v, want [a]", undone)
+	}
+}

@@ -23,6 +23,9 @@ type Loopback struct {
 	// fault state, all guarded by mu
 	dropNext      map[string]int // node -> calls to swallow before the handler runs
 	dropReplyNext map[string]int // node -> replies to swallow after the handler ran
+	dupNext       map[string]int // node -> deliveries to run through the handler twice
+	holdNext      map[string]int // node -> deliveries to park for later release
+	held          map[string][]*Envelope
 	latency       map[string]time.Duration
 	isolated      map[string]bool
 	dropRate      float64
@@ -40,6 +43,9 @@ func NewLoopback() *Loopback {
 		handlers:      make(map[string]Handler),
 		dropNext:      make(map[string]int),
 		dropReplyNext: make(map[string]int),
+		dupNext:       make(map[string]int),
+		holdNext:      make(map[string]int),
+		held:          make(map[string][]*Envelope),
 		latency:       make(map[string]time.Duration),
 		isolated:      make(map[string]bool),
 	}
@@ -126,6 +132,22 @@ func (l *Loopback) call(ctx context.Context, node string, env *Envelope) (*Envel
 		l.mu.Unlock()
 		return nil, ErrTimeout
 	}
+	if l.holdNext[node] > 0 {
+		// The message is parked, not lost: DeliverHeld releases it to
+		// the handler later (a delayed delivery, e.g. after a partition
+		// heals). The caller meanwhile sees the same thing it would for
+		// a loss — no ack within the deadline — and retries.
+		l.holdNext[node]--
+		l.held[node] = append(l.held[node], env)
+		l.dropped++
+		l.mu.Unlock()
+		return nil, ErrTimeout
+	}
+	dup := false
+	if l.dupNext[node] > 0 {
+		l.dupNext[node]--
+		dup = true
+	}
 	lat := l.latency[node]
 	l.mu.Unlock()
 
@@ -140,6 +162,15 @@ func (l *Loopback) call(ctx context.Context, node string, env *Envelope) (*Envel
 		return nil, ErrTimeout
 	}
 
+	if dup {
+		// Duplicate delivery: the network hands the same message to the
+		// handler twice (a replayed packet). The first reply vanishes;
+		// the caller sees only the second — which an idempotent receiver
+		// answers from its applied cache without re-executing.
+		if first, ferr := h(env); ferr == nil && first != nil {
+			_ = first // swallowed, like a reply lost in transit
+		}
+	}
 	reply, err := h(env)
 	if err != nil {
 		return nil, err
@@ -183,6 +214,57 @@ func (l *Loopback) DropReplyNext(node string, n int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.dropReplyNext[node] += n
+}
+
+// DuplicateNext makes the next n messages to node run through its
+// handler twice — the replayed-packet fault. The first invocation's
+// reply is swallowed; the caller receives the second, which an
+// idempotent receiver serves from its applied cache (the action
+// executes once, is acked twice).
+func (l *Loopback) DuplicateNext(node string, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.dupNext[node] += n
+}
+
+// HoldNext parks the next n messages addressed to node instead of
+// delivering them. The sender sees a timeout (and typically retries);
+// the parked originals stay queued until DeliverHeld releases them —
+// modelling messages delayed in a partitioned or congested link that
+// arrive long after the sender gave up.
+func (l *Loopback) HoldNext(node string, n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.holdNext[node] += n
+}
+
+// DeliverHeld releases every message parked for node to its handler, in
+// arrival order, discarding the replies (the original callers are long
+// gone). Combined with Heal it models delayed delivery after a
+// partition: the stale in-flight traffic finally lands, and only the
+// receiver's idempotency and epoch guards keep it harmless. Returns how
+// many messages were delivered.
+func (l *Loopback) DeliverHeld(node string) int {
+	l.mu.Lock()
+	envs := l.held[node]
+	delete(l.held, node)
+	h, ok := l.handlers[node]
+	l.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	for _, env := range envs {
+		reply, err := h(env)
+		_, _ = reply, err // stale traffic: replies and errors vanish
+	}
+	return len(envs)
+}
+
+// Held reports how many messages are currently parked for node.
+func (l *Loopback) Held(node string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.held[node])
 }
 
 // SetLatency delays every delivery to node; a call whose context

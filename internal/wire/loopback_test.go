@@ -154,6 +154,82 @@ func TestLoopbackDropRateDeterministic(t *testing.T) {
 	}
 }
 
+// TestLoopbackDuplicateNext: a duplicated delivery runs the handler
+// twice for one Call; an idempotent receiver executes once and answers
+// the replay from its applied cache.
+func TestLoopbackDuplicateNext(t *testing.T) {
+	tr := NewLoopback()
+	defer tr.Close()
+	delivered, applied := 0, map[string]ActionAck{}
+	tr.Listen("a", func(env *Envelope) (*Envelope, error) { //nolint:errcheck
+		delivered++
+		// A miniature idempotency cache, the shape agents implement.
+		if cached, ok := applied[env.Action.Key]; ok {
+			cached.Duplicate = true
+			return AckEnvelope("a", env.From, cached), nil
+		}
+		ack := ActionAck{Key: env.Action.Key, OK: true}
+		applied[env.Action.Key] = ack
+		return AckEnvelope("a", env.From, ack), nil
+	})
+	tr.DuplicateNext("a", 1)
+	reply, err := tr.Call(context.Background(), "a", ActionEnvelope("c", "a", ActionRequest{Key: "k", Op: OpStart}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 2 {
+		t.Fatalf("handler ran %d times, want 2 (duplicated delivery)", delivered)
+	}
+	if !reply.Ack.OK || !reply.Ack.Duplicate {
+		t.Fatalf("caller saw ack %+v, want the cache-served duplicate", reply.Ack)
+	}
+	// The fault is one-shot.
+	delivered = 0
+	if _, err := tr.Call(context.Background(), "a", ActionEnvelope("c", "a", ActionRequest{Key: "k2", Op: OpStart})); err != nil {
+		t.Fatal(err)
+	}
+	if delivered != 1 {
+		t.Fatalf("handler ran %d times after the window, want 1", delivered)
+	}
+}
+
+// TestLoopbackHoldAndDeliver: a held message times out for its sender
+// but is not lost — DeliverHeld lands it later, modelling stale traffic
+// arriving after a partition heals.
+func TestLoopbackHoldAndDeliver(t *testing.T) {
+	tr := NewLoopback()
+	defer tr.Close()
+	var seen []string
+	tr.Listen("a", func(env *Envelope) (*Envelope, error) { //nolint:errcheck
+		seen = append(seen, env.Action.Key)
+		return AckEnvelope("a", env.From, ActionAck{Key: env.Action.Key, OK: true}), nil
+	})
+	ctx := context.Background()
+	tr.HoldNext("a", 2)
+	for _, k := range []string{"k1", "k2"} {
+		if _, err := tr.Call(ctx, "a", ActionEnvelope("c", "a", ActionRequest{Key: k, Op: OpStart})); err != ErrTimeout {
+			t.Fatalf("held call %s: err = %v, want ErrTimeout", k, err)
+		}
+	}
+	if len(seen) != 0 || tr.Held("a") != 2 {
+		t.Fatalf("held messages reached the handler early (seen %v, held %d)", seen, tr.Held("a"))
+	}
+	// Later traffic overtakes the held messages: delivery is reordered.
+	if _, err := tr.Call(ctx, "a", ActionEnvelope("c", "a", ActionRequest{Key: "k3", Op: OpStart})); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.DeliverHeld("a"); n != 2 {
+		t.Fatalf("DeliverHeld delivered %d, want 2", n)
+	}
+	want := []string{"k3", "k1", "k2"}
+	if len(seen) != 3 || seen[0] != want[0] || seen[1] != want[1] || seen[2] != want[2] {
+		t.Fatalf("delivery order %v, want %v (reordered, then held in arrival order)", seen, want)
+	}
+	if tr.Held("a") != 0 || tr.DeliverHeld("a") != 0 {
+		t.Fatal("held queue not drained")
+	}
+}
+
 func TestLoopbackClosed(t *testing.T) {
 	tr := NewLoopback()
 	tr.Listen("a", echoHandler("a")) //nolint:errcheck

@@ -141,6 +141,14 @@ type Envelope struct {
 	From    string  `json:"from"`
 	To      string  `json:"to"`
 	Seq     uint64  `json:"seq,omitempty"`
+	// Epoch is the sender's coordinator incarnation (the lease token of
+	// the crash-recovery protocol): a journaled coordinator bumps its
+	// epoch on every restart, and agents NACK action requests carrying
+	// an epoch lower than the highest they have seen — a pre-crash
+	// straggler or a split-brain predecessor cannot mutate a host the
+	// new incarnation already administers. Zero (the default for
+	// unjournaled coordinators) disables the guard.
+	Epoch uint64 `json:"epoch,omitempty"`
 
 	Heartbeat *Heartbeat     `json:"heartbeat,omitempty"`
 	Action    *ActionRequest `json:"action,omitempty"`

@@ -13,7 +13,13 @@
 #      internal/obs (including the Prometheus exposition golden test)
 #      plus a lint that every declared metric family keeps the
 #      autoglobe_ namespace and a conventional unit suffix
-#   6. a short smoke run of the inference fast-path benchmark, so a
+#   6. the robustness gate: a race-enabled chaos smoke (the fixed-seed
+#      full-day convergence run plus the journal crash-point sweep)
+#      and the journal fuzz targets replayed over their checked-in
+#      seed corpus — a decoder regression against a known-bad frame
+#      (torn tail, bit flip, lying length) fails the gate even when
+#      no new fuzzing is run
+#   7. a short smoke run of the inference fast-path benchmark, so a
 #      regression that breaks the compiled path or its pooling shows up
 #      even when no test asserts on speed
 #
@@ -50,6 +56,18 @@ if [ -n "$bad" ]; then
 	echo "$bad" >&2
 	exit 1
 fi
+
+echo "== robustness gate: chaos smoke + journal fuzz seed corpus"
+# The fixed-seed chaos convergence run and the journal crash-point
+# sweep are the acceptance tests of the crash-safety work: a full
+# simulated day under fault injection must converge to the fault-free
+# landscape, and a coordinator killed at every journal-record boundary
+# must neither duplicate nor lose an action.
+go test -race -run 'TestChaosConvergesToFaultFreeLandscape' ./internal/simulator/
+go test -race -run 'TestCrashPointSweep' ./internal/agent/
+# Replay the fuzz targets over their checked-in seed corpus (plain
+# `go test` runs every seed as a unit case — no -fuzz, no randomness).
+go test -race -run 'Fuzz' ./internal/journal/
 
 echo "== go test -race ./..."
 go test -race ./...
