@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"autoglobe/internal/agent"
+	"autoglobe/internal/archive"
 	"autoglobe/internal/cluster"
 	"autoglobe/internal/controller"
 	"autoglobe/internal/experiments"
@@ -347,38 +348,133 @@ func BenchmarkRuleParsing(b *testing.B) {
 }
 
 // BenchmarkHeartbeatIngest measures one control-plane heartbeat round
-// trip over the in-memory loopback: envelope encode/validate, transport
-// delivery, and the coordinator feeding the host and per-instance
-// samples into the monitor pipeline. This is the per-host, per-minute
-// cost of running the paper landscape in distributed mode.
+// trip over the in-memory loopback: the agent's batching reporter
+// assembles the minute's report, the binary codec frames it, transport
+// delivery, and the coordinator buffering the host and per-instance
+// samples into its ingest shard. This is the per-host, per-minute cost
+// of running the paper landscape in distributed mode; the steady state
+// is allocation-free (pooled frames and envelopes, interned strings,
+// recycled pending beats — guarded by TestHeartbeatPathZeroAlloc).
+// Sub-benchmarks compare the wire codecs on the identical path.
 func BenchmarkHeartbeatIngest(b *testing.B) {
-	dep, err := service.BuildPaperDeployment(cluster.Paper(), service.FullMobility, 1.0)
+	for _, codec := range []wire.Codec{wire.CodecBinary, wire.CodecJSON} {
+		b.Run(codec.String(), func(b *testing.B) {
+			dep, err := service.BuildPaperDeployment(cluster.Paper(), service.FullMobility, 1.0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lms, err := monitor.NewSystem(monitor.PaperParams(), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr := wire.NewLoopback()
+			tr.SetCodec(codec)
+			p, err := agent.NewPlane(agent.PlaneConfig{Transport: tr}, dep, lms)
+			if err != nil {
+				b.Fatal(err)
+			}
+			host := dep.Cluster().Names()[0]
+			insts := dep.InstancesOn(host)
+			rep, ok := p.Reporter(host)
+			if !ok {
+				b.Fatal("no reporter")
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep.Begin(i, 0.42, 0.3)
+				for _, inst := range insts {
+					rep.Sample(inst.ID, inst.Service, 0.42)
+				}
+				if err := rep.Send(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoordinatorIngest1k measures a full control-plane minute of
+// a 1,000-host landscape over the binary loopback with 16 ingest
+// shards: every host's reporter delivers its heartbeat (one instance
+// sample each), the coordinator merges the shards in canonical order,
+// closes the service observations and checks liveness — the complete
+// per-minute ingest work of the scale the paper's AutoGlobe vision
+// targets ("several hundred services on hundreds of hosts").
+func BenchmarkCoordinatorIngest1k(b *testing.B) {
+	const hosts = 1000
+	mk := make([]cluster.Host, hosts)
+	for i := range mk {
+		mk[i] = cluster.Host{Name: fmt.Sprintf("h%04d", i), Category: "blade",
+			PerformanceIndex: 1, CPUs: 1, ClockMHz: 2400, CacheKB: 512,
+			MemoryMB: 4096, SwapMB: 2048, TempMB: 51200}
+	}
+	cat, err := service.NewCatalog(&service.Service{
+		Name: "app", Type: service.TypeInteractive, Subsystem: "ERP",
+		MinInstances: 1, UsersPerUnit: 150, RequestWeight: 1,
+		MemoryMBPerInstance: 256,
+		Allowed: map[service.Action]bool{
+			service.ActionStart: true, service.ActionStop: true,
+			service.ActionScaleIn: true, service.ActionScaleOut: true,
+		},
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
-	lms, err := monitor.NewSystem(monitor.PaperParams(), nil)
+	dep := service.NewDeployment(cluster.MustNew(mk...), cat)
+	for i := range mk {
+		if _, err := dep.Start("app", mk[i].Name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// A small archive keeps the memory footprint of 2,001 entities
+	// (hosts + instances + service) proportionate to the benchmark.
+	lms, err := monitor.NewSystem(monitor.PaperParams(), archive.New(256))
 	if err != nil {
 		b.Fatal(err)
 	}
 	tr := wire.NewLoopback()
-	p, err := agent.NewPlane(agent.PlaneConfig{Transport: tr}, dep, lms)
+	tr.SetCodec(wire.CodecBinary)
+	p, err := agent.NewPlane(agent.PlaneConfig{Transport: tr, IngestShards: 16}, dep, lms)
 	if err != nil {
 		b.Fatal(err)
 	}
-	host := dep.Cluster().Names()[0]
-	hb := wire.Heartbeat{Host: host, CPU: 0.42}
-	for _, inst := range dep.InstancesOn(host) {
-		hb.Instances = append(hb.Instances, wire.InstanceSample{
-			ID: inst.ID, Service: inst.Service, Load: 0.42})
+	names := dep.Cluster().Names()
+	type hostState struct {
+		rep  *agent.HeartbeatReporter
+		inst *service.Instance
+	}
+	states := make([]hostState, len(names))
+	for i, h := range names {
+		rep, ok := p.Reporter(h)
+		if !ok {
+			b.Fatal("no reporter")
+		}
+		states[i] = hostState{rep: rep, inst: dep.InstancesOn(h)[0]}
 	}
 	ctx := context.Background()
+	coord := p.Coordinator()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		hb.Minute = i
-		if err := p.Report(ctx, hb); err != nil {
+		load := 0.3 + 0.2*float64(i%3)
+		for _, st := range states {
+			st.rep.Begin(i, load, 0.25)
+			st.rep.Sample(st.inst.ID, st.inst.Service, load)
+			if err := st.rep.Send(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := coord.ObserveServices(i); err != nil {
 			b.Fatal(err)
 		}
+		coord.CheckLiveness(ctx, i)
+		coord.TakeTriggers()
+	}
+	b.StopTimer()
+	if got, want := coord.Heartbeats(), b.N*hosts; got != want {
+		b.Fatalf("ingested %d heartbeats, want %d", got, want)
 	}
 }
 

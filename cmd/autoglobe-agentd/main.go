@@ -66,20 +66,23 @@ func main() {
 		obsAddr     = flag.String("obs", "", "demo mode: keep serving /healthz and /autoglobe/v1/{metrics,traces} on this address after the run (coordinator and agent modes always serve them on their wire listener)")
 		journalDir  = flag.String("journal", "", "write-ahead action journal directory (coordinator and demo modes): every action is journaled before dispatch, and a restart recovers in-flight actions under a fresh epoch")
 		chaosSeed   = flag.Uint64("chaos-seed", 0, "demo mode: inject the deterministic fault schedule derived from this seed — coordinator crashes, duplicated and delayed deliveries, short partitions (0 disables)")
+		codecName   = flag.String("codec", "json", "wire codec for outgoing envelopes: json (compatible default) or binary (length-prefixed zero-alloc frames; the receiving side negotiates by content type, so mixed landscapes interoperate)")
+		shards      = flag.Int("ingest-shards", 0, "coordinator/demo modes: heartbeat ingest shard count (0: the built-in default); observation semantics are identical for any count")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed); err != nil {
+	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards); err != nil {
 		fatal(err)
 	}
+	codec, _ := wire.ParseCodec(*codecName) // validated above
 	var err error
 	switch *mode {
 	case "coordinator":
-		err = runCoordinator(*landscape, *listen, *interval, *journalDir)
+		err = runCoordinator(*landscape, *listen, *interval, *journalDir, codec, *shards)
 	case "agent":
-		err = runAgent(*host, *coordinator, *load, *interval)
+		err = runAgent(*host, *coordinator, *load, *interval, codec)
 	case "demo":
-		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed)
+		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards)
 	}
 	if err != nil {
 		fatal(err)
@@ -96,9 +99,18 @@ func mountObs(tr *wire.HTTP, reg *obs.Registry, tracer *obs.Tracer, health *obs.
 	tr.Mount(obs.HealthPath, obs.HealthHandler(health))
 }
 
-func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64) error {
+func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards int) error {
 	if chaosSeed != 0 && mode != "demo" {
 		return fmt.Errorf("-chaos-seed only applies to -mode demo")
+	}
+	if _, err := wire.ParseCodec(codecName); err != nil {
+		return fmt.Errorf("-codec: %w", err)
+	}
+	if shards < 0 {
+		return fmt.Errorf("-ingest-shards %d must be >= 0", shards)
+	}
+	if shards > 0 && mode == "agent" {
+		return fmt.Errorf("-ingest-shards only applies to -mode coordinator or demo")
 	}
 	switch mode {
 	case "coordinator", "demo":
@@ -138,7 +150,7 @@ func loadLandscape(path string) (*spec.Landscape, error) {
 // per interval (closing the service observations, probing silent
 // hosts), and hands every confirmed trigger to the fuzzy controller,
 // whose decisions are dispatched back to the agents.
-func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string) error {
+func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string, codec wire.Codec, shards int) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -149,6 +161,7 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 	}
 	tr := wire.NewHTTP()
 	tr.DefaultListenAddr = listenAddr
+	tr.Codec = codec
 	defer tr.Close()
 
 	// The full observability surface rides on the coordinator's wire
@@ -170,6 +183,11 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 	if err != nil {
 		return err
 	}
+	if shards > 0 {
+		coord.Reshard(shards)
+	}
+	health.SetInfo("codec", codec.String())
+	health.SetInfo("ingest_shards", fmt.Sprintf("%d", coord.Shards()))
 	coord.Instrument(reg)
 	coord.Liveness().Instrument(reg)
 	coord.OnHello = func(h wire.Hello) error {
@@ -294,8 +312,9 @@ func renderEvent(e controller.Event) string {
 // coordinator needs a well-known address), and then reports a heartbeat
 // per interval with the configured synthetic load spread over whatever
 // instances the coordinator has started here.
-func runAgent(host, coordinatorURL string, load float64, interval time.Duration) error {
+func runAgent(host, coordinatorURL string, load float64, interval time.Duration, codec wire.Codec) error {
 	tr := wire.NewHTTP()
+	tr.Codec = codec
 	defer tr.Close()
 	// The agent serves the same observability surface as the
 	// coordinator on its own listener: wire-call metrics plus a health
@@ -333,6 +352,8 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration)
 
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
+	rep := a.Reporter()
+	var ids []string
 	for minute := 0; ; minute++ {
 		select {
 		case <-ctx.Done():
@@ -340,18 +361,21 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration)
 			return nil
 		case <-ticker.C:
 		}
-		hb := wire.Heartbeat{Host: host, Minute: minute, CPU: load}
+		// The reporter coalesces the minute's instance samples into one
+		// reusable envelope (agent.HeartbeatReporter): the steady-state
+		// heartbeat costs no allocations beyond the process-table
+		// snapshot.
+		rep.Begin(minute, load, 0)
 		procs := a.Instances()
-		ids := make([]string, 0, len(procs))
+		ids = ids[:0]
 		for id := range procs {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
 		for _, id := range ids {
-			hb.Instances = append(hb.Instances, wire.InstanceSample{
-				ID: id, Service: procs[id], Load: load / float64(len(ids))})
+			rep.Sample(id, procs[id], load/float64(len(ids)))
 		}
-		if err := a.SendHeartbeat(ctx, hb); err != nil {
+		if err := rep.Send(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "heartbeat %d: %v\n", minute, err)
 		}
 	}
@@ -361,12 +385,13 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration)
 // declared landscape runs through the simulator's distributed mode over
 // the in-memory loopback, and the run ends with the control-plane panel
 // and the usual result summary.
-func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64) error {
+func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards int) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
 	}
 	tr := wire.NewLoopback()
+	tr.SetCodec(codec)
 	defer tr.Close()
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
@@ -384,7 +409,7 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 	var drv *chaos.Driver
 	sim, err := simulator.FromLandscapeConfig(l, func(c *simulator.Config) {
 		c.Hours = hours
-		dc := &simulator.DistributedConfig{Transport: tr, JournalDir: jdir}
+		dc := &simulator.DistributedConfig{Transport: tr, JournalDir: jdir, IngestShards: shards}
 		if chaosSeed != 0 {
 			hosts := make([]string, 0, len(l.Servers))
 			for _, s := range l.Servers {

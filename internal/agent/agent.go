@@ -84,6 +84,8 @@ type Agent struct {
 
 	failNextOp  wire.Op // test/fault hook: NACK the next matching op
 	failNextMsg string
+
+	reporter *HeartbeatReporter
 }
 
 // NewAgent starts an agent for the host on the transport, listening
@@ -200,15 +202,14 @@ func (a *Agent) Handle(env *wire.Envelope) (*wire.Envelope, error) {
 	switch env.Type {
 	case wire.TypeAction:
 		if nack, stale := a.guardEpoch(env); stale {
-			return wire.AckEnvelope(a.host, env.From, nack), nil
+			return wire.AcquireAckEnvelope(a.host, env.From, nack), nil
 		}
 		ack := a.apply(*env.Action)
-		return wire.AckEnvelope(a.host, env.From, ack), nil
+		return wire.AcquireAckEnvelope(a.host, env.From, ack), nil
 	case wire.TypeProbe:
 		// Answering at all is the proof of life.
-		reply := wire.NewEnvelope(wire.TypeProbeAck, a.host, env.From)
-		reply.Probe = &wire.Probe{Host: a.host, Minute: env.Probe.Minute}
-		return reply, nil
+		return wire.AcquireProbeAckEnvelope(a.host, env.From,
+			wire.Probe{Host: a.host, Minute: env.Probe.Minute}), nil
 	default:
 		return nil, fmt.Errorf("agent: %s cannot handle %q messages", a.host, env.Type)
 	}
@@ -310,7 +311,9 @@ func (a *Agent) SendHello(ctx context.Context, h wire.Hello) error {
 	if err != nil {
 		return err
 	}
-	if reply == nil || reply.Type != wire.TypeAck || reply.Ack == nil || !reply.Ack.OK {
+	ok := reply != nil && reply.Type == wire.TypeAck && reply.Ack != nil && reply.Ack.OK
+	wire.ReleaseEnvelope(reply)
+	if !ok {
 		return fmt.Errorf("agent: %s: hello not acknowledged by %s", a.host, a.coordinator)
 	}
 	return nil
@@ -330,7 +333,80 @@ func (a *Agent) SendHeartbeat(ctx context.Context, hb wire.Heartbeat) error {
 	if err != nil {
 		return err
 	}
-	if reply == nil || reply.Type != wire.TypeAck || reply.Ack == nil || !reply.Ack.OK {
+	ok := reply != nil && reply.Type == wire.TypeAck && reply.Ack != nil && reply.Ack.OK
+	wire.ReleaseEnvelope(reply)
+	if !ok {
+		return fmt.Errorf("agent: %s: heartbeat not acknowledged", a.host)
+	}
+	return nil
+}
+
+// Reporter returns the agent's heartbeat reporter, creating it on
+// first use. One reporter exists per agent; it is the batching fast
+// path for the per-minute load report.
+func (a *Agent) Reporter() *HeartbeatReporter {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.reporter == nil {
+		r := &HeartbeatReporter{a: a}
+		r.env.Version = wire.Version
+		r.env.Type = wire.TypeHeartbeat
+		r.env.From = a.host
+		r.env.To = a.coordinator
+		r.env.Heartbeat = &r.hb
+		r.hb.Host = a.host
+		a.reporter = r
+	}
+	return a.reporter
+}
+
+// HeartbeatReporter coalesces one host's per-minute load report — the
+// host-level CPU/memory numbers plus a sample per resident instance —
+// into a single reusable envelope, so the steady-state heartbeat path
+// allocates nothing: the envelope, the heartbeat payload and the
+// instance-sample slice are reused minute after minute. A host daemon
+// calls Begin once per minute, Sample per instance, then Send.
+//
+// The reporter is NOT safe for concurrent use: it models the one
+// monitoring loop a host daemon runs. Transports never retain the
+// envelope past the call (the loopback deep-clones held messages), so
+// reuse across minutes is safe.
+type HeartbeatReporter struct {
+	a   *Agent
+	env wire.Envelope
+	hb  wire.Heartbeat
+}
+
+// Begin starts a new report for the minute, resetting the sample batch.
+func (r *HeartbeatReporter) Begin(minute int, cpu, mem float64) {
+	r.hb.Minute = minute
+	r.hb.CPU = cpu
+	r.hb.Mem = mem
+	r.hb.Instances = r.hb.Instances[:0]
+}
+
+// Sample appends one instance's load measurement to the open report.
+func (r *HeartbeatReporter) Sample(id, service string, load float64) {
+	r.hb.Instances = append(r.hb.Instances, wire.InstanceSample{
+		ID: id, Service: service, Load: load})
+}
+
+// Send delivers the batched report. Like SendHeartbeat it is
+// fire-and-forget: failures are returned, never retried — a missed
+// heartbeat is the liveness detector's signal.
+func (r *HeartbeatReporter) Send(ctx context.Context) error {
+	a := r.a
+	a.mu.Lock()
+	a.seq++
+	r.env.Seq = a.seq
+	a.mu.Unlock()
+	reply, err := a.tr.Call(ctx, a.coordinator, &r.env)
+	if err != nil {
+		return err
+	}
+	ok := reply != nil && reply.Type == wire.TypeAck && reply.Ack != nil && reply.Ack.OK
+	wire.ReleaseEnvelope(reply)
+	if !ok {
 		return fmt.Errorf("agent: %s: heartbeat not acknowledged", a.host)
 	}
 	return nil

@@ -1,0 +1,72 @@
+package agent
+
+import (
+	"context"
+	"testing"
+
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/wire"
+)
+
+// TestHeartbeatPathZeroAlloc is the perf gate of the ingest plane: one
+// steady-state heartbeat — reporter batching, binary frame encode, the
+// loopback's socket-equivalent decode, coordinator shard buffering and
+// the pooled ack coming back — must allocate nothing. The pools
+// (frames, envelope carriers, interned identifiers, recycled pending
+// beats) exist precisely for this property; if a change re-introduces
+// an allocation, this test names the regression long before a 1,000-
+// host landscape feels it as GC pressure.
+func TestHeartbeatPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted by race instrumentation")
+	}
+	dep := testDeployment(t)
+	lms, err := monitor.NewSystem(monitor.PaperParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := wire.NewLoopback()
+	tr.SetCodec(wire.CodecBinary)
+	p, err := NewPlane(PlaneConfig{Transport: tr}, dep, lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := dep.Cluster().Names()[0]
+	insts := dep.InstancesOn(host)
+	rep, ok := p.Reporter(host)
+	if !ok {
+		t.Fatal("no reporter")
+	}
+	ctx := context.Background()
+	minute := 0
+	send := func() {
+		rep.Begin(minute, 0.42, 0.3)
+		for _, inst := range insts {
+			rep.Sample(inst.ID, inst.Service, 0.42)
+		}
+		if err := rep.Send(ctx); err != nil {
+			t.Fatal(err)
+		}
+		minute++
+	}
+	// Warm-up: populate the pools, the interner and the shard's pending
+	// entry; the first beats legitimately allocate.
+	for i := 0; i < 64; i++ {
+		send()
+	}
+	if allocs := testing.AllocsPerRun(1000, send); allocs != 0 {
+		t.Fatalf("steady-state heartbeat path allocates %.1f times per beat, want 0", allocs)
+	}
+	// The minute boundary (merge + service close) may allocate a little
+	// as watch windows move, but the per-beat path must stay clean even
+	// interleaved with merges.
+	if err := p.Coordinator().ObserveServices(minute); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		send()
+	}
+	if allocs := testing.AllocsPerRun(1000, send); allocs != 0 {
+		t.Fatalf("post-merge heartbeat path allocates %.1f times per beat, want 0", allocs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autoglobe/internal/archive"
@@ -14,12 +15,31 @@ import (
 	"autoglobe/internal/wire"
 )
 
+// DefaultIngestShards is the shard count of the coordinator's heartbeat
+// ingest plane when none is configured. Eight shards keep a 1,000-host
+// landscape's beats off a single mutex without measurable overhead on
+// a 19-blade one.
+const DefaultIngestShards = 8
+
 // Coordinator is the receiving half of the control plane: it listens on
 // the transport as the coordinator node, ingests agent heartbeats into
 // the load monitoring system (the advisors and watchTime state machines
 // are untouched — a heartbeat is simply a load monitor's report arriving
 // over the network), tracks host liveness with hysteresis, and queues
 // the triggers the monitor confirms for the control loop to collect.
+//
+// Ingest is sharded: a heartbeat is buffered in one of N shards keyed
+// by host hash, each with its own mutex and pending-beat map, so
+// concurrent agents never serialise on a global lock. The buffered
+// beats are merged into the monitor pipeline at the minute boundary
+// (ObserveServices) in a canonical order — cluster order first, then
+// any remaining hosts by name — which reproduces the in-process
+// observation loop exactly: the trigger stream is byte-identical to an
+// unsharded or in-process run for any shard count, because the
+// per-entity watch state machines are independent and the merge fixes
+// the cross-entity order. Steady-state ingest performs zero heap
+// allocations: pending beats and their sample slices are pooled per
+// shard, and identifier strings arrive interned from the binary codec.
 //
 // Ingestion preserves the in-process observation semantics exactly:
 // host entities register with their performance index, an idle trigger
@@ -40,15 +60,87 @@ type Coordinator struct {
 	// joining the landscape); its error is returned to the agent.
 	OnHello func(wire.Hello) error
 
+	// Lock-free ingest counters: Ingest runs concurrently across
+	// shards and must not serialise on c.mu.
+	heartbeats atomic.Int64
+	maxMinute  atomic.Int64
+	metrics    atomic.Pointer[coordMetrics]
+
+	// shards carries the ingest shard set; swapped atomically by
+	// Reshard so Ingest reads it without a lock.
+	shards atomic.Pointer[[]*ingestShard]
+
+	// trigMu guards the confirmed-trigger queue on its own lock, so
+	// collecting triggers swaps the slice without holding (or waiting
+	// on) the merge lock.
+	trigMu   sync.Mutex
+	triggers []*monitor.Trigger
+
+	// mu guards the merge path (monitor pipeline, registrations,
+	// per-service accumulators) and the rarely-touched fields below.
 	mu         sync.Mutex
 	registered map[string]bool
-	triggers   []*monitor.Trigger
 	samples    map[string][]wire.InstanceSample // service -> this minute's samples
-	heartbeats int
-	maxMinute  int
+	hostKeys   map[string]string                // host -> interned archive entity key
+	instKeys   map[string]string                // instance ID -> interned archive entity key
+	scratch    []*hostBeat                      // reusable merge buffer
+	hostOrder  map[string]int                   // reusable canonical-order index
 	lastErr    error
-	metrics    *coordMetrics
 	journal    *CoordinatorJournal
+}
+
+// hostBeat is one host's buffered load report, waiting in a shard for
+// the minute-boundary merge. Beats and their sample slices are pooled
+// per shard: a landscape in steady state recycles the same storage
+// minute after minute.
+type hostBeat struct {
+	host     string
+	minute   int
+	cpu, mem float64
+	samples  []wire.InstanceSample
+}
+
+// ingestShard is one slice of the ingest plane: a mutex, the pending
+// beat per host, the per-host high-water minute (stale-replay guard),
+// and a freelist of recycled beats.
+type ingestShard struct {
+	mu      sync.Mutex
+	pending map[string]*hostBeat
+	lastMin map[string]int
+	free    []*hostBeat
+}
+
+func newShards(n int) *[]*ingestShard {
+	if n <= 0 {
+		n = DefaultIngestShards
+	}
+	shards := make([]*ingestShard, n)
+	for i := range shards {
+		shards[i] = &ingestShard{
+			pending: make(map[string]*hostBeat),
+			lastMin: make(map[string]int),
+		}
+	}
+	return &shards
+}
+
+// fnv1a hashes a host name to its shard (FNV-1a, inlined to keep the
+// ingest path allocation-free).
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Coordinator) shard(host string) *ingestShard {
+	shards := *c.shards.Load()
+	if len(shards) == 1 {
+		return shards[0]
+	}
+	return shards[fnv1a(host)%uint32(len(shards))]
 }
 
 // NewCoordinator starts a coordinator over the deployment and load
@@ -76,20 +168,80 @@ func NewCoordinator(node string, dep *service.Deployment, lms *monitor.System, t
 		ProbeTimeout: time.Second,
 		registered:   make(map[string]bool),
 		samples:      make(map[string][]wire.InstanceSample),
+		hostKeys:     make(map[string]string),
+		instKeys:     make(map[string]string),
+		hostOrder:    make(map[string]int),
 	}
+	c.shards.Store(newShards(DefaultIngestShards))
+	// Warm the archive and the entity-key tables: every current host,
+	// instance and service gets its ring and interned key up front, so
+	// the first minute's ingest is as allocation-free as the
+	// thousandth (steady-state rings never grow — they are allocated
+	// at full retention capacity — and preallocation moves the
+	// one-time map inserts out of the hot path too).
+	ents := make([]string, 0, 64)
+	for _, h := range dep.Cluster().Names() {
+		k := archive.HostEntity(h)
+		c.hostKeys[h] = k
+		ents = append(ents, k)
+		for _, inst := range dep.InstancesOn(h) {
+			ik := archive.InstanceEntity(inst.ID)
+			c.instKeys[inst.ID] = ik
+			ents = append(ents, ik)
+		}
+	}
+	for _, svc := range dep.Catalog().Names() {
+		ents = append(ents, archive.ServiceEntity(svc))
+	}
+	lms.Archive().Preallocate(ents...)
 	if err := tr.Listen(node, c.Handle); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
+// Reshard rebuilds the ingest plane with n shards (minimum 1),
+// migrating any buffered beats by rehash. Observation semantics are
+// independent of the shard count — the minute-boundary merge fixes the
+// order — so resharding is purely a concurrency/throughput knob.
+func (c *Coordinator) Reshard(n int) {
+	if n <= 0 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.shards.Load()
+	next := newShards(n)
+	c.shards.Store(next)
+	shards := *next
+	for _, sh := range old {
+		sh.mu.Lock()
+		for host, b := range sh.pending {
+			dst := shards[fnv1a(host)%uint32(len(shards))]
+			dst.mu.Lock()
+			dst.pending[host] = b
+			dst.mu.Unlock()
+		}
+		for host, m := range sh.lastMin {
+			dst := shards[fnv1a(host)%uint32(len(shards))]
+			dst.mu.Lock()
+			dst.lastMin[host] = m
+			dst.mu.Unlock()
+		}
+		clear(sh.pending)
+		clear(sh.lastMin)
+		sh.mu.Unlock()
+	}
+}
+
+// Shards returns the current ingest shard count.
+func (c *Coordinator) Shards() int { return len(*c.shards.Load()) }
+
 // Instrument attaches an obs registry: ingested heartbeats are counted
 // and their staleness (minutes behind the newest observed minute) is
 // recorded. A nil registry leaves the coordinator uninstrumented.
 func (c *Coordinator) Instrument(r *obs.Registry) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.metrics = newCoordMetrics(r)
+	c.metrics.Store(newCoordMetrics(r))
 }
 
 // AttachJournal makes liveness transitions durable: every host death
@@ -110,9 +262,7 @@ func (c *Coordinator) Liveness() *monitor.Liveness { return c.live }
 
 // Heartbeats returns how many heartbeats have been ingested.
 func (c *Coordinator) Heartbeats() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.heartbeats
+	return int(c.heartbeats.Load())
 }
 
 // Err returns the first ingestion error since the last call, if any.
@@ -134,62 +284,192 @@ func (c *Coordinator) Handle(env *wire.Envelope) (*wire.Envelope, error) {
 	switch env.Type {
 	case wire.TypeHeartbeat:
 		if err := c.Ingest(*env.Heartbeat); err != nil {
-			c.mu.Lock()
-			if c.lastErr == nil {
-				c.lastErr = err
-			}
-			c.mu.Unlock()
+			c.noteErr(err)
 			return nil, err
 		}
-		return wire.AckEnvelope(c.node, env.From, wire.ActionAck{OK: true}), nil
+		return wire.AcquireAckEnvelope(c.node, env.From, wire.ActionAck{OK: true}), nil
 	case wire.TypeHello:
 		if c.OnHello != nil {
 			if err := c.OnHello(*env.Hello); err != nil {
 				return nil, err
 			}
 		}
-		return wire.AckEnvelope(c.node, env.From, wire.ActionAck{OK: true}), nil
+		return wire.AcquireAckEnvelope(c.node, env.From, wire.ActionAck{OK: true}), nil
 	default:
 		return nil, fmt.Errorf("agent: coordinator cannot handle %q messages", env.Type)
 	}
 }
 
-// Ingest feeds one heartbeat into liveness tracking and the monitor
-// pipeline, queueing any confirmed host trigger.
+// Ingest buffers one heartbeat in its host's shard. The monitor
+// pipeline is NOT touched here — beats are merged deterministically at
+// the minute boundary by ObserveServices — so concurrent heartbeats
+// from a 1,000-host landscape contend only per shard, and the hot path
+// allocates nothing in steady state (the pending beat and its sample
+// slice are recycled; only a brand-new host costs a map insert).
+//
+// A stale replay — a beat older than the host's last merged minute —
+// is dropped: it can only be re-delivered traffic (the loopback's
+// held/duplicated messages, a retried HTTP POST), and merging it would
+// regress the host's archive series. Within the same merge window a
+// newer beat overwrites an older one (latest report wins).
 func (c *Coordinator) Ingest(hb wire.Heartbeat) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.heartbeats++
-	if hb.Minute > c.maxMinute {
-		c.maxMinute = hb.Minute
+	c.heartbeats.Add(1)
+	for {
+		max := c.maxMinute.Load()
+		if int64(hb.Minute) <= max {
+			break
+		}
+		if c.maxMinute.CompareAndSwap(max, int64(hb.Minute)) {
+			break
+		}
 	}
-	c.metrics.ingest(c.maxMinute - hb.Minute)
+	c.metrics.Load().ingest(int(c.maxMinute.Load()) - hb.Minute)
+	// Liveness is eager — a beat is proof of life the moment it
+	// arrives, independent of the minute-boundary merge — and the
+	// detector locks internally, so shards never serialise on it for
+	// long. Everything monitor-facing waits for the merge.
 	c.live.Beat(hb.Host, hb.Minute)
 
-	key := archive.HostEntity(hb.Host)
+	sh := c.shard(hb.Host)
+	sh.mu.Lock()
+	if last, ok := sh.lastMin[hb.Host]; ok && hb.Minute < last {
+		sh.mu.Unlock()
+		return nil
+	}
+	b := sh.pending[hb.Host]
+	if b == nil {
+		if n := len(sh.free); n > 0 {
+			b = sh.free[n-1]
+			sh.free = sh.free[:n-1]
+		} else {
+			b = &hostBeat{}
+		}
+		sh.pending[hb.Host] = b
+	} else if hb.Minute < b.minute {
+		sh.mu.Unlock()
+		return nil
+	}
+	b.host = hb.Host
+	b.minute = hb.Minute
+	b.cpu = hb.CPU
+	b.mem = hb.Mem
+	b.samples = append(b.samples[:0], hb.Instances...)
+	sh.mu.Unlock()
+	return nil
+}
+
+// hostKeyLocked returns the interned archive entity key for a host.
+// Callers hold c.mu.
+func (c *Coordinator) hostKeyLocked(host string) string {
+	k, ok := c.hostKeys[host]
+	if !ok {
+		k = archive.HostEntity(host)
+		c.hostKeys[host] = k
+	}
+	return k
+}
+
+// instKeyLocked returns the interned archive entity key for an
+// instance. Callers hold c.mu.
+func (c *Coordinator) instKeyLocked(id string) string {
+	k, ok := c.instKeys[id]
+	if !ok {
+		k = archive.InstanceEntity(id)
+		c.instKeys[id] = k
+	}
+	return k
+}
+
+// mergeHostsLocked steals every shard's pending beats and feeds them
+// into liveness tracking and the monitor pipeline in canonical order:
+// hosts currently in the cluster first, in cluster order — the order
+// the in-process observation loop iterates — then any remaining hosts
+// sorted by name. The order is a pure function of the landscape, never
+// of arrival interleaving or shard count, which is what makes the
+// sharded plane byte-identical to the in-process run. Callers hold
+// c.mu.
+func (c *Coordinator) mergeHostsLocked() error {
+	shards := *c.shards.Load()
+	beats := c.scratch[:0]
+	for _, sh := range shards {
+		sh.mu.Lock()
+		for host, b := range sh.pending {
+			sh.lastMin[host] = b.minute
+			beats = append(beats, b)
+		}
+		clear(sh.pending)
+		sh.mu.Unlock()
+	}
+	c.scratch = beats[:0] // keep the (possibly grown) buffer
+	if len(beats) == 0 {
+		return nil
+	}
+
+	order := c.hostOrder
+	clear(order)
+	for i, name := range c.dep.Cluster().Names() {
+		order[name] = i + 1 // 0 means "not in cluster"
+	}
+	sort.Slice(beats, func(i, j int) bool {
+		oi, oj := order[beats[i].host], order[beats[j].host]
+		if oi != oj {
+			if oi == 0 {
+				return false // clustered hosts first
+			}
+			if oj == 0 {
+				return true
+			}
+			return oi < oj
+		}
+		return beats[i].host < beats[j].host
+	})
+
+	var firstErr error
+	for _, b := range beats {
+		if firstErr == nil {
+			firstErr = c.observeBeatLocked(b)
+		}
+	}
+	// Return every beat to its shard's freelist, error or not.
+	for _, b := range beats {
+		sh := c.shard(b.host)
+		sh.mu.Lock()
+		sh.free = append(sh.free, b)
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// observeBeatLocked feeds one merged beat into the monitor pipeline —
+// the exact sequence the old per-heartbeat ingest performed, now at
+// the minute boundary. Callers hold c.mu.
+func (c *Coordinator) observeBeatLocked(b *hostBeat) error {
+	key := c.hostKeyLocked(b.host)
 	if !c.registered[key] {
 		perf := 1.0
-		if h, ok := c.dep.Cluster().Host(hb.Host); ok {
+		if h, ok := c.dep.Cluster().Host(b.host); ok {
 			perf = h.PerformanceIndex
 		}
 		c.lms.Register(key, monitor.Server, perf)
 		c.registered[key] = true
 	}
-	tr, err := c.lms.Observe(key, hb.Minute, hb.CPU, hb.Mem)
+	tr, err := c.lms.Observe(key, b.minute, b.cpu, b.mem)
 	if err != nil {
 		return err
 	}
 	if tr != nil {
 		// An idle host with nothing running on it is the normal resting
 		// state of a pooled blade, not an exceptional situation.
-		if !(tr.Kind == monitor.ServerIdle && len(hb.Instances) == 0) {
-			tr.Entity = hb.Host
+		if !(tr.Kind == monitor.ServerIdle && len(b.samples) == 0) {
+			tr.Entity = b.host
+			c.trigMu.Lock()
 			c.triggers = append(c.triggers, tr)
+			c.trigMu.Unlock()
 		}
 	}
-	for _, s := range hb.Instances {
-		if err := c.lms.Archive().Record(archive.InstanceEntity(s.ID),
-			archive.Sample{Minute: hb.Minute, CPU: s.Load}); err != nil {
+	for _, s := range b.samples {
+		if err := c.lms.Archive().Record(c.instKeyLocked(s.ID),
+			archive.Sample{Minute: b.minute, CPU: s.Load}); err != nil {
 			return err
 		}
 		c.samples[s.Service] = append(c.samples[s.Service], s)
@@ -197,10 +477,12 @@ func (c *Coordinator) Ingest(hb wire.Heartbeat) error {
 	return nil
 }
 
-// ObserveServices closes the minute: the per-service loads accumulated
-// from this minute's heartbeats are observed in catalog order, exactly
-// like the in-process service loop, and any confirmed service triggers
-// are queued. The accumulators reset for the next minute.
+// ObserveServices closes the minute: the buffered host beats are merged
+// into the monitor pipeline in canonical order (see mergeHostsLocked),
+// then the per-service loads accumulated from this minute's heartbeats
+// are observed in catalog order, exactly like the in-process service
+// loop, and any confirmed service triggers are queued. The accumulators
+// reset — keeping their capacity — for the next minute.
 //
 // Samples are summed in instance-ID order — the order the in-process
 // observation loop iterates instances in — so the floating-point sum is
@@ -208,6 +490,9 @@ func (c *Coordinator) Ingest(hb wire.Heartbeat) error {
 func (c *Coordinator) ObserveServices(minute int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.mergeHostsLocked(); err != nil {
+		return err
+	}
 	for _, svcName := range c.dep.Catalog().Names() {
 		samples := c.samples[svcName]
 		if len(samples) == 0 {
@@ -229,17 +514,23 @@ func (c *Coordinator) ObserveServices(minute int) error {
 		}
 		if tr != nil {
 			tr.Entity = svcName
+			c.trigMu.Lock()
 			c.triggers = append(c.triggers, tr)
+			c.trigMu.Unlock()
 		}
 	}
-	clear(c.samples)
+	for k := range c.samples {
+		c.samples[k] = c.samples[k][:0]
+	}
 	return nil
 }
 
 // TakeTriggers drains the queued confirmed triggers in arrival order.
+// The queue has its own lock, so collection swaps the slice without
+// contending with (or blocking behind) an in-flight merge.
 func (c *Coordinator) TakeTriggers() []*monitor.Trigger {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.trigMu.Lock()
+	defer c.trigMu.Unlock()
 	out := c.triggers
 	c.triggers = nil
 	return out
@@ -261,6 +552,7 @@ func (c *Coordinator) CheckLiveness(ctx context.Context, minute int) (dead, reco
 		if err == nil && reply != nil && reply.Type == wire.TypeProbeAck {
 			c.live.Beat(host, minute)
 		}
+		wire.ReleaseEnvelope(reply)
 	}
 	dead, recovered = c.live.Dead(minute), c.live.Recovered()
 	c.mu.Lock()
@@ -297,24 +589,35 @@ func (c *Coordinator) noteErr(err error) bool {
 	return err != nil
 }
 
-// Forget clears a demoted host's monitor registration. The liveness
-// detector keeps tracking it: a healed partition is then reported by
-// Recovered after the hysteresis streak, and the host's heartbeats
-// re-register it.
+// Forget clears a demoted host's monitor registration and discards any
+// beat still buffered for it (the host is dead; its last report must
+// not resurface at the next merge). The liveness detector keeps
+// tracking it: a healed partition is then reported by Recovered after
+// the hysteresis streak, and the host's heartbeats re-register it.
 func (c *Coordinator) Forget(host string) {
+	sh := c.shard(host)
+	sh.mu.Lock()
+	if b, ok := sh.pending[host]; ok {
+		delete(sh.pending, host)
+		sh.free = append(sh.free, b)
+	}
+	sh.mu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	key := archive.HostEntity(host)
+	key := c.hostKeyLocked(host)
 	c.lms.Deregister(key)
 	delete(c.registered, key)
 }
 
 // Release fully removes a host (orderly pool removal): monitor
-// registration and liveness tracking both end, so the host is neither
-// probed nor ever reported dead or recovered.
+// registration, buffered beats, the stale-replay watermark and
+// liveness tracking all end, so the host is neither probed nor ever
+// reported dead or recovered.
 func (c *Coordinator) Release(host string) {
 	c.Forget(host)
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	sh := c.shard(host)
+	sh.mu.Lock()
+	delete(sh.lastMin, host)
+	sh.mu.Unlock()
 	c.live.Forget(host)
 }

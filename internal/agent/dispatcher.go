@@ -270,10 +270,12 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 			continue
 		}
 		if reply == nil || reply.Ack == nil {
+			wire.ReleaseEnvelope(reply)
 			lastErr = fmt.Errorf("agent: %s answered without ack", req.Host)
 			continue
 		}
 		ack := *reply.Ack
+		wire.ReleaseEnvelope(reply)
 		d.mu.Lock()
 		if ack.Duplicate {
 			d.stats.Duplicates++

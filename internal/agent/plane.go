@@ -25,6 +25,10 @@ type PlaneConfig struct {
 	// Node overrides the coordinator's node name (default
 	// CoordinatorNode).
 	Node string
+	// IngestShards is the coordinator's heartbeat ingest shard count
+	// (0: DefaultIngestShards). Observation semantics are independent
+	// of the count — it is purely a concurrency knob.
+	IngestShards int
 }
 
 // Plane is a fully wired control plane for one deployment: the
@@ -54,6 +58,9 @@ func NewPlane(cfg PlaneConfig, dep *service.Deployment, lms *monitor.System) (*P
 	coord, err := NewCoordinator(cfg.Node, dep, lms, cfg.Transport, cfg.Liveness)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.IngestShards > 0 {
+		coord.Reshard(cfg.IngestShards)
 	}
 	cfg.Dispatch.From = coord.Node()
 	p := &Plane{
@@ -187,4 +194,15 @@ func (p *Plane) Report(ctx context.Context, hb wire.Heartbeat) error {
 	hbCtx, cancel := context.WithTimeout(ctx, p.HeartbeatTimeout)
 	defer cancel()
 	return a.SendHeartbeat(hbCtx, hb)
+}
+
+// Reporter returns the batching heartbeat reporter of a host's agent —
+// the allocation-free way to deliver the per-minute load report (see
+// HeartbeatReporter).
+func (p *Plane) Reporter(host string) (*HeartbeatReporter, bool) {
+	a, ok := p.agents[host]
+	if !ok {
+		return nil, false
+	}
+	return a.Reporter(), true
 }

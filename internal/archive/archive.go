@@ -77,6 +77,23 @@ func (a *Archive) log(entity string) *entityLog {
 	return l
 }
 
+// Preallocate creates the rings for the given entities up front, each
+// at its full retention capacity. Every per-entity ring is always
+// allocated at full capacity on first touch, so steady-state recording
+// never grows a slice; preallocating additionally moves the one-time
+// map insert and ring allocation out of the ingest hot path — a
+// coordinator expecting a 1,000-host landscape warms the archive
+// before the first heartbeat arrives and then records allocation-free
+// from minute zero.
+func (a *Archive) Preallocate(entities ...string) {
+	for _, e := range entities {
+		a.log(e)
+	}
+}
+
+// Retention returns the number of raw samples kept per entity.
+func (a *Archive) Retention() int { return a.retention }
+
 // Record stores a measurement for an entity. Samples must be recorded in
 // non-decreasing minute order per entity.
 func (a *Archive) Record(entity string, s Sample) error {

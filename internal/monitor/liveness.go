@@ -1,6 +1,9 @@
 package monitor
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // Liveness detects failure situations ("like a program crash") through
 // missed heartbeats: every load monitor's report doubles as a
@@ -29,6 +32,10 @@ type Liveness struct {
 	// default) 1.
 	AliveAfter int
 
+	// mu guards state and metrics: the coordinator's sharded ingest
+	// plane delivers beats from merge goroutines while the control loop
+	// evaluates Silent/Dead/Down, so the detector locks internally.
+	mu      sync.Mutex
 	state   map[string]*livenessState
 	metrics *livenessMetrics
 }
@@ -74,6 +81,8 @@ func NewLivenessHysteresis(timeout, deadAfter, aliveAfter int) *Liveness {
 // currently considered dead counts toward its AliveAfter recovery
 // streak; Recovered reports completed recoveries.
 func (l *Liveness) Beat(entity string, minute int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	st, ok := l.state[entity]
 	if !ok {
 		l.state[entity] = &livenessState{last: minute, missedAt: -1}
@@ -104,6 +113,8 @@ func (l *Liveness) Beat(entity string, minute int) {
 // (and must still earn its AliveAfter streak to be re-pooled) instead
 // of silently re-entering the landscape with the coordinator's memory.
 func (l *Liveness) MarkDead(entity string, minute int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	st, ok := l.state[entity]
 	if !ok {
 		st = &livenessState{}
@@ -119,12 +130,16 @@ func (l *Liveness) MarkDead(entity string, minute int) {
 
 // Forget stops tracking an entity (orderly shutdown is not a failure).
 func (l *Liveness) Forget(entity string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	delete(l.state, entity)
 }
 
 // Tracking reports whether the entity is being watched and currently
 // considered alive.
 func (l *Liveness) Tracking(entity string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	st, ok := l.state[entity]
 	return ok && !st.dead
 }
@@ -133,6 +148,8 @@ func (l *Liveness) Tracking(entity string) bool {
 // Timeout minutes old — the candidates the coordinator probes before
 // the next Dead evaluation can take them down.
 func (l *Liveness) Silent(minute int) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var out []string
 	for e, st := range l.state {
 		if !st.dead && minute-st.last > l.Timeout {
@@ -147,6 +164,8 @@ func (l *Liveness) Silent(minute int) []string {
 // coordinator keeps probing them: each answered probe is a Beat and
 // counts toward the AliveAfter recovery streak.
 func (l *Liveness) Down() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var out []string
 	for e, st := range l.state {
 		if st.dead {
@@ -164,6 +183,8 @@ func (l *Liveness) Down() []string {
 // Each death is reported exactly once; a dead entity stays tracked so
 // its recovery streak can revive it (see Beat and Recovered).
 func (l *Liveness) Dead(minute int) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var out []string
 	for e, st := range l.state {
 		if st.dead {
@@ -202,6 +223,8 @@ func (l *Liveness) Dead(minute int) []string {
 // recovery streak since the last call, sorted. The caller re-admits
 // them (e.g. re-pools a demoted host).
 func (l *Liveness) Recovered() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	var out []string
 	for e, st := range l.state {
 		if st.recovered {

@@ -79,5 +79,7 @@ func newLivenessMetrics(r *obs.Registry) *livenessMetrics {
 // Instrument attaches an obs registry to the liveness detector: death
 // and recovery transitions are counted. A nil registry is a no-op.
 func (l *Liveness) Instrument(r *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.metrics = newLivenessMetrics(r)
 }

@@ -68,6 +68,12 @@ type DistributedConfig struct {
 	// any heartbeat or dispatch of the minute, so a coordinator crash
 	// never lands mid-transaction. See the chaos package.
 	Chaos Injector
+	// IngestShards is the coordinator's heartbeat ingest shard count
+	// (0: the agent package default). Runs are byte-identical for any
+	// shard count — the minute-boundary merge fixes the observation
+	// order — so this is purely a concurrency/throughput knob for
+	// large landscapes.
+	IngestShards int
 }
 
 func (dc *DistributedConfig) timeout() int {
@@ -102,9 +108,10 @@ func (s *Simulator) buildPlane(dc *DistributedConfig, lms *monitor.System) error
 	}
 	live := monitor.NewLivenessHysteresis(dc.timeout(), dc.deadAfter(), dc.aliveAfter())
 	plane, err := agent.NewPlane(agent.PlaneConfig{
-		Transport: dc.Transport,
-		Dispatch:  dc.Dispatch,
-		Liveness:  live,
+		Transport:    dc.Transport,
+		Dispatch:     dc.Dispatch,
+		Liveness:     live,
+		IngestShards: dc.IngestShards,
 	}, s.dep, lms)
 	if err != nil {
 		return err
@@ -142,14 +149,22 @@ func (s *Simulator) observeDistributed(minute int) ([]*monitor.Trigger, error) {
 
 	for _, hostName := range s.dep.Cluster().Names() {
 		raw, mem := s.hostRaw(hostName)
-		hb := wire.Heartbeat{Host: hostName, Minute: minute, CPU: math.Min(1, raw), Mem: mem}
-		for _, inst := range s.dep.InstancesOn(hostName) {
-			hb.Instances = append(hb.Instances, wire.InstanceSample{
-				ID: inst.ID, Service: inst.Service, Load: s.instanceLoad(inst)})
+		rep, ok := s.plane.Reporter(hostName)
+		if !ok {
+			return nil, fmt.Errorf("simulator: no agent attached for host %q", hostName)
 		}
+		// The reporter batches the minute's instance samples into one
+		// reusable envelope — the steady-state heartbeat path allocates
+		// nothing (see agent.HeartbeatReporter).
+		rep.Begin(minute, math.Min(1, raw), mem)
+		for _, inst := range s.dep.InstancesOn(hostName) {
+			rep.Sample(inst.ID, inst.Service, s.instanceLoad(inst))
+		}
+		hbCtx, cancel := context.WithTimeout(ctx, s.plane.HeartbeatTimeout)
 		// A delivery failure is not a run error: a missed heartbeat is
 		// exactly the signal the liveness detector consumes.
-		_ = s.plane.Report(ctx, hb)
+		_ = rep.Send(hbCtx)
+		cancel()
 	}
 	// Ingestion errors (a corrupt message, an archive failure) are
 	// swallowed into timeouts on the agent side; surface them here.

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+)
+
+// corpusEnvelopes is one valid envelope per binary kind — the happy
+// half of the fuzz seed corpus, shared with gen_corpus.go.
+func corpusEnvelopes() []*Envelope {
+	return []*Envelope{
+		{Version: Version, Type: TypeHeartbeat, From: "b1", To: "coordinator", Seq: 7,
+			Heartbeat: &Heartbeat{Host: "b1", Minute: 42, CPU: 0.5, Mem: 0.25,
+				Instances: []InstanceSample{
+					{ID: "app-1", Service: "app", Load: 0.3},
+					{ID: "app-2", Service: "app", Load: 0.2},
+				}}},
+		{Version: Version, Type: TypeAction, From: "coordinator", To: "b1", Seq: 8, Epoch: 2,
+			Action: &ActionRequest{Key: "coordinator-e2-000001", Op: OpStart,
+				Host: "b1", Service: "app", InstanceID: "app-3", Delta: 1,
+				DeadlineUnixMS: 1700000000000}},
+		{Version: Version, Type: TypeAck, From: "b1", To: "coordinator", Seq: 9,
+			Ack: &ActionAck{Key: "coordinator-e2-000001", OK: true, Duplicate: true}},
+		{Version: Version, Type: TypeAck, From: "b1", To: "coordinator", Seq: 10,
+			Ack: &ActionAck{Key: "coordinator-e2-000002", Error: "unknown instance"}},
+		{Version: Version, Type: TypeProbe, From: "coordinator", To: "b1",
+			Probe: &Probe{Host: "b1", Minute: 42}},
+		{Version: Version, Type: TypeProbeAck, From: "b1", To: "coordinator",
+			Probe: &Probe{Host: "b1", Minute: 42}},
+		{Version: Version, Type: TypeHello, From: "b9", To: "coordinator",
+			Hello: &Hello{Host: "b9", PerformanceIndex: 1.25, MemoryMB: 4096,
+				Addr: "http://127.0.0.1:8147"}},
+	}
+}
+
+// renderEnvelope flattens an envelope into a comparable string. It
+// must not go through encoding/json (fuzzed frames legally carry NaN
+// and ±Inf floats, which JSON cannot represent) and must not compare
+// pointers (decodes are pooled). %v prints NaN/Inf fine, and two
+// decodes of the same frame render identically.
+func renderEnvelope(e *Envelope) string {
+	s := fmt.Sprintf("v%d|%s|%s>%s|seq%d|ep%d", e.Version, e.Type, e.From, e.To, e.Seq, e.Epoch)
+	switch {
+	case e.Heartbeat != nil:
+		s += fmt.Sprintf("|%+v", *e.Heartbeat)
+	case e.Action != nil:
+		s += fmt.Sprintf("|%+v", *e.Action)
+	case e.Ack != nil:
+		s += fmt.Sprintf("|%+v", *e.Ack)
+	case e.Probe != nil:
+		s += fmt.Sprintf("|%+v", *e.Probe)
+	case e.Hello != nil:
+		s += fmt.Sprintf("|%+v", *e.Hello)
+	}
+	return s
+}
+
+// FuzzEnvelopeDecode is the native fuzz target for the binary wire
+// codec: whatever bytes arrive on a socket — truncated frames, length
+// prefixes that lie, unknown kinds, trailing garbage — the decoder must
+// never panic, must only ever return validated envelopes, and must be a
+// true inverse of the encoder (decode → encode → decode is identity).
+// Run with
+//
+//	go test -fuzz FuzzEnvelopeDecode ./internal/wire
+//
+// The seed corpus (f.Add below plus testdata/fuzz/FuzzEnvelopeDecode,
+// regenerable with `go run gen_corpus.go`) doubles as a regression
+// suite: a plain `go test` replays every seed.
+func FuzzEnvelopeDecode(f *testing.F) {
+	var frames [][]byte
+	for _, env := range corpusEnvelopes() {
+		b, err := AppendEnvelope(nil, env)
+		if err != nil {
+			f.Fatal(err)
+		}
+		frames = append(frames, b)
+		f.Add(b)
+	}
+	hb := frames[0]
+	f.Add([]byte{})
+	f.Add([]byte{frameMagic})
+	f.Add(hb[:len(hb)-3]) // truncated mid-payload
+	f.Add(hb[:7])         // truncated mid-header
+	badMagic := append([]byte(nil), hb...)
+	badMagic[0] = 0x7B // '{' — JSON sniffing territory, not a frame
+	f.Add(badMagic)
+	lying := append([]byte(nil), hb...)
+	lying[1], lying[2], lying[3], lying[4] = 0xFF, 0xFF, 0xFF, 0x7F // length ~2^31
+	f.Add(lying)
+	short := append([]byte(nil), hb...)
+	short[1] = byte(int(short[1]) - 4) // length smaller than payload: trailing bytes
+	f.Add(short)
+	badKind := append([]byte(nil), hb...)
+	badKind[6] = 0xEE // unknown kind byte
+	f.Add(badKind)
+	hugeCount := append([]byte(nil), hb...)
+	f.Add(append(hugeCount, 0xFF, 0xFF, 0xFF)) // trailing garbage after the frame
+	f.Add([]byte("not a frame at all"))
+
+	in := NewInterner()
+	f.Fuzz(func(t *testing.T, b []byte) {
+		env, n, err := DecodeEnvelope(b, in)
+		if err != nil {
+			if env != nil {
+				t.Fatalf("error %v returned an envelope", err)
+			}
+			return
+		}
+		if n < 5 || n > len(b) {
+			t.Fatalf("consumed %d bytes of %d", n, len(b))
+		}
+		if verr := env.Validate(); verr != nil {
+			t.Fatalf("decoder returned an invalid envelope: %v", verr)
+		}
+		want := renderEnvelope(env)
+
+		// Round trip: whatever decodes must re-encode into a frame that
+		// decodes back to the identical envelope.
+		re, rerr := AppendEnvelope(nil, env)
+		ReleaseEnvelope(env)
+		if rerr != nil {
+			t.Fatalf("decoded envelope does not re-encode: %v", rerr)
+		}
+		env2, n2, err2 := DecodeEnvelope(re, in)
+		if err2 != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err2)
+		}
+		if n2 != len(re) {
+			t.Fatalf("re-decode consumed %d of %d bytes", n2, len(re))
+		}
+		got := renderEnvelope(env2)
+		ReleaseEnvelope(env2)
+		if want != got {
+			t.Fatalf("round trip diverges:\n got %s\nwant %s", got, want)
+		}
+	})
+}
+
+// TestFuzzSeedsDecode pins the intent of the handcrafted corpus
+// mutations: each must be rejected with an error, never a panic.
+func TestFuzzSeedsDecode(t *testing.T) {
+	in := NewInterner()
+	hb, err := AppendEnvelope(nil, corpusEnvelopes()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	reject := func(label string, b []byte) {
+		t.Helper()
+		if env, _, err := DecodeEnvelope(b, in); err == nil {
+			ReleaseEnvelope(env)
+			t.Errorf("%s: decoded successfully, want error", label)
+		}
+	}
+	reject("empty", nil)
+	reject("magic only", []byte{frameMagic})
+	reject("truncated payload", hb[:len(hb)-3])
+	reject("truncated header", hb[:7])
+	badMagic := append([]byte(nil), hb...)
+	badMagic[0] = 0x7B
+	reject("bad magic", badMagic)
+	lying := append([]byte(nil), hb...)
+	lying[1], lying[2], lying[3], lying[4] = 0xFF, 0xFF, 0xFF, 0x7F
+	reject("lying length", lying)
+	short := append([]byte(nil), hb...)
+	short[1] = byte(int(short[1]) - 4)
+	reject("trailing payload bytes", short)
+	badKind := append([]byte(nil), hb...)
+	badKind[6] = 0xEE
+	reject("unknown kind", badKind)
+
+	// Trailing bytes AFTER a complete frame are fine for the streaming
+	// decoder — it reports how much it consumed — but the transports
+	// reject them (a request body must be exactly one frame).
+	env, n, err := DecodeEnvelope(append(append([]byte(nil), hb...), 0xFF, 0xFF), in)
+	if err != nil {
+		t.Fatalf("frame with trailing bytes: %v", err)
+	}
+	if n != len(hb) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(hb))
+	}
+	ReleaseEnvelope(env)
+}

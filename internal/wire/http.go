@@ -31,6 +31,14 @@ type HTTP struct {
 	// binds the address once).
 	DefaultListenAddr string
 
+	// Codec selects the encoding outgoing calls use (default CodecJSON).
+	// The server side needs no configuration: it answers every request
+	// in the codec the request arrived in (negotiation by content type),
+	// so mixed landscapes — a binary coordinator administering JSON
+	// agents, or the reverse — interoperate without a handshake. Set
+	// before the first Call.
+	Codec Codec
+
 	// Server hardening knobs, applied to every server ListenOn starts.
 	// Zero values pick conservative defaults (see newServer): a slow or
 	// stalled client must never pin a handler goroutine forever. Set
@@ -50,6 +58,7 @@ type HTTP struct {
 	metrics   *wireMetrics
 
 	client *http.Client
+	intern *Interner
 }
 
 // NewHTTP returns an HTTP transport with a default client.
@@ -57,6 +66,7 @@ func NewHTTP() *HTTP {
 	return &HTTP{
 		peers:  make(map[string]string),
 		client: &http.Client{Timeout: 30 * time.Second},
+		intern: NewInterner(),
 	}
 }
 
@@ -122,7 +132,7 @@ func (t *HTTP) ListenOn(node, addr string, h Handler) (string, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(WirePath, func(w http.ResponseWriter, r *http.Request) {
-		serveWire(w, r, h)
+		t.serveWire(w, r, h)
 	})
 	for p, eh := range extra {
 		mux.Handle(p, eh)
@@ -180,41 +190,136 @@ func (t *HTTP) Addr(node string) (string, bool) {
 	return u, ok
 }
 
-func serveWire(w http.ResponseWriter, r *http.Request, h Handler) {
+// jsonCodec pools a scratch buffer with a JSON encoder permanently
+// bound to it, plus a reusable bytes.Reader for request bodies, so the
+// JSON fallback path stops allocating encoder state per call.
+type jsonCodec struct {
+	buf    bytes.Buffer
+	enc    *json.Encoder
+	reader bytes.Reader
+}
+
+var jsonPool = sync.Pool{
+	New: func() any {
+		c := &jsonCodec{}
+		c.enc = json.NewEncoder(&c.buf)
+		return c
+	},
+}
+
+func acquireJSON() *jsonCodec {
+	c := jsonPool.Get().(*jsonCodec)
+	c.buf.Reset()
+	return c
+}
+
+func releaseJSON(c *jsonCodec) {
+	if c.buf.Cap() <= maxFrame {
+		jsonPool.Put(c)
+	}
+}
+
+// readBody drains r (capped at maxFrame bytes) into the pooled buffer,
+// growing it geometrically, without the per-call allocations of
+// io.ReadAll.
+func readBody(r io.Reader, buf *[]byte) error {
+	b := (*buf)[:0]
+	lr := io.LimitReader(r, maxFrame)
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := lr.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			*buf = b
+			return nil
+		}
+		if err != nil {
+			*buf = b
+			return err
+		}
+	}
+}
+
+// serveWire handles one POSTed envelope. The codec is negotiated per
+// request — a BinaryContentType body (or one opening with the frame
+// magic, which no JSON document can) is decoded binary, anything else
+// JSON — and the reply mirrors the request's codec, so heterogeneous
+// peers interoperate without a handshake.
+func (t *HTTP) serveWire(w http.ResponseWriter, r *http.Request, h Handler) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "wire: POST only", http.StatusMethodNotAllowed)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
-	if err != nil {
+	buf := AcquireFrame()
+	defer ReleaseFrame(buf)
+	if err := readBody(r.Body, buf); err != nil {
 		http.Error(w, "wire: read: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	var env Envelope
-	if err := json.Unmarshal(body, &env); err != nil {
-		http.Error(w, "wire: decode: "+err.Error(), http.StatusBadRequest)
-		return
+	body := *buf
+	binaryReq := r.Header.Get("Content-Type") == BinaryContentType ||
+		(len(body) > 0 && body[0] == frameMagic)
+	var env *Envelope
+	if binaryReq {
+		decoded, n, err := DecodeEnvelope(body, t.intern)
+		if err != nil {
+			http.Error(w, "wire: decode: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if n != len(body) {
+			ReleaseEnvelope(decoded)
+			http.Error(w, "wire: trailing bytes after frame", http.StatusBadRequest)
+			return
+		}
+		defer ReleaseEnvelope(decoded)
+		env = decoded
+	} else {
+		env = new(Envelope)
+		if err := json.Unmarshal(body, env); err != nil {
+			http.Error(w, "wire: decode: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		// Version negotiation happens here: an incompatible frame is
+		// rejected loudly before any handler state changes.
+		if err := env.Validate(); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
-	// Version negotiation happens here: an incompatible frame is
-	// rejected loudly before any handler state changes.
-	if err := env.Validate(); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	reply, err := h(&env)
+	reply, err := h(env)
 	if err != nil {
+		ReleaseEnvelope(reply)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
 	if reply == nil {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	if err := json.NewEncoder(w).Encode(reply); err != nil {
-		// Header already sent; nothing more to do.
+	defer ReleaseEnvelope(reply)
+	if binaryReq {
+		out := AcquireFrame()
+		defer ReleaseFrame(out)
+		b, err := AppendEnvelope((*out)[:0], reply)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		*out = b
+		w.Header().Set("Content-Type", BinaryContentType)
+		w.Write(b) //nolint:errcheck // header already sent
 		return
 	}
+	jc := acquireJSON()
+	defer releaseJSON(jc)
+	if err := jc.enc.Encode(reply); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", JSONContentType)
+	w.Write(jc.buf.Bytes()) //nolint:errcheck // header already sent
 }
 
 // Call implements Transport.
@@ -245,6 +350,7 @@ func (t *HTTP) call(ctx context.Context, node string, env *Envelope) (*Envelope,
 	base, ok := t.peers[node]
 	client := t.client
 	m := t.metrics
+	codec := t.Codec
 	t.mu.Unlock()
 	if !ok {
 		return nil, ErrNoRoute
@@ -253,16 +359,36 @@ func (t *HTTP) call(ctx context.Context, node string, env *Envelope) (*Envelope,
 	start := time.Now()
 	defer m.observe(start)
 
-	buf, err := json.Marshal(env)
-	if err != nil {
-		return nil, fmt.Errorf("wire: encode: %w", err)
+	// Encode into pooled state: a binary frame buffer, or the pooled
+	// buffer+encoder pair of the JSON fallback — either way the encode
+	// side of a call performs no steady-state allocations.
+	jc := acquireJSON()
+	defer releaseJSON(jc)
+	var payload []byte
+	ctype := JSONContentType
+	if codec == CodecBinary {
+		frame := AcquireFrame()
+		defer ReleaseFrame(frame)
+		b, err := AppendEnvelope((*frame)[:0], env)
+		if err != nil {
+			return nil, fmt.Errorf("wire: encode: %w", err)
+		}
+		*frame = b
+		payload = b
+		ctype = BinaryContentType
+	} else {
+		if err := jc.enc.Encode(env); err != nil {
+			return nil, fmt.Errorf("wire: encode: %w", err)
+		}
+		payload = jc.buf.Bytes()
 	}
-	m.sent(len(buf))
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+WirePath, bytes.NewReader(buf))
+	m.sent(len(payload))
+	jc.reader.Reset(payload)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+WirePath, &jc.reader)
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Content-Type", ctype)
 	resp, err := client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -271,8 +397,9 @@ func (t *HTTP) call(ctx context.Context, node string, env *Envelope) (*Envelope,
 		return nil, fmt.Errorf("wire: call %s: %w", node, err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
-	if err != nil {
+	rbuf := AcquireFrame()
+	defer ReleaseFrame(rbuf)
+	if err := readBody(resp.Body, rbuf); err != nil {
 		// A context deadline can expire mid-body just as well as
 		// mid-connect: the caller asked for a bounded call, so both
 		// surface as the same sentinel.
@@ -281,9 +408,22 @@ func (t *HTTP) call(ctx context.Context, node string, env *Envelope) (*Envelope,
 		}
 		return nil, fmt.Errorf("wire: call %s: read reply: %w", node, err)
 	}
+	body := *rbuf
 	m.received(len(body))
 	switch resp.StatusCode {
 	case http.StatusOK:
+		if resp.Header.Get("Content-Type") == BinaryContentType ||
+			(len(body) > 0 && body[0] == frameMagic) {
+			reply, n, derr := DecodeEnvelope(body, t.intern)
+			if derr != nil {
+				return nil, fmt.Errorf("wire: call %s: decode reply: %w", node, derr)
+			}
+			if n != len(body) {
+				ReleaseEnvelope(reply)
+				return nil, fmt.Errorf("wire: call %s: trailing bytes after reply frame", node)
+			}
+			return reply, nil
+		}
 		var reply Envelope
 		if err := json.Unmarshal(body, &reply); err != nil {
 			return nil, fmt.Errorf("wire: call %s: decode reply: %w", node, err)

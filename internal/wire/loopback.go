@@ -34,6 +34,9 @@ type Loopback struct {
 	calls   int
 	dropped int
 
+	codec  Codec
+	intern *Interner
+
 	metrics *wireMetrics
 }
 
@@ -48,6 +51,21 @@ func NewLoopback() *Loopback {
 		held:          make(map[string][]*Envelope),
 		latency:       make(map[string]time.Duration),
 		isolated:      make(map[string]bool),
+	}
+}
+
+// SetCodec selects the envelope encoding. With CodecBinary every call
+// round-trips request and reply through the binary frame format — the
+// handler receives a decoded copy, exactly as it would over a socket —
+// so the loopback exercises the codec end to end while staying
+// deterministic. The default CodecJSON passes envelopes by pointer
+// (the original in-memory behaviour).
+func (l *Loopback) SetCodec(c Codec) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.codec = c
+	if c == CodecBinary && l.intern == nil {
+		l.intern = NewInterner()
 	}
 }
 
@@ -136,9 +154,11 @@ func (l *Loopback) call(ctx context.Context, node string, env *Envelope) (*Envel
 		// The message is parked, not lost: DeliverHeld releases it to
 		// the handler later (a delayed delivery, e.g. after a partition
 		// heals). The caller meanwhile sees the same thing it would for
-		// a loss — no ack within the deadline — and retries.
+		// a loss — no ack within the deadline — and retries. The park
+		// keeps a deep clone: the caller may reuse its envelope (the
+		// heartbeat reporter does) long before the held copy lands.
 		l.holdNext[node]--
-		l.held[node] = append(l.held[node], env)
+		l.held[node] = append(l.held[node], CloneEnvelope(env))
 		l.dropped++
 		l.mu.Unlock()
 		return nil, ErrTimeout
@@ -149,6 +169,7 @@ func (l *Loopback) call(ctx context.Context, node string, env *Envelope) (*Envel
 		dup = true
 	}
 	lat := l.latency[node]
+	codec, intern := l.codec, l.intern
 	l.mu.Unlock()
 
 	if lat > 0 {
@@ -167,28 +188,76 @@ func (l *Loopback) call(ctx context.Context, node string, env *Envelope) (*Envel
 		// handler twice (a replayed packet). The first reply vanishes;
 		// the caller sees only the second — which an idempotent receiver
 		// answers from its applied cache without re-executing.
-		if first, ferr := h(env); ferr == nil && first != nil {
-			_ = first // swallowed, like a reply lost in transit
+		if first, ferr := l.deliver(h, env, codec, intern); ferr == nil && first != nil {
+			ReleaseEnvelope(first) // swallowed, like a reply lost in transit
 		}
 	}
-	reply, err := h(env)
+	reply, err := l.deliver(h, env, codec, intern)
 	if err != nil {
 		return nil, err
 	}
 	if reply != nil {
 		if err := reply.Validate(); err != nil {
+			ReleaseEnvelope(reply)
 			return nil, err
 		}
 	}
 
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.dropReplyNext[node] > 0 {
 		l.dropReplyNext[node]--
 		l.dropped++
+		l.mu.Unlock()
+		ReleaseEnvelope(reply)
 		return nil, ErrTimeout
 	}
+	l.mu.Unlock()
 	return reply, nil
+}
+
+// deliver hands env to the handler. With the binary codec both the
+// request and the reply round-trip through the frame format — the
+// handler sees a decoded copy, exactly as it would over a socket, and
+// the caller receives a decoded reply it must ReleaseEnvelope.
+func (l *Loopback) deliver(h Handler, env *Envelope, codec Codec, intern *Interner) (*Envelope, error) {
+	if codec != CodecBinary {
+		return h(env)
+	}
+	buf := AcquireFrame()
+	b, err := AppendEnvelope((*buf)[:0], env)
+	if err != nil {
+		ReleaseFrame(buf)
+		return nil, err
+	}
+	*buf = b
+	req, _, err := DecodeEnvelope(*buf, intern)
+	ReleaseFrame(buf)
+	if err != nil {
+		return nil, err
+	}
+	reply, herr := h(req)
+	ReleaseEnvelope(req)
+	if herr != nil {
+		ReleaseEnvelope(reply)
+		return nil, herr
+	}
+	if reply == nil {
+		return nil, nil
+	}
+	rbuf := AcquireFrame()
+	rb, rerr := AppendEnvelope((*rbuf)[:0], reply)
+	ReleaseEnvelope(reply)
+	if rerr != nil {
+		ReleaseFrame(rbuf)
+		return nil, rerr
+	}
+	*rbuf = rb
+	out, _, err := DecodeEnvelope(*rbuf, intern)
+	ReleaseFrame(rbuf)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Close implements Transport.
@@ -249,13 +318,15 @@ func (l *Loopback) DeliverHeld(node string) int {
 	envs := l.held[node]
 	delete(l.held, node)
 	h, ok := l.handlers[node]
+	codec, intern := l.codec, l.intern
 	l.mu.Unlock()
 	if !ok {
 		return 0
 	}
 	for _, env := range envs {
-		reply, err := h(env)
-		_, _ = reply, err // stale traffic: replies and errors vanish
+		reply, err := l.deliver(h, env, codec, intern)
+		_ = err // stale traffic: replies and errors vanish
+		ReleaseEnvelope(reply)
 	}
 	return len(envs)
 }

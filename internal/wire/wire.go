@@ -155,6 +155,10 @@ type Envelope struct {
 	Ack       *ActionAck     `json:"ack,omitempty"`
 	Probe     *Probe         `json:"probe,omitempty"`
 	Hello     *Hello         `json:"hello,omitempty"`
+
+	// box links a pooled envelope back to its carrier; ReleaseEnvelope
+	// recycles it. Nil for plainly constructed envelopes.
+	box *envBox `json:"-"`
 }
 
 // NewEnvelope frames a payload. Exactly one payload field should be set

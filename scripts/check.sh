@@ -19,9 +19,14 @@
 #      seed corpus — a decoder regression against a known-bad frame
 #      (torn tail, bit flip, lying length) fails the gate even when
 #      no new fuzzing is run
-#   7. a short smoke run of the inference fast-path benchmark, so a
-#      regression that breaks the compiled path or its pooling shows up
-#      even when no test asserts on speed
+#   7. the perf gate: the wire fuzz target replayed over its
+#      checked-in seed corpus (hostile frames must keep failing
+#      cleanly), the zero-allocation guardrail on the steady-state
+#      heartbeat path (a race-free run, because race instrumentation
+#      allocates inside sync.Pool), and short smoke runs of the
+#      inference fast-path and 1,000-host ingest benchmarks, so a
+#      regression that breaks the compiled path, the pooled codec or
+#      the sharded merge shows up even when no test asserts on speed
 #
 # Usage: scripts/check.sh   (from the repository root)
 set -eu
@@ -68,11 +73,23 @@ go test -race -run 'TestCrashPointSweep' ./internal/agent/
 # Replay the fuzz targets over their checked-in seed corpus (plain
 # `go test` runs every seed as a unit case — no -fuzz, no randomness).
 go test -race -run 'Fuzz' ./internal/journal/
+go test -race -run 'Fuzz' ./internal/wire/
 
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== perf gate: zero-alloc heartbeat path (race-free run)"
+# The steady-state heartbeat path — reporter batching, binary frame
+# codec, loopback delivery, coordinator shard buffering, pooled ack —
+# must allocate nothing. The test skips itself under -race (race
+# instrumentation allocates inside sync.Pool), so it gets a dedicated
+# race-free invocation here.
+go test -run 'TestHeartbeatPathZeroAlloc' -count=1 ./internal/agent/
+
 echo "== benchmark smoke: FuzzyInference (100 iterations)"
 go test -run XXX -bench 'BenchmarkFuzzyInference$' -benchtime=100x -benchmem .
+
+echo "== benchmark smoke: CoordinatorIngest1k (one 1,000-host minute)"
+go test -run XXX -bench 'BenchmarkCoordinatorIngest1k$' -benchtime=1x -benchmem .
 
 echo "check.sh: all gates passed"
