@@ -511,6 +511,63 @@ func BenchmarkActionDispatchLoopback(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatchFanout1k measures an action storm at the paper's
+// target scale: one DoBatch carrying 1,000 actions, one per host, the
+// whole batch made durable-equivalent (no journal here — the wire and
+// agent work dominate) and fanned out across the worker pool with one
+// lane per host. Sub-benchmarks sweep the worker count; per-host
+// ordering holds at every width, so the sweep shows the pure
+// throughput effect of parallel fan-out (near-linear until the
+// loopback's receive side saturates; on a single-core runner all
+// widths degenerate to serial). Each iteration alternates start/stop
+// so agent process tables stay bounded.
+func BenchmarkDispatchFanout1k(b *testing.B) {
+	const hosts = 1000
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			tr := wire.NewLoopback()
+			defer tr.Close()
+			tr.SetCodec(wire.CodecBinary)
+			names := make([]string, hosts)
+			for i := range names {
+				names[i] = fmt.Sprintf("h%04d", i)
+				if _, err := agent.NewAgent(names[i], agent.CoordinatorNode, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			d := agent.NewDispatcher(agent.DispatchConfig{
+				Timeout: 2 * time.Second, Workers: workers,
+			}, tr)
+			reqs := make([]wire.ActionRequest, hosts)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := wire.OpStart
+				if i%2 == 1 {
+					op = wire.OpStop
+				}
+				for j := range reqs {
+					reqs[j] = wire.ActionRequest{
+						Op: op, Host: names[j], Service: "app", InstanceID: "app-bench"}
+				}
+				for _, res := range d.DoBatch(ctx, reqs) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+					if !res.Ack.OK {
+						b.Fatalf("nack: %s", res.Ack.Error)
+					}
+				}
+			}
+			b.StopTimer()
+			if st := d.Stats(); st.Actions != b.N*hosts {
+				b.Fatalf("dispatched %d actions, want %d", st.Actions, b.N*hosts)
+			}
+		})
+	}
+}
+
 // BenchmarkSimulatorDay measures one simulated day of the full-mobility
 // scenario — the unit of cost of every figure reproduction.
 func BenchmarkSimulatorDay(b *testing.B) {

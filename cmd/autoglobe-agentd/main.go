@@ -68,21 +68,22 @@ func main() {
 		chaosSeed   = flag.Uint64("chaos-seed", 0, "demo mode: inject the deterministic fault schedule derived from this seed — coordinator crashes, duplicated and delayed deliveries, short partitions (0 disables)")
 		codecName   = flag.String("codec", "json", "wire codec for outgoing envelopes: json (compatible default) or binary (length-prefixed zero-alloc frames; the receiving side negotiates by content type, so mixed landscapes interoperate)")
 		shards      = flag.Int("ingest-shards", 0, "coordinator/demo modes: heartbeat ingest shard count (0: the built-in default); observation semantics are identical for any count")
+		workers     = flag.Int("dispatch-workers", 0, "coordinator/demo modes: action fan-out width — how many per-host dispatch lanes run concurrently (0: one per CPU, 1: serial); outcomes are identical for any width, same-host actions stay ordered")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards); err != nil {
+	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards, *workers); err != nil {
 		fatal(err)
 	}
 	codec, _ := wire.ParseCodec(*codecName) // validated above
 	var err error
 	switch *mode {
 	case "coordinator":
-		err = runCoordinator(*landscape, *listen, *interval, *journalDir, codec, *shards)
+		err = runCoordinator(*landscape, *listen, *interval, *journalDir, codec, *shards, *workers)
 	case "agent":
 		err = runAgent(*host, *coordinator, *load, *interval, codec)
 	case "demo":
-		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards)
+		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards, *workers)
 	}
 	if err != nil {
 		fatal(err)
@@ -99,7 +100,7 @@ func mountObs(tr *wire.HTTP, reg *obs.Registry, tracer *obs.Tracer, health *obs.
 	tr.Mount(obs.HealthPath, obs.HealthHandler(health))
 }
 
-func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards int) error {
+func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards, workers int) error {
 	if chaosSeed != 0 && mode != "demo" {
 		return fmt.Errorf("-chaos-seed only applies to -mode demo")
 	}
@@ -111,6 +112,12 @@ func validateFlags(mode, landscape, host string, load float64, interval time.Dur
 	}
 	if shards > 0 && mode == "agent" {
 		return fmt.Errorf("-ingest-shards only applies to -mode coordinator or demo")
+	}
+	if workers < 0 {
+		return fmt.Errorf("-dispatch-workers %d must be >= 0", workers)
+	}
+	if workers > 0 && mode == "agent" {
+		return fmt.Errorf("-dispatch-workers only applies to -mode coordinator or demo")
 	}
 	switch mode {
 	case "coordinator", "demo":
@@ -150,7 +157,7 @@ func loadLandscape(path string) (*spec.Landscape, error) {
 // per interval (closing the service observations, probing silent
 // hosts), and hands every confirmed trigger to the fuzzy controller,
 // whose decisions are dispatched back to the agents.
-func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string, codec wire.Codec, shards int) error {
+func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string, codec wire.Codec, shards, workers int) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -197,9 +204,10 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 		fmt.Printf("join: %s (PI %g, %d MB) at %s\n", h.Host, h.PerformanceIndex, h.MemoryMB, h.Addr)
 		return nil
 	}
-	disp := agent.NewDispatcher(agent.DispatchConfig{From: coord.Node()}, tr)
+	disp := agent.NewDispatcher(agent.DispatchConfig{From: coord.Node(), Workers: workers}, tr)
 	disp.Instrument(reg)
 	disp.Trace(tracer)
+	health.SetInfo("dispatch_workers", fmt.Sprintf("%d", disp.Workers()))
 	if journalDir != "" {
 		// Crash safety: fsync-on-commit journal, a fresh durable epoch per
 		// incarnation, and recovery of the previous incarnation's
@@ -385,7 +393,7 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration,
 // declared landscape runs through the simulator's distributed mode over
 // the in-memory loopback, and the run ends with the control-plane panel
 // and the usual result summary.
-func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards int) error {
+func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards, workers int) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -409,7 +417,7 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 	var drv *chaos.Driver
 	sim, err := simulator.FromLandscapeConfig(l, func(c *simulator.Config) {
 		c.Hours = hours
-		dc := &simulator.DistributedConfig{Transport: tr, JournalDir: jdir, IngestShards: shards}
+		dc := &simulator.DistributedConfig{Transport: tr, JournalDir: jdir, IngestShards: shards, DispatchWorkers: workers}
 		if chaosSeed != 0 {
 			hosts := make([]string, 0, len(l.Servers))
 			for _, s := range l.Servers {

@@ -55,6 +55,27 @@ type proc struct {
 	priority int
 }
 
+// ackCacheCap bounds the agent's idempotency cache: the most recent
+// terminal answers are kept, oldest evicted first. The dispatcher's
+// key-recycling freelist is calibrated against exactly this capacity
+// (see keyReuseLag) — a key is only ever reused once this many younger
+// answers guarantee its eviction, so a recycled key can never be
+// answered from a stale cache line. The cache grows on demand and a
+// quiet agent never pays for the full capacity.
+const ackCacheCap = 4096
+
+// agentLogCap bounds the audit trail: the most recent applied
+// operations are kept in a ring. Like the ack cache it grows on
+// demand; long-running agents stop growing instead of leaking.
+const agentLogCap = 16384
+
+// logEntry is one audit-trail record, kept as fields instead of a
+// formatted string so the steady-state apply path does not allocate.
+type logEntry struct {
+	op wire.Op
+	id string
+}
+
 // Agent is the per-host daemon of the control plane. It listens on the
 // transport under its host name, executes controller-issued operations
 // against its local process table, and reports load through heartbeats.
@@ -70,9 +91,18 @@ type Agent struct {
 
 	mu    sync.Mutex
 	procs map[string]proc
-	acks  map[string]wire.ActionAck // idempotency cache, by action key
-	log   []string                  // audit trail of applied operations
-	seq   uint64
+	// Idempotency cache: terminal answers by action key, bounded to the
+	// newest ackCacheCap entries. ackSeq is the eviction ring — it grows
+	// by appending until the cap, then wraps, overwriting the oldest
+	// key's slot (and deleting it from acks) as each new answer lands.
+	acks    map[string]wire.ActionAck
+	ackSeq  []string
+	ackHead int
+	// Audit trail of applied operations: a grow-then-wrap ring of the
+	// newest agentLogCap entries.
+	log     []logEntry
+	logHead int
+	seq     uint64
 
 	// coordEpoch is the highest coordinator incarnation observed on an
 	// action envelope. Requests carrying a lower epoch are NACKed: they
@@ -176,12 +206,18 @@ func (a *Agent) Instances() map[string]string {
 }
 
 // Log returns the audit trail of applied (non-duplicate) operations,
-// oldest first, one "op instanceID" entry per application.
+// oldest first, one "op instanceID" entry per application. The trail is
+// bounded: only the newest agentLogCap applications are retained.
 func (a *Agent) Log() []string {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	out := make([]string, len(a.log))
-	copy(out, a.log)
+	out := make([]string, 0, len(a.log))
+	for i := a.logHead; i < len(a.log); i++ {
+		out = append(out, string(a.log[i].op)+" "+a.log[i].id)
+	}
+	for i := 0; i < a.logHead; i++ {
+		out = append(out, string(a.log[i].op)+" "+a.log[i].id)
+	}
 	return out
 }
 
@@ -265,11 +301,43 @@ func (a *Agent) apply(req wire.ActionRequest) wire.ActionAck {
 		ack.OK = false
 		ack.Error = err.Error()
 	}
-	a.acks[req.Key] = ack
+	a.cacheAck(req.Key, ack)
 	if ack.OK {
-		a.log = append(a.log, fmt.Sprintf("%s %s", req.Op, req.InstanceID))
+		a.appendLog(req.Op, req.InstanceID)
 	}
 	return ack
+}
+
+// cacheAck records a terminal answer in the idempotency cache, evicting
+// the oldest entry once the cache is full. Steady state is one map
+// delete plus one insert of equal size — allocation-free. Callers hold
+// a.mu.
+func (a *Agent) cacheAck(key string, ack wire.ActionAck) {
+	if len(a.ackSeq) < ackCacheCap {
+		a.ackSeq = append(a.ackSeq, key)
+	} else {
+		delete(a.acks, a.ackSeq[a.ackHead])
+		a.ackSeq[a.ackHead] = key
+		a.ackHead++
+		if a.ackHead == len(a.ackSeq) {
+			a.ackHead = 0
+		}
+	}
+	a.acks[key] = ack
+}
+
+// appendLog records one applied operation in the audit ring. Callers
+// hold a.mu.
+func (a *Agent) appendLog(op wire.Op, id string) {
+	if len(a.log) < agentLogCap {
+		a.log = append(a.log, logEntry{op: op, id: id})
+		return
+	}
+	a.log[a.logHead] = logEntry{op: op, id: id}
+	a.logHead++
+	if a.logHead == len(a.log) {
+		a.logHead = 0
+	}
 }
 
 // applyOp mutates the process table. Callers hold a.mu.

@@ -3,6 +3,7 @@ package agent
 import (
 	"context"
 	"testing"
+	"time"
 
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/wire"
@@ -68,5 +69,52 @@ func TestHeartbeatPathZeroAlloc(t *testing.T) {
 	}
 	if allocs := testing.AllocsPerRun(1000, send); allocs != 0 {
 		t.Fatalf("post-merge heartbeat path allocates %.1f times per beat, want 0", allocs)
+	}
+}
+
+// TestDispatchPathZeroAlloc is the perf gate of the dispatch plane, the
+// mirror of the heartbeat gate above: one steady-state healthy dispatch
+// — recycled idempotency key, pooled action envelope, pooled attempt
+// context, the agent's bounded ack cache and audit ring, the pooled ack
+// coming back — must allocate nothing. The warm-up is deliberately long:
+// the agent's ack cache (ackCacheCap) and audit ring (agentLogCap) must
+// both reach capacity, and the lane freelist must start recycling keys,
+// before the steady state exists.
+func TestDispatchPathZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted by race instrumentation")
+	}
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	if _, err := NewAgent("h1", CoordinatorNode, tr); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(DispatchConfig{Timeout: 2 * time.Second, Workers: 1}, tr)
+	ctx := context.Background()
+	i := 0
+	send := func() {
+		op, id := wire.OpStart, "app-steady"
+		if i%2 == 1 {
+			op = wire.OpStop
+		}
+		ack, err := d.Do(ctx, wire.ActionRequest{Op: op, Host: "h1", Service: "app", InstanceID: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ack.OK || ack.Duplicate {
+			t.Fatalf("dispatch %d: ack = %+v, want clean OK", i, ack)
+		}
+		i++
+	}
+	// Warm-up: fill the agent's ack cache and audit ring to capacity and
+	// push the lane past the key-recycling threshold.
+	for n := 0; n < ackCacheCap+agentLogCap+512; n++ {
+		send()
+	}
+	if st := d.Stats(); st.Recycled == 0 {
+		t.Fatal("warm-up did not reach the key-recycling steady state")
+	}
+	if allocs := testing.AllocsPerRun(1000, send); allocs != 0 {
+		t.Fatalf("steady-state dispatch path allocates %.1f times per action, want 0", allocs)
 	}
 }

@@ -75,6 +75,11 @@ type Coordinator struct {
 	// on) the merge lock.
 	trigMu   sync.Mutex
 	triggers []*monitor.Trigger
+	// trigSpare is the recycled backing array for the trigger queue:
+	// TakeTriggers hands the filled slice out and arms the spare, and
+	// RecycleTriggers returns a drained slice here, so the steady-state
+	// minute loop stops allocating a fresh queue per minute.
+	trigSpare []*monitor.Trigger
 
 	// mu guards the merge path (monitor pipeline, registrations,
 	// per-service accumulators) and the rarely-touched fields below.
@@ -527,13 +532,35 @@ func (c *Coordinator) ObserveServices(minute int) error {
 
 // TakeTriggers drains the queued confirmed triggers in arrival order.
 // The queue has its own lock, so collection swaps the slice without
-// contending with (or blocking behind) an in-flight merge.
+// contending with (or blocking behind) an in-flight merge. A caller
+// done with the returned slice may hand it back through
+// RecycleTriggers; the spare backing array is then reused instead of
+// reallocated, making the steady-state minute loop allocation-free.
 func (c *Coordinator) TakeTriggers() []*monitor.Trigger {
 	c.trigMu.Lock()
 	defer c.trigMu.Unlock()
 	out := c.triggers
-	c.triggers = nil
+	c.triggers = c.trigSpare
+	c.trigSpare = nil
 	return out
+}
+
+// RecycleTriggers returns a slice obtained from TakeTriggers to the
+// queue's freelist. The elements are cleared (the coordinator must not
+// pin processed triggers live) and the capacity kept. The caller must
+// not touch the slice afterwards.
+func (c *Coordinator) RecycleTriggers(trs []*monitor.Trigger) {
+	if cap(trs) == 0 {
+		return
+	}
+	for i := range trs {
+		trs[i] = nil
+	}
+	c.trigMu.Lock()
+	if c.trigSpare == nil {
+		c.trigSpare = trs[:0]
+	}
+	c.trigMu.Unlock()
 }
 
 // CheckLiveness probes the hosts that stayed silent this minute — and

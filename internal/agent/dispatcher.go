@@ -3,13 +3,21 @@ package agent
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"autoglobe/internal/obs"
 	"autoglobe/internal/wire"
 )
+
+// defaultWorkers is the DoBatch fan-out width when the config does not
+// pin one: one lane worker per schedulable CPU, mirroring the ingest
+// plane's shard default.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // DispatchConfig tunes the coordinator's action dispatcher.
 type DispatchConfig struct {
@@ -25,10 +33,23 @@ type DispatchConfig struct {
 	// further attempt doubles it up to MaxBackoff (defaults 25ms / 1s).
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
-	// Seed drives the backoff jitter deterministically.
+	// Workers bounds how many per-host lanes DoBatch drives
+	// concurrently (default: GOMAXPROCS; 1 dispatches serially).
+	// Outcomes are identical for any worker count — actions to the
+	// same host stay ordered inside their lane, idempotency keys are
+	// minted in submission order before any send, and results are
+	// assembled in submission order — so this is purely a throughput
+	// knob, exactly like the coordinator's ingest shard count.
+	Workers int
+	// Seed drives the backoff jitter deterministically (each host lane
+	// derives its own stream from it, so jitter stays replayable under
+	// concurrent fan-out).
 	Seed uint64
-	// Sleep and Now are clock hooks for tests (defaults: time.Sleep,
-	// time.Now).
+	// Sleep and Now are clock hooks for tests (Now defaults to
+	// time.Now). A nil Sleep uses a pooled timer that also honours
+	// context cancellation — a retrying dispatch stops backing off the
+	// moment its caller gives up — while a test-provided Sleep is
+	// called as before.
 	Sleep func(time.Duration)
 	Now   func() time.Time
 }
@@ -49,8 +70,8 @@ func (c DispatchConfig) withDefaults() DispatchConfig {
 	if c.MaxBackoff <= 0 {
 		c.MaxBackoff = time.Second
 	}
-	if c.Sleep == nil {
-		c.Sleep = time.Sleep
+	if c.Workers <= 0 {
+		c.Workers = defaultWorkers()
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -71,6 +92,10 @@ type DispatchStats struct {
 	Nacks int
 	// Expired counts operations abandoned after MaxAttempts.
 	Expired int
+	// Recycled counts idempotency keys reused from a host lane's
+	// freelist instead of minted — the steady-state zero-allocation
+	// path (see hostLane).
+	Recycled int
 }
 
 // NackError reports that the agent received the request and refused it.
@@ -86,50 +111,136 @@ func (e *NackError) Error() string {
 	return fmt.Sprintf("agent: %s rejected %s: %s", e.Host, e.Ack.Key, e.Ack.Error)
 }
 
+// BatchResult is one submission's outcome from DoBatch. The results
+// slice is indexed by submission order, whatever the lane scheduling.
+type BatchResult struct {
+	Ack wire.ActionAck
+	Err error
+}
+
+// keyReuseLag is how many fresh agent-cache inserts a host lane must
+// observe after a key retires before the key may be minted again. It
+// equals ackCacheCap (the agent's FIFO idempotency-cache capacity):
+// once that many younger entries were cached, the agent has provably
+// evicted the retired key, so reuse can never be answered from a stale
+// cache line. Only keys whose dispatch completed with a clean
+// first-attempt, non-duplicate ack retire into the freelist — any key
+// that was retried, duplicated or held may still have a stray copy in
+// the network, and is simply never reused.
+const keyReuseLag = ackCacheCap
+
+// recycledKey is a retired idempotency key parked in a lane freelist.
+type recycledKey struct {
+	key string
+	at  uint64 // lane insert count at retirement; reusable at at+keyReuseLag
+}
+
+// hostLane is the per-host dispatch state: the backoff jitter stream,
+// the agent-cache insert counter that drives key recycling, and the
+// FIFO freelist of reusable keys. DoBatch assigns each host's actions
+// to exactly one worker, so same-host actions stay ordered while
+// different hosts fly in parallel.
+type hostLane struct {
+	mu      sync.Mutex
+	rng     *rand.Rand
+	epoch   uint64 // epoch the parked keys were minted under
+	inserts uint64 // fresh terminal answers the agent cached for us
+	free    []recycledKey
+	head    int // freelist FIFO cursor (pop side)
+}
+
+// newHostLane derives the lane's jitter stream from the dispatcher
+// seed and the host name, so concurrent lanes draw deterministic,
+// interleaving-independent jitter.
+func newHostLane(seed uint64, host string) *hostLane {
+	h := fnv.New64a()
+	h.Write([]byte(host))
+	return &hostLane{rng: rand.New(rand.NewSource(int64(seed^h.Sum64()) + 41))}
+}
+
+// settle records a dispatch's terminal outcome against the lane's
+// model of the agent cache: every fresh (non-duplicate) terminal
+// answer is one cache insert at the agent, and recycleKey — when
+// non-empty — parks the key for reuse once keyReuseLag further inserts
+// guarantee its eviction. Inserts the dispatcher does not know about
+// (held deliveries landing late) only evict earlier, so the lag stays
+// sufficient.
+func (ln *hostLane) settle(epoch uint64, recycleKey string, freshInsert bool) {
+	if !freshInsert && recycleKey == "" {
+		return
+	}
+	ln.mu.Lock()
+	if freshInsert {
+		ln.inserts++
+	}
+	if recycleKey != "" && ln.epoch == epoch {
+		if ln.head > 0 && len(ln.free) == cap(ln.free) {
+			// Compact in place so the steady state (pop one, park one)
+			// never reallocates the backing array.
+			n := copy(ln.free, ln.free[ln.head:])
+			ln.free = ln.free[:n]
+			ln.head = 0
+		}
+		ln.free = append(ln.free, recycledKey{key: recycleKey, at: ln.inserts})
+	}
+	ln.mu.Unlock()
+}
+
 // Dispatcher sends action requests to agents with timeout, bounded
 // exponential backoff with deterministic jitter, and retries. Lost
 // messages and lost acks are indistinguishable to it — both retry with
 // the same idempotency key, and the agent's cache keeps re-delivery
-// safe. It is safe for concurrent use.
+// safe. DoBatch fans independent actions out across per-host lanes on
+// a bounded worker pool. It is safe for concurrent use; the healthy
+// dispatch path is lock-light (atomic counters, a read-locked lane
+// lookup) and allocation-free (pooled envelopes and attempt contexts,
+// recycled idempotency keys).
 type Dispatcher struct {
 	cfg DispatchConfig
 	tr  wire.Transport
 
-	mu      sync.Mutex
-	rng     *rand.Rand
-	seq     uint64
-	stats   DispatchStats
-	metrics *dispatchMetrics
-	tracer  *obs.Tracer
-	journal *CoordinatorJournal
-	epoch   uint64
+	seq     atomic.Uint64
+	actions atomic.Int64
+	retries atomic.Int64
+	dups    atomic.Int64
+	nacks   atomic.Int64
+	expired atomic.Int64
+	reused  atomic.Int64
+
+	metrics atomic.Pointer[dispatchMetrics]
+	tracer  atomic.Pointer[obs.Tracer]
+	journal atomic.Pointer[CoordinatorJournal]
+	epoch   atomic.Uint64
+
+	lanesMu sync.RWMutex
+	lanes   map[string]*hostLane
 }
 
 // NewDispatcher builds a dispatcher over the transport.
 func NewDispatcher(cfg DispatchConfig, tr wire.Transport) *Dispatcher {
 	cfg = cfg.withDefaults()
 	return &Dispatcher{
-		cfg: cfg,
-		tr:  tr,
-		rng: rand.New(rand.NewSource(int64(cfg.Seed) + 41)),
+		cfg:   cfg,
+		tr:    tr,
+		lanes: make(map[string]*hostLane),
 	}
 }
+
+// Workers returns the batch fan-out width the dispatcher was built
+// with (at least 1).
+func (d *Dispatcher) Workers() int { return d.cfg.Workers }
 
 // Instrument attaches an obs registry: subsequent dispatches count
 // attempts, acks, nacks, duplicates, expirations and compensations.
 // A nil registry leaves the dispatcher uninstrumented.
 func (d *Dispatcher) Instrument(r *obs.Registry) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.metrics = newDispatchMetrics(r)
+	d.metrics.Store(newDispatchMetrics(r))
 }
 
 // Trace attaches a tracer: every completed dispatch appends one
 // per-host TraceDispatch event to the open control-loop trace.
 func (d *Dispatcher) Trace(tr *obs.Tracer) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.tracer = tr
+	d.tracer.Store(tr)
 }
 
 // AttachJournal makes the dispatcher crash-safe: every dispatch is
@@ -139,58 +250,137 @@ func (d *Dispatcher) Trace(tr *obs.Tracer) {
 // traffic from superseded incarnations. Keys minted after attachment
 // are epoch-scoped ("from-e<epoch>-<seq>"), so a recovered incarnation
 // can never collide with its predecessor's keys in an agent's
-// idempotency cache. A nil journal detaches.
+// idempotency cache (parked keys from an older epoch are discarded,
+// never reused). A nil journal detaches.
 func (d *Dispatcher) AttachJournal(cj *CoordinatorJournal) {
 	var epoch uint64
 	if cj != nil {
 		epoch = cj.Epoch()
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.journal = cj
-	d.epoch = epoch
+	d.journal.Store(cj)
+	d.epoch.Store(epoch)
 }
 
 // Journal returns the attached coordinator journal, or nil.
 func (d *Dispatcher) Journal() *CoordinatorJournal {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.journal
+	return d.journal.Load()
 }
 
 // Stats returns a snapshot of the dispatch counters.
 func (d *Dispatcher) Stats() DispatchStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
+	return DispatchStats{
+		Actions:    int(d.actions.Load()),
+		Retries:    int(d.retries.Load()),
+		Duplicates: int(d.dups.Load()),
+		Nacks:      int(d.nacks.Load()),
+		Expired:    int(d.expired.Load()),
+		Recycled:   int(d.reused.Load()),
+	}
 }
 
-// nextKey mints a fresh idempotency key. With a journal attached the
-// key is epoch-scoped: two coordinator incarnations can never mint the
-// same key, so an agent's cached answer is always for the incarnation
-// that asked.
-func (d *Dispatcher) nextKey() string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.seq++
-	if d.epoch > 0 {
-		return fmt.Sprintf("%s-e%d-%06d", d.cfg.From, d.epoch, d.seq)
+// lane returns the host's dispatch lane, creating it on first use.
+func (d *Dispatcher) lane(host string) *hostLane {
+	d.lanesMu.RLock()
+	ln := d.lanes[host]
+	d.lanesMu.RUnlock()
+	if ln != nil {
+		return ln
 	}
-	return fmt.Sprintf("%s-%06d", d.cfg.From, d.seq)
+	d.lanesMu.Lock()
+	defer d.lanesMu.Unlock()
+	if ln = d.lanes[host]; ln == nil {
+		ln = newHostLane(d.cfg.Seed, host)
+		d.lanes[host] = ln
+	}
+	return ln
+}
+
+// mintKey returns an idempotency key for the lane: a parked key whose
+// agent-cache eviction is proven (the zero-allocation steady state),
+// or a freshly formatted one. With a journal attached the key is
+// epoch-scoped: two coordinator incarnations can never mint the same
+// key, so an agent's cached answer is always for the incarnation that
+// asked. An epoch change empties the lane's freelist — parked keys
+// embed the old epoch and must not resurface.
+func (d *Dispatcher) mintKey(ln *hostLane, epoch uint64) string {
+	ln.mu.Lock()
+	if ln.epoch != epoch {
+		ln.free = ln.free[:0]
+		ln.head = 0
+		ln.epoch = epoch
+	}
+	if ln.head < len(ln.free) && ln.inserts >= ln.free[ln.head].at+keyReuseLag {
+		k := ln.free[ln.head].key
+		ln.free[ln.head] = recycledKey{}
+		ln.head++
+		if ln.head == len(ln.free) {
+			ln.free = ln.free[:0]
+			ln.head = 0
+		}
+		ln.mu.Unlock()
+		d.reused.Add(1)
+		return k
+	}
+	ln.mu.Unlock()
+	seq := d.seq.Add(1)
+	if epoch > 0 {
+		return fmt.Sprintf("%s-e%d-%06d", d.cfg.From, epoch, seq)
+	}
+	return fmt.Sprintf("%s-%06d", d.cfg.From, seq)
 }
 
 // backoff returns the jittered pause before retry attempt+1. The jitter
 // spreads concurrent retriers over [50%, 100%] of the nominal delay;
-// the seeded source keeps failing runs replayable.
-func (d *Dispatcher) backoff(attempt int) time.Duration {
+// the per-lane seeded source keeps failing runs replayable whatever the
+// fan-out interleaving.
+func (d *Dispatcher) backoff(ln *hostLane, attempt int) time.Duration {
 	delay := d.cfg.BaseBackoff << (attempt - 1)
 	if delay > d.cfg.MaxBackoff || delay <= 0 {
 		delay = d.cfg.MaxBackoff
 	}
-	d.mu.Lock()
-	f := 0.5 + 0.5*d.rng.Float64()
-	d.mu.Unlock()
+	ln.mu.Lock()
+	f := 0.5 + 0.5*ln.rng.Float64()
+	ln.mu.Unlock()
 	return time.Duration(float64(delay) * f)
+}
+
+// backoffTimers pools the retry timers so a retrying worker neither
+// allocates a timer per backoff nor blocks past its caller's
+// cancellation.
+var backoffTimers sync.Pool
+
+// pause waits the backoff delay out: through the test hook when one is
+// configured, otherwise on a pooled timer raced against the caller's
+// context.
+func (d *Dispatcher) pause(ctx context.Context, dur time.Duration) {
+	if d.cfg.Sleep != nil {
+		d.cfg.Sleep(dur)
+		return
+	}
+	t, _ := backoffTimers.Get().(*time.Timer)
+	if t == nil {
+		t = time.NewTimer(dur)
+	} else {
+		t.Reset(dur)
+	}
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		if !t.Stop() {
+			select {
+			case <-t.C:
+			default:
+			}
+		}
+	}
+	backoffTimers.Put(t)
+}
+
+// retryBudget is the wall-clock span of a full retry schedule — the
+// default per-action deadline.
+func (d *Dispatcher) retryBudget() time.Duration {
+	return time.Duration(d.cfg.MaxAttempts)*d.cfg.Timeout +
+		time.Duration(d.cfg.MaxAttempts)*d.cfg.MaxBackoff
 }
 
 // Do delivers one operation to the agent of req.Host and returns its
@@ -208,31 +398,161 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 	if req.Host == "" {
 		return wire.ActionAck{}, fmt.Errorf("agent: dispatch without destination host")
 	}
+	ln := d.lane(req.Host)
+	epoch := d.epoch.Load()
+	minted := false
 	if req.Key == "" {
-		req.Key = d.nextKey()
+		req.Key = d.mintKey(ln, epoch)
+		minted = true
 	}
 	if req.DeadlineUnixMS == 0 {
-		budget := time.Duration(d.cfg.MaxAttempts)*d.cfg.Timeout +
-			time.Duration(d.cfg.MaxAttempts)*d.cfg.MaxBackoff
-		req.DeadlineUnixMS = d.cfg.Now().Add(budget).UnixMilli()
+		req.DeadlineUnixMS = d.cfg.Now().Add(d.retryBudget()).UnixMilli()
 	}
-	d.mu.Lock()
-	d.stats.Actions++
-	m, tracer := d.metrics, d.tracer
-	cj, epoch := d.journal, d.epoch
-	if compensation && m != nil {
-		m.compensations.Inc()
+	d.actions.Add(1)
+	if compensation {
+		d.metrics.Load().compensation()
 	}
-	d.mu.Unlock()
-	if cj != nil {
+	if cj := d.journal.Load(); cj != nil {
 		// Write-ahead: the dispatch record must be durable BEFORE the
 		// action can reach the transport. A crash anywhere after this
 		// point leaves the action pending, and recovery re-issues it
-		// under the same idempotency key.
+		// under the same idempotency key. Concurrent dispatches share
+		// flush windows through the journal's group committer.
 		if err := cj.LogDispatch(req); err != nil {
 			return wire.ActionAck{}, err
 		}
 	}
+	return d.runOne(ctx, req, ln, epoch, compensation, minted)
+}
+
+// DoBatch delivers independent operations concurrently: requests are
+// prepared (keys, deadlines) and write-ahead journaled in submission
+// order — the whole batch becomes durable with ONE write+fsync before
+// any action reaches the transport — then fanned out over per-host
+// lanes on a pool of at most DispatchConfig.Workers workers. Actions
+// addressed to the same host run in submission order on one lane;
+// actions to different hosts fly in parallel. The returned slice is
+// indexed by submission order. Individual failures (NACKs, exhausted
+// retries) land in their BatchResult; the batch itself always runs to
+// completion.
+func (d *Dispatcher) DoBatch(ctx context.Context, reqs []wire.ActionRequest) []BatchResult {
+	return d.doBatch(ctx, reqs, false)
+}
+
+func (d *Dispatcher) doBatch(ctx context.Context, reqs []wire.ActionRequest, compensation bool) []BatchResult {
+	results := make([]BatchResult, len(reqs))
+	if len(reqs) == 0 {
+		return results
+	}
+	epoch := d.epoch.Load()
+	work := make([]wire.ActionRequest, len(reqs))
+	copy(work, reqs)
+	minted := make([]bool, len(work))
+	lanes := make([]*hostLane, len(work))
+
+	// Prepare serially in submission order, so minted keys — and with
+	// them the journal and the agents' caches — are identical whatever
+	// the worker count.
+	budgetDeadline := d.cfg.Now().Add(d.retryBudget()).UnixMilli()
+	for i := range work {
+		if work[i].Host == "" {
+			results[i].Err = fmt.Errorf("agent: dispatch without destination host")
+			continue
+		}
+		lanes[i] = d.lane(work[i].Host)
+		if work[i].Key == "" {
+			work[i].Key = d.mintKey(lanes[i], epoch)
+			minted[i] = true
+		}
+		if work[i].DeadlineUnixMS == 0 {
+			work[i].DeadlineUnixMS = budgetDeadline
+		}
+		d.actions.Add(1)
+		if compensation {
+			d.metrics.Load().compensation()
+		}
+	}
+
+	if cj := d.journal.Load(); cj != nil {
+		// Group commit: every dispatch record of the batch is durable —
+		// one write, one fsync — before ANY of the batch's actions may
+		// reach the transport. A crash tearing the batch mid-append
+		// leaves a durable prefix of actions none of which were sent:
+		// recovery re-issues the prefix, and the lost suffix never had
+		// a side effect to lose.
+		valid := make([]wire.ActionRequest, 0, len(work))
+		for i := range work {
+			if results[i].Err == nil {
+				valid = append(valid, work[i])
+			}
+		}
+		if err := cj.LogDispatchBatch(valid); err != nil {
+			for i := range results {
+				if results[i].Err == nil {
+					results[i].Err = err
+				}
+			}
+			return results
+		}
+	}
+
+	// Assign each host's actions to one lane, lanes in first-appearance
+	// order. One worker owns a lane end to end, which is what keeps
+	// same-host actions ordered.
+	laneIdx := make(map[string][]int, len(work))
+	laneOrder := make([]string, 0, len(work))
+	for i := range work {
+		if results[i].Err != nil {
+			continue
+		}
+		h := work[i].Host
+		if _, seen := laneIdx[h]; !seen {
+			laneOrder = append(laneOrder, h)
+		}
+		laneIdx[h] = append(laneIdx[h], i)
+	}
+	run := func(host string) {
+		for _, i := range laneIdx[host] {
+			results[i].Ack, results[i].Err = d.runOne(ctx, work[i], lanes[i], epoch, compensation, minted[i])
+		}
+	}
+	workers := d.cfg.Workers
+	if workers > len(laneOrder) {
+		workers = len(laneOrder)
+	}
+	if workers <= 1 {
+		for _, host := range laneOrder {
+			run(host)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(laneOrder) {
+					return
+				}
+				run(laneOrder[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runOne drives one prepared, already-journaled request through the
+// retry loop to its terminal outcome. This is the healthy-path hot
+// loop: pooled request envelope, pooled attempt context, atomic
+// counters, and key retirement into the lane freelist.
+func (d *Dispatcher) runOne(ctx context.Context, req wire.ActionRequest, ln *hostLane, epoch uint64, compensation, minted bool) (wire.ActionAck, error) {
+	m := d.metrics.Load()
+	tracer := d.tracer.Load()
+	cj := d.journal.Load()
 	ev := obs.TraceDispatch{
 		Host: req.Host, Op: string(req.Op), Key: req.Key,
 		InstanceID: req.InstanceID, Compensation: compensation,
@@ -243,10 +563,8 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 	for attempt := 1; attempt <= d.cfg.MaxAttempts; attempt++ {
 		attempts = attempt
 		if attempt > 1 {
-			d.cfg.Sleep(d.backoff(attempt - 1))
-			d.mu.Lock()
-			d.stats.Retries++
-			d.mu.Unlock()
+			d.pause(ctx, d.backoff(ln, attempt-1))
+			d.retries.Add(1)
 		}
 		// The caller's context bounds the WHOLE retry loop, backoff
 		// included — once it expires no further attempt may be made.
@@ -257,11 +575,12 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 			break
 		}
 		m.attempt()
-		env := wire.ActionEnvelope(d.cfg.From, req.Host, req)
+		env := wire.AcquireActionEnvelope(d.cfg.From, req.Host, req)
 		env.Epoch = epoch
-		callCtx, cancel := context.WithTimeout(ctx, d.cfg.Timeout)
-		reply, err := d.tr.Call(callCtx, req.Host, env)
-		cancel()
+		ac := acquireAttemptCtx(ctx, d.cfg.Timeout)
+		reply, err := d.tr.Call(ac, req.Host, env)
+		releaseAttemptCtx(ac)
+		wire.ReleaseEnvelope(env)
 		if err != nil {
 			lastErr = err
 			if ctx.Err() != nil {
@@ -276,21 +595,16 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 		}
 		ack := *reply.Ack
 		wire.ReleaseEnvelope(reply)
-		d.mu.Lock()
 		if ack.Duplicate {
-			d.stats.Duplicates++
+			d.dups.Add(1)
 		}
-		if !ack.OK {
-			d.stats.Nacks++
-		}
-		d.mu.Unlock()
 		ev.Attempts = attempt
 		ev.OK = ack.OK
 		ev.Duplicate = ack.Duplicate
 		if !ack.OK {
-			if m != nil {
-				m.nacks.Inc()
-			}
+			d.nacks.Add(1)
+			m.nack()
+			ln.settle(epoch, "", !ack.Duplicate)
 			ev.Error = ack.Error
 			tracer.Dispatch(ev)
 			if cj != nil {
@@ -301,12 +615,15 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 			}
 			return ack, &NackError{Host: req.Host, Ack: ack}
 		}
-		if m != nil {
-			m.acks.Inc()
-			if ack.Duplicate {
-				m.duplicates.Inc()
-			}
+		m.ok(ack.Duplicate)
+		// A key retires into the freelist only when no stray copy of it
+		// can still be in flight: exactly one attempt, answered fresh
+		// (not from cache), for a key this dispatcher minted itself.
+		recycle := ""
+		if minted && attempt == 1 && !ack.Duplicate {
+			recycle = req.Key
 		}
+		ln.settle(epoch, recycle, !ack.Duplicate)
 		tracer.Dispatch(ev)
 		if cj != nil {
 			if jerr := cj.LogAck(req.Key, ack); jerr != nil {
@@ -319,12 +636,8 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 		}
 		return ack, nil
 	}
-	d.mu.Lock()
-	d.stats.Expired++
-	d.mu.Unlock()
-	if m != nil {
-		m.expired.Inc()
-	}
+	d.expired.Add(1)
+	m.expire()
 	err := fmt.Errorf("agent: %s %s on %s: no ack after %d attempts: %w",
 		req.Op, req.InstanceID, req.Host, d.cfg.MaxAttempts, lastErr)
 	ev.Attempts = attempts
@@ -343,3 +656,89 @@ func (d *Dispatcher) do(ctx context.Context, req wire.ActionRequest, compensatio
 	}
 	return wire.ActionAck{}, err
 }
+
+// ---------------------------------------------------------------------
+// Pooled per-attempt contexts
+// ---------------------------------------------------------------------
+
+// attemptCtx is a pooled deadline context for one delivery attempt.
+// The synchronous transports (the loopback) only ever poll Err(), so
+// the healthy path materialises no timer, no channel and no derived
+// context — zero allocations per attempt, and the struct returns to
+// the pool. A transport that selects on Done() (HTTP under latency)
+// lazily promotes the context to a real context.WithDeadline — and
+// thereby escapes it: net/http derives a cancel context from the
+// request context whose teardown runs asynchronously after Call
+// returns, reading the parent (this struct) from the connection's
+// read loop. An escaped attemptCtx is therefore never reused — its
+// inner context is cancelled and the GC takes the husk.
+type attemptCtx struct {
+	parent   context.Context
+	deadline time.Time
+
+	mu     sync.Mutex
+	inner  context.Context
+	cancel context.CancelFunc
+}
+
+var attemptCtxPool = sync.Pool{New: func() any { return new(attemptCtx) }}
+
+func acquireAttemptCtx(parent context.Context, timeout time.Duration) *attemptCtx {
+	c := attemptCtxPool.Get().(*attemptCtx)
+	c.parent = parent
+	c.deadline = time.Now().Add(timeout)
+	if pd, ok := parent.Deadline(); ok && pd.Before(c.deadline) {
+		c.deadline = pd
+	}
+	return c
+}
+
+func releaseAttemptCtx(c *attemptCtx) {
+	c.mu.Lock()
+	cancel := c.cancel
+	c.mu.Unlock()
+	if cancel != nil {
+		// Done() was materialised, so the context may have been captured
+		// by a derived context whose asynchronous teardown still reads
+		// this struct. Cancel the timer and abandon the struct — writing
+		// any field here would race with that teardown.
+		cancel()
+		return
+	}
+	c.parent = nil
+	attemptCtxPool.Put(c)
+}
+
+// Deadline implements context.Context.
+func (c *attemptCtx) Deadline() (time.Time, bool) { return c.deadline, true }
+
+// Done implements context.Context, materialising the real timer-backed
+// context on first use.
+func (c *attemptCtx) Done() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.inner == nil {
+		c.inner, c.cancel = context.WithDeadline(c.parent, c.deadline)
+	}
+	return c.inner.Done()
+}
+
+// Err implements context.Context.
+func (c *attemptCtx) Err() error {
+	if err := c.parent.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	inner := c.inner
+	c.mu.Unlock()
+	if inner != nil {
+		return inner.Err()
+	}
+	if !time.Now().Before(c.deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// Value implements context.Context.
+func (c *attemptCtx) Value(key any) any { return c.parent.Value(key) }

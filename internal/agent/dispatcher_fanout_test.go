@@ -1,0 +1,430 @@
+package agent
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"autoglobe/internal/journal"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/wire"
+)
+
+// fanoutConfig is fastDispatch widened to a concurrent lane pool.
+func fanoutConfig(workers int) DispatchConfig {
+	cfg := fastDispatch()
+	cfg.Workers = workers
+	return cfg
+}
+
+// fanoutAgents starts n agents h000..h(n-1) on the transport.
+func fanoutAgents(t *testing.T, tr wire.Transport, n int) []*Agent {
+	t.Helper()
+	agents := make([]*Agent, n)
+	for i := range agents {
+		a, err := NewAgent(fmt.Sprintf("h%03d", i), CoordinatorNode, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[i] = a
+	}
+	return agents
+}
+
+// TestDoBatchPerHostOrdering: a batch interleaving several hosts'
+// actions must apply each host's actions in submission order, whatever
+// the worker count, and return results indexed by submission order.
+func TestDoBatchPerHostOrdering(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	agents := fanoutAgents(t, tr, 4)
+	d := NewDispatcher(fanoutConfig(8), tr)
+
+	const perHost = 16
+	var reqs []wire.ActionRequest
+	want := make(map[string][]string)
+	for i := 0; i < perHost; i++ {
+		for _, a := range agents {
+			id := fmt.Sprintf("i-%s-%03d", a.Host(), i)
+			op := wire.OpStart
+			if i%2 == 1 {
+				// Stop the instance started the round before: ordering is
+				// load-bearing, a reorder NACKs.
+				op = wire.OpStop
+				id = fmt.Sprintf("i-%s-%03d", a.Host(), i-1)
+			}
+			reqs = append(reqs, wire.ActionRequest{Op: op, Host: a.Host(), Service: "app", InstanceID: id})
+			want[a.Host()] = append(want[a.Host()], string(op)+" "+id)
+		}
+	}
+	results := d.DoBatch(context.Background(), reqs)
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("request %d (%s %s on %s): %v", i, reqs[i].Op, reqs[i].InstanceID, reqs[i].Host, res.Err)
+		}
+		if !res.Ack.OK || res.Ack.Duplicate {
+			t.Fatalf("request %d: ack = %+v, want clean OK", i, res.Ack)
+		}
+	}
+	for _, a := range agents {
+		if got := a.Log(); !slices.Equal(got, want[a.Host()]) {
+			t.Fatalf("host %s applied out of order:\n got %v\nwant %v", a.Host(), got, want[a.Host()])
+		}
+	}
+	if st := d.Stats(); st.Actions != len(reqs) || st.Nacks != 0 || st.Expired != 0 {
+		t.Fatalf("stats = %+v, want %d clean actions", st, len(reqs))
+	}
+}
+
+// TestDoBatchParallelMatchesSerial: the same request stream through a
+// serial (Workers=1) and a wide (Workers=8) dispatcher must mint the
+// same idempotency keys and leave byte-identical agent audit logs —
+// the determinism contract that makes the worker count a pure
+// throughput knob.
+func TestDoBatchParallelMatchesSerial(t *testing.T) {
+	run := func(workers int) (map[string][]string, []string) {
+		tr := wire.NewLoopback()
+		defer tr.Close()
+		agents := make([]*Agent, 8)
+		for i := range agents {
+			a, err := NewAgent(fmt.Sprintf("h%03d", i), CoordinatorNode, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agents[i] = a
+		}
+		d := NewDispatcher(fanoutConfig(workers), tr)
+		var keys []string
+		for round := 0; round < 12; round++ {
+			var reqs []wire.ActionRequest
+			for _, a := range agents {
+				op, id := wire.OpStart, fmt.Sprintf("i-%s-%03d", a.Host(), round)
+				if round%2 == 1 {
+					op, id = wire.OpStop, fmt.Sprintf("i-%s-%03d", a.Host(), round-1)
+				}
+				reqs = append(reqs, wire.ActionRequest{Op: op, Host: a.Host(), Service: "app", InstanceID: id})
+			}
+			for _, res := range d.DoBatch(context.Background(), reqs) {
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+				keys = append(keys, res.Ack.Key)
+			}
+		}
+		logs := make(map[string][]string)
+		for _, a := range agents {
+			logs[a.Host()] = a.Log()
+		}
+		return logs, keys
+	}
+	serialLogs, serialKeys := run(1)
+	parallelLogs, parallelKeys := run(8)
+	if !slices.Equal(serialKeys, parallelKeys) {
+		t.Fatal("parallel dispatch minted different idempotency keys than serial")
+	}
+	for h, want := range serialLogs {
+		if got := parallelLogs[h]; !slices.Equal(got, want) {
+			t.Fatalf("host %s: parallel log %v != serial log %v", h, got, want)
+		}
+	}
+}
+
+// TestDoBatchFanoutStress hammers the fan-out under -race: concurrent
+// DoBatch callers over many hosts with injected drops, duplicated
+// deliveries and held messages. Per-host ordering, exactly-once
+// application and journal bookkeeping must all survive.
+func TestDoBatchFanoutStress(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	const hosts = 24
+	agents := fanoutAgents(t, tr, hosts)
+	dir := t.TempDir()
+	cj, err := OpenCoordinatorJournal(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cj.Close()
+	cfg := fanoutConfig(8)
+	cfg.MaxAttempts = 6
+	d := NewDispatcher(cfg, tr)
+	d.AttachJournal(cj)
+
+	// Faults: every third host loses a request, every fourth loses an
+	// ack (forcing a retry into a duplicate answer), every fifth gets a
+	// duplicated delivery.
+	for i, a := range agents {
+		switch {
+		case i%3 == 0:
+			tr.DropNext(a.Host(), 1)
+		case i%4 == 0:
+			tr.DropReplyNext(a.Host(), 1)
+		case i%5 == 0:
+			tr.DuplicateNext(a.Host(), 1)
+		}
+	}
+
+	const callers = 4
+	const rounds = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, callers*rounds*hosts)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				reqs := make([]wire.ActionRequest, 0, hosts)
+				for _, a := range agents {
+					reqs = append(reqs, wire.ActionRequest{
+						Op: wire.OpStart, Host: a.Host(), Service: "app",
+						InstanceID: fmt.Sprintf("i-%s-c%d-r%d", a.Host(), c, r),
+					})
+				}
+				for _, res := range d.DoBatch(context.Background(), reqs) {
+					if res.Err != nil {
+						errs <- res.Err
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("dispatch failed under stress: %v", err)
+	}
+
+	// Exactly-once: every instance applied exactly one start, whatever
+	// the drops and duplicate deliveries did to the message flow.
+	for _, a := range agents {
+		log := a.Log()
+		if len(log) != callers*rounds {
+			t.Fatalf("host %s applied %d ops, want %d", a.Host(), len(log), callers*rounds)
+		}
+		seen := make(map[string]bool, len(log))
+		for _, entry := range log {
+			if seen[entry] {
+				t.Fatalf("host %s applied %q twice", a.Host(), entry)
+			}
+			seen[entry] = true
+		}
+		// Per-caller ordering: each caller's rounds must appear in order.
+		for c := 0; c < callers; c++ {
+			last := -1
+			for _, entry := range log {
+				var gotC, gotR int
+				if _, err := fmt.Sscanf(entry, "start i-"+a.Host()+"-c%d-r%d", &gotC, &gotR); err != nil {
+					t.Fatalf("host %s: unparseable log entry %q", a.Host(), entry)
+				}
+				if gotC != c {
+					continue
+				}
+				if gotR <= last {
+					t.Fatalf("host %s: caller %d round %d applied after round %d", a.Host(), c, gotR, last)
+				}
+				last = gotR
+			}
+		}
+	}
+	// Every action reached a journaled terminal fate.
+	if p := cj.Pending(); len(p) != 0 {
+		t.Fatalf("%d actions still pending after all acks", len(p))
+	}
+	st := d.Stats()
+	if st.Actions != callers*rounds*hosts {
+		t.Fatalf("stats.Actions = %d, want %d", st.Actions, callers*rounds*hosts)
+	}
+	if st.Retries == 0 || st.Duplicates == 0 {
+		t.Fatalf("faults did not bite: stats = %+v, want retries and duplicates", st)
+	}
+}
+
+// TestDispatchKeyRecycling: once a host lane has observed more fresh
+// answers than the agent's idempotency cache holds, retired keys are
+// minted again instead of formatted — and never while the agent could
+// still answer them from cache.
+func TestDispatchKeyRecycling(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	if _, err := NewAgent("h1", CoordinatorNode, tr); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(fanoutConfig(1), tr)
+	ctx := context.Background()
+
+	do := func(i int) wire.ActionAck {
+		op, id := wire.OpStart, fmt.Sprintf("i%d", i)
+		if i%2 == 1 {
+			op, id = wire.OpStop, fmt.Sprintf("i%d", i-1)
+		}
+		ack, err := d.Do(ctx, wire.ActionRequest{Op: op, Host: "h1", Service: "app", InstanceID: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ack
+	}
+	// The first retired key becomes reusable only after ackCacheCap
+	// further fresh answers prove its eviction.
+	for i := 0; i < ackCacheCap; i++ {
+		do(i)
+	}
+	if st := d.Stats(); st.Recycled != 0 {
+		t.Fatalf("recycled %d keys before the cache could have evicted any", st.Recycled)
+	}
+	seen := make(map[string]int)
+	for i := 0; i < ackCacheCap; i++ {
+		ack := do(ackCacheCap + i)
+		if ack.Duplicate {
+			t.Fatalf("dispatch %d: recycled key answered from cache (stale!)", i)
+		}
+		seen[ack.Key]++
+	}
+	st := d.Stats()
+	if st.Recycled == 0 {
+		t.Fatal("no keys recycled after cycling past the ack-cache capacity")
+	}
+	for k, n := range seen {
+		if n > 1 {
+			t.Fatalf("key %s used %d times within one cache window", k, n)
+		}
+	}
+}
+
+// TestDispatchKeyRecyclingSkipsRetried: a key whose dispatch needed a
+// retry (a stray copy may survive in the network) must never re-enter
+// the mint pool.
+func TestDispatchKeyRecyclingSkipsRetried(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	if _, err := NewAgent("h1", CoordinatorNode, tr); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(fanoutConfig(1), tr)
+	ctx := context.Background()
+
+	tr.DropReplyNext("h1", 1)
+	ack, err := d.Do(ctx, wire.ActionRequest{Op: wire.OpStart, Host: "h1", Service: "app", InstanceID: "i0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.Duplicate {
+		t.Fatalf("ack = %+v, want duplicate (retry answered from cache)", ack)
+	}
+	retried := ack.Key
+	// Push enough fresh answers through the lane that a retired key
+	// WOULD be eligible, then verify the retried key never comes back.
+	for i := 1; i <= 2*ackCacheCap; i++ {
+		op, id := wire.OpStart, fmt.Sprintf("i%d", i)
+		if i%2 == 0 {
+			op, id = wire.OpStop, fmt.Sprintf("i%d", i-1)
+		}
+		got, err := d.Do(ctx, wire.ActionRequest{Op: op, Host: "h1", Service: "app", InstanceID: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Key == retried {
+			t.Fatalf("retried key %s was recycled", retried)
+		}
+	}
+}
+
+// TestTriggerQueueRecycling: the coordinator's per-minute trigger
+// drain must reuse the recycled backing array instead of allocating a
+// fresh queue every minute.
+func TestTriggerQueueRecycling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are distorted by race instrumentation")
+	}
+	var c Coordinator
+	spare := make([]*monitor.Trigger, 0, 8)
+	c.RecycleTriggers(spare[:4])
+	trig := &monitor.Trigger{Kind: monitor.ServerOverloaded}
+	cycle := func() {
+		c.trigMu.Lock()
+		c.triggers = append(c.triggers, trig, trig)
+		c.trigMu.Unlock()
+		out := c.TakeTriggers()
+		if len(out) != 2 {
+			t.Fatalf("took %d triggers, want 2", len(out))
+		}
+		c.RecycleTriggers(out)
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(200, cycle); allocs != 0 {
+		t.Fatalf("steady-state trigger drain allocates %.1f times per minute, want 0", allocs)
+	}
+}
+
+// TestDoBatchRejectsMissingHost: a request without a destination fails
+// alone; the rest of the batch still dispatches.
+func TestDoBatchRejectsMissingHost(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	if _, err := NewAgent("h1", CoordinatorNode, tr); err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(fanoutConfig(4), tr)
+	results := d.DoBatch(context.Background(), []wire.ActionRequest{
+		{Op: wire.OpStart, Service: "app", InstanceID: "nowhere"},
+		{Op: wire.OpStart, Host: "h1", Service: "app", InstanceID: "i1"},
+	})
+	if results[0].Err == nil {
+		t.Fatal("hostless request dispatched")
+	}
+	if results[1].Err != nil || !results[1].Ack.OK {
+		t.Fatalf("valid request failed alongside: %+v", results[1])
+	}
+}
+
+// TestGroupCommitCoalesces: concurrent journaled dispatches must share
+// flush windows — the group-commit metric proves more than one record
+// rode a single write+fsync. Run with real fsync so the flush window
+// is wide enough to catch concurrent appenders.
+func TestGroupCommitCoalesces(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	const hosts = 16
+	agents := fanoutAgents(t, tr, hosts)
+	dir := t.TempDir()
+	cj, err := OpenCoordinatorJournal(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cj.Close()
+	d := NewDispatcher(fanoutConfig(hosts), tr)
+	d.AttachJournal(cj)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i, a := range agents {
+		wg.Add(1)
+		go func(i int, host string) {
+			defer wg.Done()
+			<-start
+			for r := 0; r < 8; r++ {
+				req := wire.ActionRequest{Op: wire.OpStart, Host: host, Service: "app",
+					InstanceID: fmt.Sprintf("i-%d-%d", i, r)}
+				if _, err := d.Do(context.Background(), req); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, a.Host())
+	}
+	close(start)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("group-committed dispatch storm wedged")
+	}
+	if p := cj.Pending(); len(p) != 0 {
+		t.Fatalf("%d actions pending after clean storm", len(p))
+	}
+}

@@ -30,6 +30,10 @@ const (
 	MetricJournalAppends = "autoglobe_journal_appends_total"
 	// MetricJournalSnapshots counts journal compactions.
 	MetricJournalSnapshots = "autoglobe_journal_snapshots_total"
+	// MetricJournalGroupCommits counts group commits: flushes that made
+	// more than one record durable with a single write+fsync. The ratio
+	// to MetricJournalAppends shows how well a dispatch storm coalesces.
+	MetricJournalGroupCommits = "autoglobe_journal_group_commits_total"
 	// MetricRecoveries counts coordinator recoveries (journal replays
 	// that found state to rebuild).
 	MetricRecoveries = "autoglobe_recoveries_total"
@@ -77,6 +81,34 @@ func (m *dispatchMetrics) attempt() {
 	}
 }
 
+func (m *dispatchMetrics) ok(duplicate bool) {
+	if m == nil {
+		return
+	}
+	m.acks.Inc()
+	if duplicate {
+		m.duplicates.Inc()
+	}
+}
+
+func (m *dispatchMetrics) nack() {
+	if m != nil {
+		m.nacks.Inc()
+	}
+}
+
+func (m *dispatchMetrics) expire() {
+	if m != nil {
+		m.expired.Inc()
+	}
+}
+
+func (m *dispatchMetrics) compensation() {
+	if m != nil {
+		m.compensations.Inc()
+	}
+}
+
 // coordMetrics pre-resolves the coordinator's series. Nil-safe.
 type coordMetrics struct {
 	heartbeats *obs.Counter
@@ -106,10 +138,11 @@ func (m *coordMetrics) ingest(lagMinutes int) {
 // journalMetrics pre-resolves the coordinator journal's series.
 // Nil-safe: an uninstrumented journal carries a nil *journalMetrics.
 type journalMetrics struct {
-	appends    map[string]*obs.Counter // by record kind
-	snapshots  *obs.Counter
-	recoveries *obs.Counter
-	pending    *obs.Counter
+	appends      map[string]*obs.Counter // by record kind
+	snapshots    *obs.Counter
+	groupCommits *obs.Counter
+	recoveries   *obs.Counter
+	pending      *obs.Counter
 }
 
 func newJournalMetrics(r *obs.Registry) *journalMetrics {
@@ -118,13 +151,15 @@ func newJournalMetrics(r *obs.Registry) *journalMetrics {
 	}
 	r.Help(MetricJournalAppends, "Write-ahead journal records appended, by kind.")
 	r.Help(MetricJournalSnapshots, "Journal compactions.")
+	r.Help(MetricJournalGroupCommits, "Flushes committing more than one record in a single write+fsync.")
 	r.Help(MetricRecoveries, "Coordinator journal recoveries.")
 	r.Help(MetricRecoveryPending, "Pending actions found and re-issued across recoveries.")
 	m := &journalMetrics{
-		appends:    make(map[string]*obs.Counter, 4),
-		snapshots:  r.Counter(MetricJournalSnapshots),
-		recoveries: r.Counter(MetricRecoveries),
-		pending:    r.Counter(MetricRecoveryPending),
+		appends:      make(map[string]*obs.Counter, 4),
+		snapshots:    r.Counter(MetricJournalSnapshots),
+		groupCommits: r.Counter(MetricJournalGroupCommits),
+		recoveries:   r.Counter(MetricRecoveries),
+		pending:      r.Counter(MetricRecoveryPending),
 	}
 	for _, kind := range []string{recEpoch, recDispatch, recAck, recLiveness} {
 		m.appends[kind] = r.Counter(MetricJournalAppends, "kind", kind)
@@ -144,6 +179,12 @@ func (m *journalMetrics) appendRecord(kind string) {
 func (m *journalMetrics) snapshot() {
 	if m != nil {
 		m.snapshots.Inc()
+	}
+}
+
+func (m *journalMetrics) groupCommit() {
+	if m != nil {
+		m.groupCommits.Inc()
 	}
 }
 

@@ -166,6 +166,7 @@ type Journal struct {
 	seq    uint64 // number of the segment f writes to
 	size   int
 	closed bool
+	buf    []byte // scratch for framing batch appends
 
 	snapshot []byte   // recovered snapshot payload (nil if none)
 	records  [][]byte // recovered tail records, oldest first
@@ -305,6 +306,55 @@ func (j *Journal) Append(payload []byte) error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	j.size += len(frame)
+	if !j.opts.NoSync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// AppendBatch frames every payload and commits them with ONE write and
+// ONE fsync — the group-commit primitive: N records become durable for
+// the price of a single disk round trip. The records land in the log in
+// slice order, each in its own frame, so a reader (and the crash-point
+// sweep) sees them exactly as if they had been appended one by one. A
+// crash mid-write can tear the tail anywhere inside the batch; the torn
+// frame and everything after it vanish, but every frame before the tear
+// replays — a batch is not atomic, it is a prefix-durable burst.
+//
+// An empty batch is a no-op. When AppendBatch returns nil every record
+// of the batch survives a crash.
+func (j *Journal) AppendBatch(payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	total := 0
+	for _, p := range payloads {
+		if len(p) > MaxRecordBytes {
+			return fmt.Errorf("journal: record of %d bytes exceeds MaxRecordBytes", len(p))
+		}
+		total += headerSize + len(p)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.size > 0 && j.size+total > j.opts.SegmentBytes {
+		if err := j.rotateLocked(j.seq + 1); err != nil {
+			return err
+		}
+	}
+	buf := j.buf[:0]
+	for _, p := range payloads {
+		buf = AppendFrame(buf, p)
+	}
+	j.buf = buf
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.size += len(buf)
 	if !j.opts.NoSync {
 		if err := j.f.Sync(); err != nil {
 			return fmt.Errorf("journal: %w", err)

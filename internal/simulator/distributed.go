@@ -68,6 +68,12 @@ type DistributedConfig struct {
 	// any heartbeat or dispatch of the minute, so a coordinator crash
 	// never lands mid-transaction. See the chaos package.
 	Chaos Injector
+	// DispatchWorkers is the dispatcher's batch fan-out width (0: the
+	// dispatcher default, one worker per CPU; 1: serial dispatch). Like
+	// IngestShards it is purely a throughput knob — per-host lanes and
+	// submission-order results keep runs byte-identical for any width.
+	// Shorthand for Dispatch.Workers; a non-zero Dispatch.Workers wins.
+	DispatchWorkers int
 	// IngestShards is the coordinator's heartbeat ingest shard count
 	// (0: the agent package default). Runs are byte-identical for any
 	// shard count — the minute-boundary merge fixes the observation
@@ -107,9 +113,13 @@ func (s *Simulator) buildPlane(dc *DistributedConfig, lms *monitor.System) error
 		return fmt.Errorf("simulator: distributed mode needs a transport")
 	}
 	live := monitor.NewLivenessHysteresis(dc.timeout(), dc.deadAfter(), dc.aliveAfter())
+	dispatch := dc.Dispatch
+	if dispatch.Workers == 0 {
+		dispatch.Workers = dc.DispatchWorkers
+	}
 	plane, err := agent.NewPlane(agent.PlaneConfig{
 		Transport:    dc.Transport,
-		Dispatch:     dc.Dispatch,
+		Dispatch:     dispatch,
 		Liveness:     live,
 		IngestShards: dc.IngestShards,
 	}, s.dep, lms)

@@ -351,6 +351,11 @@ func (s *Simulator) Step(minute int) error {
 			}
 		}
 	}
+	if s.plane != nil {
+		// The minute's trigger slice is drained; hand its backing array
+		// back to the coordinator so the next minute reuses it.
+		s.plane.Coordinator().RecycleTriggers(triggers)
+	}
 	s.fluctuate(minute)
 	if err := s.injectFailures(minute); err != nil {
 		return err

@@ -203,6 +203,23 @@ func AcquireAckEnvelope(from, to string, ack ActionAck) *Envelope {
 	return &bx.env
 }
 
+// AcquireActionEnvelope frames an action request in a pooled envelope —
+// the dispatcher's sending half of the zero-allocation action path (the
+// agent's AcquireAckEnvelope is the answering half). The caller releases
+// it once the transport call returns: transports never retain a request
+// past the call (the loopback deep-clones held messages, the HTTP client
+// serialises before returning), so the box can be recycled immediately.
+func AcquireActionEnvelope(from, to string, req ActionRequest) *Envelope {
+	bx := acquireBox()
+	bx.env.Version = Version
+	bx.env.Type = TypeAction
+	bx.env.From = from
+	bx.env.To = to
+	bx.act = req
+	bx.env.Action = &bx.act
+	return &bx.env
+}
+
 // AcquireProbeAckEnvelope frames a probe ack in a pooled envelope.
 func AcquireProbeAckEnvelope(from, to string, p Probe) *Envelope {
 	bx := acquireBox()

@@ -14,19 +14,26 @@
 #      plus a lint that every declared metric family keeps the
 #      autoglobe_ namespace and a conventional unit suffix
 #   6. the robustness gate: a race-enabled chaos smoke (the fixed-seed
-#      full-day convergence run plus the journal crash-point sweep)
-#      and the journal fuzz targets replayed over their checked-in
-#      seed corpus — a decoder regression against a known-bad frame
+#      full-day convergence run plus both journal crash-point sweeps —
+#      single-record and group-committed batch appends) and the
+#      journal fuzz targets replayed over their checked-in seed
+#      corpus — a decoder regression against a known-bad frame
 #      (torn tail, bit flip, lying length) fails the gate even when
 #      no new fuzzing is run
-#   7. the perf gate: the wire fuzz target replayed over its
+#   7. the dispatch gate: a race-enabled run of the concurrent fan-out
+#      stress (per-host lanes under injected faults and competing
+#      callers) and the worker-count byte-identity proof — the claim
+#      that DispatchConfig.Workers is purely a throughput knob
+#   8. the perf gate: the wire fuzz target replayed over its
 #      checked-in seed corpus (hostile frames must keep failing
-#      cleanly), the zero-allocation guardrail on the steady-state
-#      heartbeat path (a race-free run, because race instrumentation
-#      allocates inside sync.Pool), and short smoke runs of the
-#      inference fast-path and 1,000-host ingest benchmarks, so a
-#      regression that breaks the compiled path, the pooled codec or
-#      the sharded merge shows up even when no test asserts on speed
+#      cleanly), the zero-allocation guardrails on the steady-state
+#      heartbeat AND dispatch paths (race-free runs, because race
+#      instrumentation allocates inside sync.Pool), and short smoke
+#      runs of the inference fast-path, 1,000-host ingest,
+#      single-action dispatch and 1,000-host fan-out benchmarks, so a
+#      regression that breaks the compiled path, the pooled codec,
+#      the sharded merge or the pooled dispatch path shows up even
+#      when no test asserts on speed
 #
 # Usage: scripts/check.sh   (from the repository root)
 set -eu
@@ -64,10 +71,13 @@ fi
 
 echo "== robustness gate: chaos smoke + journal fuzz seed corpus"
 # The fixed-seed chaos convergence run and the journal crash-point
-# sweep are the acceptance tests of the crash-safety work: a full
+# sweeps are the acceptance tests of the crash-safety work: a full
 # simulated day under fault injection must converge to the fault-free
 # landscape, and a coordinator killed at every journal-record boundary
-# must neither duplicate nor lose an action.
+# — including every frame boundary INSIDE a group-committed batch
+# append — must neither duplicate nor lose an action. (The
+# TestCrashPointSweep prefix matches both the single-record and the
+# group-commit sweep.)
 go test -race -run 'TestChaosConvergesToFaultFreeLandscape' ./internal/simulator/
 go test -race -run 'TestCrashPointSweep' ./internal/agent/
 # Replay the fuzz targets over their checked-in seed corpus (plain
@@ -75,21 +85,38 @@ go test -race -run 'TestCrashPointSweep' ./internal/agent/
 go test -race -run 'Fuzz' ./internal/journal/
 go test -race -run 'Fuzz' ./internal/wire/
 
+echo "== dispatch gate: race-enabled fan-out stress + worker parity"
+# The concurrent fan-out stress hammers the per-host lanes with
+# injected faults and competing callers under the race detector; the
+# byte-identity test proves a landscape driven through 1 and through 8
+# dispatch workers produces the identical run — Workers is purely a
+# throughput knob.
+go test -race -run 'TestDoBatchFanoutStress|TestDoBatchPerHostOrdering|TestGroupCommitCoalesces' ./internal/agent/
+go test -race -run 'TestDispatchWorkersByteIdentical' ./internal/simulator/
+
 echo "== go test -race ./..."
 go test -race ./...
 
-echo "== perf gate: zero-alloc heartbeat path (race-free run)"
+echo "== perf gate: zero-alloc heartbeat + dispatch paths (race-free run)"
 # The steady-state heartbeat path — reporter batching, binary frame
 # codec, loopback delivery, coordinator shard buffering, pooled ack —
-# must allocate nothing. The test skips itself under -race (race
-# instrumentation allocates inside sync.Pool), so it gets a dedicated
-# race-free invocation here.
-go test -run 'TestHeartbeatPathZeroAlloc' -count=1 ./internal/agent/
+# and the steady-state dispatch path — recycled idempotency key,
+# pooled envelope and attempt context, bounded agent ack cache and
+# audit ring — must allocate nothing. The tests skip themselves under
+# -race (race instrumentation allocates inside sync.Pool), so they get
+# a dedicated race-free invocation here.
+go test -run 'TestHeartbeatPathZeroAlloc|TestDispatchPathZeroAlloc|TestTriggerQueueRecycling' -count=1 ./internal/agent/
 
 echo "== benchmark smoke: FuzzyInference (100 iterations)"
 go test -run XXX -bench 'BenchmarkFuzzyInference$' -benchtime=100x -benchmem .
 
 echo "== benchmark smoke: CoordinatorIngest1k (one 1,000-host minute)"
 go test -run XXX -bench 'BenchmarkCoordinatorIngest1k$' -benchtime=1x -benchmem .
+
+echo "== benchmark smoke: ActionDispatchLoopback (1,000 dispatches)"
+go test -run XXX -bench 'BenchmarkActionDispatchLoopback$' -benchtime=1000x -benchmem .
+
+echo "== benchmark smoke: DispatchFanout1k (one 1,000-host storm per width)"
+go test -run XXX -bench 'BenchmarkDispatchFanout1k' -benchtime=1x -benchmem .
 
 echo "check.sh: all gates passed"
