@@ -26,6 +26,12 @@
 //	# schedule (coordinator crashes, duplicated and delayed deliveries,
 //	# short partitions), with the journal absorbing every crash
 //	autoglobe-agentd -mode demo -landscape l.xml -chaos-seed 11
+//
+//	# durable load archive + proactive control: heartbeat samples are
+//	# written through to a segmented on-disk store (internal/tsdb) and
+//	# replayed on restart, and the forecast scan raises triggers 45
+//	# minutes ahead of predicted overloads
+//	autoglobe-agentd -mode coordinator -landscape l.xml -archive-dir /var/lib/autoglobe/archive -forecast 45
 package main
 
 import (
@@ -42,14 +48,17 @@ import (
 	"time"
 
 	"autoglobe/internal/agent"
+	"autoglobe/internal/archive"
 	"autoglobe/internal/chaos"
 	"autoglobe/internal/console"
 	"autoglobe/internal/controller"
+	"autoglobe/internal/forecast"
 	"autoglobe/internal/journal"
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/obs"
 	"autoglobe/internal/simulator"
 	"autoglobe/internal/spec"
+	"autoglobe/internal/tsdb"
 	"autoglobe/internal/wire"
 )
 
@@ -69,21 +78,23 @@ func main() {
 		codecName   = flag.String("codec", "json", "wire codec for outgoing envelopes: json (compatible default) or binary (length-prefixed zero-alloc frames; the receiving side negotiates by content type, so mixed landscapes interoperate)")
 		shards      = flag.Int("ingest-shards", 0, "coordinator/demo modes: heartbeat ingest shard count (0: the built-in default); observation semantics are identical for any count")
 		workers     = flag.Int("dispatch-workers", 0, "coordinator/demo modes: action fan-out width — how many per-host dispatch lanes run concurrently (0: one per CPU, 1: serial); outcomes are identical for any width, same-host actions stay ordered")
+		archiveDir  = flag.String("archive-dir", "", "coordinator/demo modes: back the load archive with the segmented on-disk store in this directory; the full observation history is committed once per minute and replayed on restart")
+		forecastMin = flag.Int("forecast", 0, "coordinator/demo modes: proactive-control horizon in minutes — the forecast scan predicts every host's and service's load this far ahead and raises forecast triggers before measured overloads confirm (0 disables)")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards, *workers); err != nil {
+	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards, *workers, *archiveDir, *forecastMin); err != nil {
 		fatal(err)
 	}
 	codec, _ := wire.ParseCodec(*codecName) // validated above
 	var err error
 	switch *mode {
 	case "coordinator":
-		err = runCoordinator(*landscape, *listen, *interval, *journalDir, codec, *shards, *workers)
+		err = runCoordinator(*landscape, *listen, *interval, *journalDir, codec, *shards, *workers, *archiveDir, *forecastMin)
 	case "agent":
 		err = runAgent(*host, *coordinator, *load, *interval, codec)
 	case "demo":
-		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards, *workers)
+		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards, *workers, *archiveDir, *forecastMin)
 	}
 	if err != nil {
 		fatal(err)
@@ -100,9 +111,18 @@ func mountObs(tr *wire.HTTP, reg *obs.Registry, tracer *obs.Tracer, health *obs.
 	tr.Mount(obs.HealthPath, obs.HealthHandler(health))
 }
 
-func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards, workers int) error {
+func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards, workers int, archiveDir string, forecastMin int) error {
 	if chaosSeed != 0 && mode != "demo" {
 		return fmt.Errorf("-chaos-seed only applies to -mode demo")
+	}
+	if archiveDir != "" && mode == "agent" {
+		return fmt.Errorf("-archive-dir only applies to -mode coordinator or demo")
+	}
+	if forecastMin < 0 {
+		return fmt.Errorf("-forecast %d must be >= 0", forecastMin)
+	}
+	if forecastMin > 0 && mode == "agent" {
+		return fmt.Errorf("-forecast only applies to -mode coordinator or demo")
 	}
 	if _, err := wire.ParseCodec(codecName); err != nil {
 		return fmt.Errorf("-codec: %w", err)
@@ -157,7 +177,7 @@ func loadLandscape(path string) (*spec.Landscape, error) {
 // per interval (closing the service observations, probing silent
 // hosts), and hands every confirmed trigger to the fuzzy controller,
 // whose decisions are dispatched back to the agents.
-func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string, codec wire.Codec, shards, workers int) error {
+func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -181,11 +201,34 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 	tr.Instrument(reg)
 	mountObs(tr, reg, tracer, health)
 
-	lms, err := monitor.NewSystem(monitor.PaperParams(), nil)
+	params := monitor.PaperParams()
+	// A backed archive makes the observation history durable: every
+	// heartbeat sample is written through to the segmented store,
+	// committed once per control-plane minute, and the next incarnation
+	// replays it — the forecaster's day profiles survive restarts.
+	var arch *archive.Archive
+	startMinute := 0
+	if archiveDir != "" {
+		arch, err = archive.NewBacked(archiveDir, 0, tsdb.Options{})
+		if err != nil {
+			return err
+		}
+		defer arch.Close()
+		// The store's append rule is monotone per entity: a restarted
+		// coordinator resumes its minute clock past the restored
+		// history instead of replaying minute 0 over it.
+		if last, ok := arch.LastMinute(); ok {
+			startMinute = last + 1
+		}
+		fmt.Printf("archive: %s, %d entities restored, resuming at minute %d\n",
+			archiveDir, len(arch.Entities()), startMinute)
+	}
+	lms, err := monitor.NewSystem(params, arch)
 	if err != nil {
 		return err
 	}
 	lms.Instrument(reg)
+	lms.Archive().Instrument(reg)
 	coord, err := agent.NewCoordinator("", dep, lms, tr, nil)
 	if err != nil {
 		return err
@@ -239,7 +282,17 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 	}
 	exec := agent.NewDispatchExecutor(dep,
 		controller.NewDeploymentExecutor(dep, controller.StickyUsers), disp)
-	ctl, err := controller.New(controller.Config{}, dep, lms.Archive(), exec)
+	ctlCfg := controller.Config{}
+	if forecastMin > 0 {
+		ctlCfg.Forecast = &controller.ForecastConfig{
+			Predictor: forecast.New(lms.Archive()),
+			Horizon:   forecastMin,
+			Threshold: params.OverloadThreshold,
+			Watching:  lms.Watching,
+		}
+		fmt.Printf("forecast: proactive scan %d minutes ahead\n", forecastMin)
+	}
+	ctl, err := controller.New(ctlCfg, dep, lms.Archive(), exec)
 	if err != nil {
 		return err
 	}
@@ -271,7 +324,7 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	events := 0
-	for minute := 0; ; minute++ {
+	for minute := startMinute; ; minute++ {
 		select {
 		case <-ctx.Done():
 			fmt.Println("\nshutting down")
@@ -297,6 +350,16 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 			if _, err := ctl.HandleTrigger(*tg); err != nil {
 				fmt.Fprintf(os.Stderr, "trigger %s(%s): %v\n", tg.Kind, tg.Entity, err)
 			}
+		}
+		for _, tg := range ctl.Proactive(minute) {
+			if _, err := ctl.HandleTrigger(tg); err != nil {
+				fmt.Fprintf(os.Stderr, "forecast trigger %s(%s): %v\n", tg.Kind, tg.Entity, err)
+			}
+		}
+		// Seal the minute in the backed archive (group commit +
+		// downsampling); a no-op for the in-memory archive.
+		if err := lms.Archive().Maintain(minute); err != nil {
+			fmt.Fprintf(os.Stderr, "archive maintain: %v\n", err)
 		}
 		for _, e := range ctl.Events()[events:] {
 			fmt.Printf("minute %d: %s\n", minute, renderEvent(e))
@@ -393,7 +456,7 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration,
 // declared landscape runs through the simulator's distributed mode over
 // the in-memory loopback, and the run ends with the control-plane panel
 // and the usual result summary.
-func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards, workers int) error {
+func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -417,6 +480,8 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 	var drv *chaos.Driver
 	sim, err := simulator.FromLandscapeConfig(l, func(c *simulator.Config) {
 		c.Hours = hours
+		c.ArchiveDir = archiveDir
+		c.ForecastHorizon = forecastMin
 		dc := &simulator.DistributedConfig{Transport: tr, JournalDir: jdir, IngestShards: shards, DispatchWorkers: workers}
 		if chaosSeed != 0 {
 			hosts := make([]string, 0, len(l.Servers))
@@ -446,6 +511,8 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 	if err != nil {
 		return err
 	}
+	// Seal the backed archive cleanly; a no-op without -archive-dir.
+	defer sim.Close()
 	if drv != nil {
 		fmt.Printf("chaos: applied %v\n", drv.Stats())
 		if cj := sim.Plane().Dispatcher().Journal(); cj != nil {

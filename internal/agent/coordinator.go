@@ -392,8 +392,12 @@ func (c *Coordinator) instKeyLocked(id string) string {
 // sorted by name. The order is a pure function of the landscape, never
 // of arrival interleaving or shard count, which is what makes the
 // sharded plane byte-identical to the in-process run. Callers hold
-// c.mu.
-func (c *Coordinator) mergeHostsLocked() error {
+// c.mu. The beats are observed at the coordinator's minute, not the
+// agents' self-reported ones: the control-plane clock is authoritative
+// (agents restart their local counters at 0; a coordinator resuming
+// over a restored archive does not), and in the simulated planes the
+// two clocks agree, so this changes nothing there.
+func (c *Coordinator) mergeHostsLocked(minute int) error {
 	shards := *c.shards.Load()
 	beats := c.scratch[:0]
 	for _, sh := range shards {
@@ -432,7 +436,7 @@ func (c *Coordinator) mergeHostsLocked() error {
 	var firstErr error
 	for _, b := range beats {
 		if firstErr == nil {
-			firstErr = c.observeBeatLocked(b)
+			firstErr = c.observeBeatLocked(b, minute)
 		}
 	}
 	// Return every beat to its shard's freelist, error or not.
@@ -447,8 +451,9 @@ func (c *Coordinator) mergeHostsLocked() error {
 
 // observeBeatLocked feeds one merged beat into the monitor pipeline —
 // the exact sequence the old per-heartbeat ingest performed, now at
-// the minute boundary. Callers hold c.mu.
-func (c *Coordinator) observeBeatLocked(b *hostBeat) error {
+// the minute boundary — stamped with the coordinator's authoritative
+// minute. Callers hold c.mu.
+func (c *Coordinator) observeBeatLocked(b *hostBeat, minute int) error {
 	key := c.hostKeyLocked(b.host)
 	if !c.registered[key] {
 		perf := 1.0
@@ -458,7 +463,7 @@ func (c *Coordinator) observeBeatLocked(b *hostBeat) error {
 		c.lms.Register(key, monitor.Server, perf)
 		c.registered[key] = true
 	}
-	tr, err := c.lms.Observe(key, b.minute, b.cpu, b.mem)
+	tr, err := c.lms.Observe(key, minute, b.cpu, b.mem)
 	if err != nil {
 		return err
 	}
@@ -474,7 +479,7 @@ func (c *Coordinator) observeBeatLocked(b *hostBeat) error {
 	}
 	for _, s := range b.samples {
 		if err := c.lms.Archive().Record(c.instKeyLocked(s.ID),
-			archive.Sample{Minute: b.minute, CPU: s.Load}); err != nil {
+			archive.Sample{Minute: minute, CPU: s.Load}); err != nil {
 			return err
 		}
 		c.samples[s.Service] = append(c.samples[s.Service], s)
@@ -495,7 +500,7 @@ func (c *Coordinator) observeBeatLocked(b *hostBeat) error {
 func (c *Coordinator) ObserveServices(minute int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.mergeHostsLocked(); err != nil {
+	if err := c.mergeHostsLocked(minute); err != nil {
 		return err
 	}
 	for _, svcName := range c.dep.Catalog().Names() {

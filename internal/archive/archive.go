@@ -12,6 +12,8 @@ package archive
 import (
 	"fmt"
 	"sort"
+
+	"autoglobe/internal/tsdb"
 )
 
 // MinutesPerDay mirrors workload.MinutesPerDay without importing it.
@@ -46,13 +48,20 @@ type entityLog struct {
 
 	daySum   [MinutesPerDay]float64
 	dayCount [MinutesPerDay]int
+	// dayMean is the running mean per minute of day, maintained
+	// incrementally on every Record so the controller's hot read path
+	// (ProfileAt, DayProfileInto) is a plain array load — no per-call
+	// recompute, no allocation.
+	dayMean [MinutesPerDay]float64
 }
 
 // Archive stores aggregated historic load data per entity. The zero
-// value is not usable; construct with New.
+// value is not usable; construct with New (in-memory only) or
+// NewBacked (write-through to a disk store).
 type Archive struct {
 	retention int // raw samples kept per entity
 	entities  map[string]*entityLog
+	store     *tsdb.Store // nil for a pure in-memory archive
 }
 
 // DefaultRetention keeps three simulated days of per-minute samples,
@@ -95,12 +104,27 @@ func (a *Archive) Preallocate(entities ...string) {
 func (a *Archive) Retention() int { return a.retention }
 
 // Record stores a measurement for an entity. Samples must be recorded in
-// non-decreasing minute order per entity.
+// non-decreasing minute order per entity. On a backed archive the
+// sample is also appended write-through to the disk store (durable at
+// the next Commit); the in-memory ring stays the hot tier.
 func (a *Archive) Record(entity string, s Sample) error {
 	l := a.log(entity)
 	if last, ok := a.latest(l); ok && s.Minute < last.Minute {
 		return fmt.Errorf("archive: %q: sample at minute %d after minute %d", entity, s.Minute, last.Minute)
 	}
+	if a.store != nil {
+		if err := a.store.Append(entity, tsdb.Sample{Minute: s.Minute, CPU: s.CPU, Mem: s.Mem}); err != nil {
+			return err
+		}
+	}
+	a.ingest(l, s)
+	return nil
+}
+
+// ingest applies a sample to the in-memory state — the shared tail of
+// the live Record path and the replay path of a backed archive (which
+// must not write back through to the store it is replaying).
+func (a *Archive) ingest(l *entityLog, s Sample) {
 	if len(l.samples) < a.retention {
 		l.samples = append(l.samples, s)
 	} else {
@@ -111,7 +135,7 @@ func (a *Archive) Record(entity string, s Sample) error {
 	mod := ((s.Minute % MinutesPerDay) + MinutesPerDay) % MinutesPerDay
 	l.daySum[mod] += s.CPU
 	l.dayCount[mod]++
-	return nil
+	l.dayMean[mod] = l.daySum[mod] / float64(l.dayCount[mod])
 }
 
 func (a *Archive) latest(l *entityLog) (Sample, bool) {
@@ -132,6 +156,21 @@ func (a *Archive) Latest(entity string) (Sample, bool) {
 		return Sample{}, false
 	}
 	return a.latest(l)
+}
+
+// LastMinute returns the most recent minute recorded across all
+// entities. A control loop that reopens a backed archive must resume
+// its clock past this high-water mark: the store's append rule is
+// monotone per entity, so replaying minute 0 over restored history is
+// rejected.
+func (a *Archive) LastMinute() (int, bool) {
+	last, ok := -1, false
+	for _, l := range a.entities {
+		if s, have := a.latest(l); have && s.Minute > last {
+			last, ok = s.Minute, true
+		}
+	}
+	return last, ok
 }
 
 // Window returns the samples of an entity with from <= Minute <= to, in
@@ -223,19 +262,67 @@ func (a *Archive) PercentileCPU(entity string, from, to int, p float64) (float64
 
 // DayProfile returns the aggregated mean CPU load per minute of day —
 // the "pattern" historic view used for load prediction. Minutes never
-// observed carry 0.
+// observed carry 0. The slice is freshly allocated; hot paths use
+// ProfileAt or DayProfileInto instead.
 func (a *Archive) DayProfile(entity string) []float64 {
 	out := make([]float64, MinutesPerDay)
+	a.DayProfileInto(entity, out)
+	return out
+}
+
+// DayProfileInto copies the day profile into dst (len MinutesPerDay)
+// without allocating. An unknown entity zeroes dst.
+func (a *Archive) DayProfileInto(entity string, dst []float64) {
 	l, ok := a.entities[entity]
 	if !ok {
-		return out
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
 	}
-	for m := 0; m < MinutesPerDay; m++ {
-		if l.dayCount[m] > 0 {
-			out[m] = l.daySum[m] / float64(l.dayCount[m])
+	copy(dst, l.dayMean[:])
+}
+
+// ProfileAt returns the running mean CPU load of the entity at a
+// minute of day (any absolute minute is folded). O(1), no allocation —
+// the forecast predictor's per-call read. A never-observed minute (or
+// unknown entity) returns 0.
+func (a *Archive) ProfileAt(entity string, minute int) float64 {
+	l, ok := a.entities[entity]
+	if !ok {
+		return 0
+	}
+	mod := ((minute % MinutesPerDay) + MinutesPerDay) % MinutesPerDay
+	return l.dayMean[mod]
+}
+
+// ObservationCount returns how many samples contributed to the day
+// profile at a minute of day — the per-minute observation depth the
+// forecast confidence is derived from.
+func (a *Archive) ObservationCount(entity string, minute int) int {
+	l, ok := a.entities[entity]
+	if !ok {
+		return 0
+	}
+	mod := ((minute % MinutesPerDay) + MinutesPerDay) % MinutesPerDay
+	return l.dayCount[mod]
+}
+
+// DaysObserved returns the deepest per-minute observation count of the
+// entity — an upper bound on how many days of history back any profile
+// minute, against which sparse minutes are judged.
+func (a *Archive) DaysObserved(entity string) int {
+	l, ok := a.entities[entity]
+	if !ok {
+		return 0
+	}
+	most := 0
+	for _, c := range l.dayCount {
+		if c > most {
+			most = c
 		}
 	}
-	return out
+	return most
 }
 
 // Entities returns the names of all entities with recorded data, sorted.

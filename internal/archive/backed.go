@@ -1,0 +1,95 @@
+package archive
+
+import (
+	"math"
+
+	"autoglobe/internal/obs"
+	"autoglobe/internal/tsdb"
+)
+
+// NewBacked opens (or recovers) a disk-backed archive: every Record is
+// written through to a segmented tsdb store in dir, and opening an
+// existing directory replays the persisted history — the in-memory
+// rings and day profiles are rebuilt from the raw minute samples, in
+// the same chronological order they were first recorded, so a
+// recovered coordinator's DayProfile is byte-identical to the one it
+// crashed with (for history still at minute resolution; the store
+// compacts only data older than the retention window).
+//
+// The in-memory rings remain the hot tier: every read API of Archive
+// is served from memory exactly as with New. The store adds
+// durability, deeper history for the forecaster, and the minute →
+// hour → day downsampling tiers.
+func NewBacked(dir string, retention int, opts tsdb.Options) (*Archive, error) {
+	st, err := tsdb.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	a := New(retention)
+	a.store = st
+	for _, entity := range st.Entities() {
+		l := a.log(entity)
+		if err := st.ForEachMinute(entity, 0, math.MaxInt, func(s tsdb.Sample) {
+			a.ingest(l, Sample{Minute: s.Minute, CPU: s.CPU, Mem: s.Mem})
+		}); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// Backed reports whether the archive writes through to a disk store.
+func (a *Archive) Backed() bool { return a.store != nil }
+
+// Store exposes the backing tsdb store (nil for an in-memory archive)
+// for tiered reads and stats beyond the Archive API.
+func (a *Archive) Store() *tsdb.Store { return a.store }
+
+// Commit makes every sample recorded since the last call durable in
+// one batched segment write. The coordinator calls it once per
+// observed minute — "acked" load history means "the minute closed".
+// A no-op (and nil error) on an in-memory archive.
+func (a *Archive) Commit() error {
+	if a.store == nil {
+		return nil
+	}
+	return a.store.Commit()
+}
+
+// Maintain is the once-per-minute housekeeping call of a backed
+// archive: commit the minute's samples, and once per hour compact disk
+// history older than the retention window into the hour and day tiers.
+// Raw minute resolution — and with it the day profile's inputs — is
+// preserved for the full retention window.
+func (a *Archive) Maintain(minute int) error {
+	if a.store == nil {
+		return nil
+	}
+	if err := a.store.Commit(); err != nil {
+		return err
+	}
+	if minute > a.retention && minute%60 == 0 {
+		return a.store.CompactBefore(minute - a.retention)
+	}
+	return nil
+}
+
+// Instrument attaches an obs registry to the backing store (archive
+// segments, compactions, cache hit ratio, disk footprint). Attach-only
+// and nil-safe; a no-op on an in-memory archive.
+func (a *Archive) Instrument(r *obs.Registry) {
+	if a.store != nil {
+		a.store.Instrument(r)
+	}
+}
+
+// Close commits buffered samples and closes the backing store. The
+// in-memory view stays readable; further Records fail. A no-op on an
+// in-memory archive.
+func (a *Archive) Close() error {
+	if a.store == nil {
+		return nil
+	}
+	return a.store.Close()
+}

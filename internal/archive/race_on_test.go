@@ -1,0 +1,8 @@
+//go:build race
+
+package archive
+
+// raceEnabled reports that the race detector is active; allocation
+// guardrails are skipped because race instrumentation distorts
+// allocation counts.
+const raceEnabled = true

@@ -69,6 +69,10 @@ type Config struct {
 	// critical services); when present for (service, trigger) they are
 	// evaluated instead of the default base.
 	ServiceRules map[string]map[monitor.TriggerKind]*fuzzy.RuleBase
+	// Forecast, when set, enables the proactive scan (Section 7): the
+	// controller predicts load over a horizon and raises forecast
+	// triggers ahead of measured overloads. See ForecastConfig.
+	Forecast *ForecastConfig
 	// Reservations, when set, lets the server-selection controller see
 	// capacity reserved for registered mission-critical tasks: the
 	// reserved fraction is added to a candidate host's CPU load, so the
@@ -382,14 +386,18 @@ func (c *Controller) execute(d *Decision) bool {
 }
 
 // protect puts the services and servers involved in an executed action
-// into protection mode.
+// into protection mode. A scale-out leaves its source host untouched —
+// it only records where the hot instance that fired the rule sits — so
+// that host is not protected: if one additional instance is not enough,
+// the server-overload pipeline must stay free to act there while the
+// new instance is still filling up.
 func (c *Controller) protect(d *Decision) {
 	if c.cfg.ProtectionMinutes == 0 {
 		return
 	}
 	until := d.Trigger.Minute + c.cfg.ProtectionMinutes
 	c.protSvc[d.Service] = until
-	if d.SourceHost != "" {
+	if d.SourceHost != "" && d.Action != service.ActionScaleOut {
 		c.protHost[d.SourceHost] = until
 	}
 	if d.TargetHost != "" {
@@ -399,7 +407,7 @@ func (c *Controller) protect(d *Decision) {
 
 func (c *Controller) triggerProtected(tr monitor.Trigger) bool {
 	switch tr.Kind {
-	case monitor.ServerOverloaded, monitor.ServerIdle:
+	case monitor.ServerOverloaded, monitor.ServerIdle, monitor.ServerForecastOverload:
 		return c.HostProtected(tr.Entity, tr.Minute)
 	default:
 		return c.ServiceProtected(tr.Entity, tr.Minute)

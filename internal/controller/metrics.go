@@ -17,6 +17,10 @@ const (
 	// MetricInference is the latency of one fuzzy inference run (action
 	// selection per instance, server selection per candidate host).
 	MetricInference = "autoglobe_controller_inference_seconds"
+	// MetricForecastTriggers counts triggers raised by the proactive
+	// forecast scan, by trigger kind — decisions they lead to land in
+	// MetricDecisions like any other.
+	MetricForecastTriggers = "autoglobe_controller_forecast_triggers_total"
 )
 
 // controllerMetrics holds the registry for the dynamic decision labels
@@ -32,6 +36,7 @@ func newControllerMetrics(r *obs.Registry) *controllerMetrics {
 	}
 	r.Help(MetricDecisions, "Controller decisions, by trigger kind and action.")
 	r.Help(MetricInference, "Latency of one fuzzy inference run.")
+	r.Help(MetricForecastTriggers, "Proactive forecast triggers raised, by trigger kind.")
 	return &controllerMetrics{
 		reg:       r,
 		inference: r.Histogram(MetricInference, obs.LatencySecondsBuckets()),
@@ -46,6 +51,14 @@ func (m *controllerMetrics) decision(kind monitor.TriggerKind, action service.Ac
 		return
 	}
 	m.reg.Counter(MetricDecisions, "action", string(action), "trigger", string(kind)).Inc()
+}
+
+// forecastTrigger counts one trigger raised by the proactive scan.
+func (m *controllerMetrics) forecastTrigger(kind monitor.TriggerKind) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(MetricForecastTriggers, "trigger", string(kind)).Inc()
 }
 
 // inferred records the latency of one engine.Infer call. The call sites

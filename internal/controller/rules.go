@@ -107,6 +107,44 @@ IF cpuLoad IS low AND instanceLoad IS low AND instancesOfService IS many THEN sc
 IF cpuLoad IS low AND performanceIndex IS high AND instanceLoad IS medium THEN scaleDown IS applicable
 `
 
+// serviceForecastOverloadRules react to a *predicted* service overload
+// (Section 7: load forecasting feeding the controller). They fire
+// before any monitor confirms a measured overload, so they are gated on
+// the forecast's confidence: solid profile evidence buys real capacity
+// ahead of the ramp, thin evidence at most a reversible priority bump.
+const serviceForecastOverloadRules = `
+# The forecast sees the ramp coming and the profile evidence is solid:
+# add an instance before the watchTime would even start counting.
+IF forecastLoad IS high AND forecastConfidence IS high THEN scaleOut IS applicable
+
+# A hot instance on weak hardware is better moved up ahead of the rush
+# than after it.
+IF forecastLoad IS high AND forecastConfidence IS high AND instanceLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium) THEN scaleUp IS applicable
+
+# Thin evidence (gappy profile): only a priority bump — cheap and
+# reversible — and only if the service already carries real load.
+IF forecastLoad IS high AND forecastConfidence IS low AND serviceLoad IS NOT low THEN increasePriority IS applicable
+`
+
+// serverForecastOverloadRules react to a predicted host overload,
+// evaluated once per service on the host like the reactive base. Unlike
+// the reactive base they never migrate on a mere prediction: proactive
+// control allocates capacity in advance (a new instance elsewhere
+// drains sessions gently through re-logins and the login rush), whereas
+// a speculative move dumps a loaded instance — users and all — onto
+// another host, and its protection window then mutes the reactive
+// remedy if the guess was wrong. Only the dominating, already-hot
+// tenant warrants acting ahead of the peak.
+const serverForecastOverloadRules = `
+# The dominating tenant of a predicted-hot host spreads over an
+# additional instance ahead of the peak.
+IF forecastLoad IS high AND forecastConfidence IS high AND instanceLoad IS high THEN scaleOut IS applicable
+
+# On weak hardware the dominating tenant is moved up while stronger
+# hosts still have cheap capacity.
+IF forecastLoad IS high AND forecastConfidence IS high AND instanceLoad IS high AND (performanceIndex IS low OR performanceIndex IS medium) THEN scaleUp IS applicable
+`
+
 // Server-selection rule bases (Section 4.2), one per action family:
 // "our controller is able to handle different rule bases for different
 // actions. With these rules we determine how proper a server is for the
@@ -187,6 +225,9 @@ func DefaultActionRules() map[monitor.TriggerKind]*fuzzy.RuleBase {
 			monitor.ServiceIdle:       fuzzy.MustRuleBase("serviceIdle", vc, fuzzy.MustParse(serviceIdleRules)),
 			monitor.ServerOverloaded:  fuzzy.MustRuleBase("serverOverloaded", vc, fuzzy.MustParse(serverOverloadedRules)),
 			monitor.ServerIdle:        fuzzy.MustRuleBase("serverIdle", vc, fuzzy.MustParse(serverIdleRules)),
+
+			monitor.ServiceForecastOverload: fuzzy.MustRuleBase("serviceForecastOverload", vc, fuzzy.MustParse(serviceForecastOverloadRules)),
+			monitor.ServerForecastOverload:  fuzzy.MustRuleBase("serverForecastOverload", vc, fuzzy.MustParse(serverForecastOverloadRules)),
 		}
 		for _, rb := range defaultActionBases {
 			rb.Compile()

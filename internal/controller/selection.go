@@ -21,9 +21,9 @@ import (
 func (c *Controller) SelectActions(tr monitor.Trigger) ([]Candidate, error) {
 	var instances []*service.Instance
 	switch tr.Kind {
-	case monitor.ServerOverloaded, monitor.ServerIdle:
+	case monitor.ServerOverloaded, monitor.ServerIdle, monitor.ServerForecastOverload:
 		instances = c.dep.InstancesOn(tr.Entity)
-	case monitor.ServiceOverloaded, monitor.ServiceIdle:
+	case monitor.ServiceOverloaded, monitor.ServiceIdle, monitor.ServiceForecastOverload:
 		instances = c.dep.InstancesOf(tr.Entity)
 	default:
 		return nil, fmt.Errorf("controller: unknown trigger kind %q", tr.Kind)
@@ -154,7 +154,7 @@ func (c *Controller) actionInputs(tr monitor.Trigger, inst *service.Instance) (m
 		return nil, fmt.Errorf("controller: instance %q on unknown host %q", inst.ID, inst.Host)
 	}
 	from, to := tr.WatchedFrom, tr.Minute
-	return map[string]float64{
+	inputs := map[string]float64{
 		VarCPULoad:            c.avg(archive.HostEntity(h.Name), from, to),
 		VarMemLoad:            c.avgMem(archive.HostEntity(h.Name), from, to),
 		VarPerformanceIndex:   h.PerformanceIndex,
@@ -162,7 +162,14 @@ func (c *Controller) actionInputs(tr monitor.Trigger, inst *service.Instance) (m
 		VarServiceLoad:        c.avg(archive.ServiceEntity(inst.Service), from, to),
 		VarInstancesOnServer:  float64(c.dep.CountOn(h.Name)),
 		VarInstancesOfService: float64(c.dep.CountOf(inst.Service)),
-	}, nil
+	}
+	if tr.Kind.Forecast() {
+		// Forecast triggers carry the predicted peak and its evidence;
+		// only the forecast rule bases reference these variables.
+		inputs[VarForecastLoad] = tr.AvgLoad
+		inputs[VarForecastConfidence] = tr.Confidence
+	}
+	return inputs, nil
 }
 
 // feasible verifies a candidate action against the declarative

@@ -14,6 +14,13 @@ const (
 	VarServiceLoad        = "serviceLoad"
 	VarInstancesOnServer  = "instancesOnServer"
 	VarInstancesOfService = "instancesOfService"
+	// VarForecastLoad is the predicted peak load over the proactive
+	// horizon; VarForecastConfidence rates the profile evidence behind
+	// it. Both are only asserted by the forecast rule bases — the
+	// reactive bases never reference them, so adding the variables
+	// leaves reactive inference byte-identical.
+	VarForecastLoad       = "forecastLoad"
+	VarForecastConfidence = "forecastConfidence"
 )
 
 // Additional variable names of the server-selection controller (Table 3).
@@ -59,15 +66,27 @@ func instancesOfServiceVariable() *fuzzy.Variable {
 	return v
 }
 
+// forecastConfidenceVariable rates prediction evidence on [0, 1]: a
+// profile minute backed by every observed day is fully "high"; one seen
+// on fewer than a fifth of the days is fully "low".
+func forecastConfidenceVariable() *fuzzy.Variable {
+	v := fuzzy.NewVariable(VarForecastConfidence, 0, 1)
+	v.AddTerm("low", fuzzy.Trapezoid(0, 0, 0.2, 0.6))
+	v.AddTerm("high", fuzzy.Trapezoid(0.2, 0.6, 1, 1))
+	return v
+}
+
 // ActionVocabulary builds the vocabulary of the action-selection fuzzy
 // controller: the Table 1 inputs plus one applicability output variable
-// per Table 2 action.
+// per Table 2 action, plus the Section 7 forecast inputs.
 func ActionVocabulary() *fuzzy.Vocabulary {
 	vc := fuzzy.NewVocabulary()
 	vc.Add(fuzzy.StandardLoad(VarCPULoad))
 	vc.Add(fuzzy.StandardLoad(VarMemLoad))
 	vc.Add(fuzzy.StandardLoad(VarInstanceLoad))
 	vc.Add(fuzzy.StandardLoad(VarServiceLoad))
+	vc.Add(fuzzy.StandardLoad(VarForecastLoad))
+	vc.Add(forecastConfidenceVariable())
 	vc.Add(performanceIndexVariable())
 	vc.Add(instancesOnServerVariable())
 	vc.Add(instancesOfServiceVariable())

@@ -40,8 +40,10 @@ func TestRuleBaseStats(t *testing.T) {
 	if st.Total < 35 || st.Total > 60 {
 		t.Errorf("total rules = %d, paper reports about 40", st.Total)
 	}
-	if len(st.PerTrigger) != 4 {
-		t.Errorf("per-trigger rule bases = %d, want 4", len(st.PerTrigger))
+	// The paper's four reactive situations plus the two forecast
+	// (Section 7) trigger kinds.
+	if len(st.PerTrigger) != 6 {
+		t.Errorf("per-trigger rule bases = %d, want 6", len(st.PerTrigger))
 	}
 }
 

@@ -12,6 +12,14 @@
 // profile(t)). The deviation term carries today's level shift (e.g. 15 %
 // more users than usual) into the forecast; the exponential decay
 // reflects that pattern knowledge dominates as the horizon grows.
+//
+// Every prediction carries a confidence in [0, 1] derived from the
+// archive's per-minute-of-day observation counts: a minute backed by
+// every observed day predicts with confidence 1, a minute seen on only
+// one of five days with 0.2, a never-observed minute with 0. The
+// controller gates proactive scaling on this value, so a service with a
+// gappy history (restarts, late deployment, daylight-only traffic)
+// cannot trigger phantom scale-outs from a profile hole.
 package forecast
 
 import (
@@ -37,23 +45,51 @@ func New(arch *archive.Archive) *Predictor {
 	return &Predictor{arch: arch, DeviationHalfLife: 60, MinHistory: archive.MinutesPerDay / 2}
 }
 
+// Latest exposes the archive's most recent sample for an entity, so the
+// controller's proactive scan can gate a forecast on the measured
+// present without holding its own archive reference.
+func (p *Predictor) Latest(entity string) (archive.Sample, bool) {
+	return p.arch.Latest(entity)
+}
+
+// confidenceAt rates how well the profile backs a prediction anchored
+// at minute `at`: the observation count of that minute of day,
+// normalized by the deepest count any minute has (≈ days observed).
+func (p *Predictor) confidenceAt(entity string, at, days int) float64 {
+	if days <= 0 {
+		return 0
+	}
+	c := p.arch.ObservationCount(entity, at)
+	if c >= days {
+		return 1
+	}
+	return float64(c) / float64(days)
+}
+
 // Predict forecasts the CPU load of an entity at now+horizon minutes.
-// ok is false when the archive holds too little history for a pattern.
-func (p *Predictor) Predict(entity string, now, horizon int) (load float64, ok bool) {
+// confidence in [0, 1] rates the profile evidence behind the forecast:
+// the weaker of the target minute's and the anchor minute's per-day
+// observation depth. ok is false when the archive holds too little
+// history for a pattern at all; confidence is 0 then. The call is
+// allocation-free — safe on the controller's per-tick hot path.
+func (p *Predictor) Predict(entity string, now, horizon int) (load, confidence float64, ok bool) {
 	if horizon < 0 {
-		return 0, false
+		return 0, 0, false
 	}
 	if p.arch.Len(entity) < p.MinHistory {
-		return 0, false
+		return 0, 0, false
 	}
-	profile := p.arch.DayProfile(entity)
-	mod := func(m int) int { return ((m % len(profile)) + len(profile)) % len(profile) }
-	base := profile[mod(now+horizon)]
+	days := p.arch.DaysObserved(entity)
+	base := p.arch.ProfileAt(entity, now+horizon)
+	confidence = p.confidenceAt(entity, now+horizon, days)
 	latest, have := p.arch.Latest(entity)
 	if !have {
-		return base, true
+		return base, confidence, true
 	}
-	deviation := latest.CPU - profile[mod(latest.Minute)]
+	if c := p.confidenceAt(entity, latest.Minute, days); c < confidence {
+		confidence = c
+	}
+	deviation := latest.CPU - p.arch.ProfileAt(entity, latest.Minute)
 	halfLife := p.DeviationHalfLife
 	if halfLife <= 0 {
 		halfLife = 60
@@ -63,28 +99,33 @@ func (p *Predictor) Predict(entity string, now, horizon int) (load float64, ok b
 	if v < 0 {
 		v = 0
 	}
-	return v, true
+	return v, confidence, true
 }
 
 // PredictPeak returns the maximum predicted load over the next horizon
 // minutes (sampled per minute) — what a proactive controller compares
-// against the overload threshold.
-func (p *Predictor) PredictPeak(entity string, now, horizon int) (peak float64, ok bool) {
+// against the overload threshold — and the weakest per-minute
+// confidence across the window: a single profile hole inside the
+// horizon caps the whole peak's confidence.
+func (p *Predictor) PredictPeak(entity string, now, horizon int) (peak, confidence float64, ok bool) {
 	if horizon <= 0 {
-		return 0, false
+		return 0, 0, false
 	}
-	any := false
+	confidence = 1
 	for h := 1; h <= horizon; h++ {
-		v, haveV := p.Predict(entity, now, h)
+		v, c, haveV := p.Predict(entity, now, h)
 		if !haveV {
-			return 0, false
+			return 0, 0, false
 		}
-		any = true
+		ok = true
 		if v > peak {
 			peak = v
 		}
+		if c < confidence {
+			confidence = c
+		}
 	}
-	return peak, any
+	return peak, confidence, ok
 }
 
 // Error reports the mean absolute error of one-step-ahead predictions
@@ -96,7 +137,7 @@ func (p *Predictor) Error(entity string, from, to int) (mae float64, n int, err 
 	}
 	var sum float64
 	for i := 1; i < len(w); i++ {
-		pred, ok := p.Predict(entity, w[i-1].Minute, w[i].Minute-w[i-1].Minute)
+		pred, _, ok := p.Predict(entity, w[i-1].Minute, w[i].Minute-w[i-1].Minute)
 		if !ok {
 			continue
 		}

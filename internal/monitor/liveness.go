@@ -79,7 +79,10 @@ func NewLivenessHysteresis(timeout, deadAfter, aliveAfter int) *Liveness {
 
 // Beat records a heartbeat for an entity. A beat from an entity
 // currently considered dead counts toward its AliveAfter recovery
-// streak; Recovered reports completed recoveries.
+// streak; Recovered reports completed recoveries. The recorded
+// last-seen minute is monotone: an agent restarted with a fresh local
+// counter must not rewind a host that a coordinator probe (stamped
+// with the authoritative clock) already confirmed alive.
 func (l *Liveness) Beat(entity string, minute int) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -88,7 +91,9 @@ func (l *Liveness) Beat(entity string, minute int) {
 		l.state[entity] = &livenessState{last: minute, missedAt: -1}
 		return
 	}
-	st.last = minute
+	if minute > st.last {
+		st.last = minute
+	}
 	if st.dead {
 		st.successes++
 		if st.successes >= l.AliveAfter {

@@ -37,6 +37,23 @@ const (
 	ServerIdle        TriggerKind = "serverIdle"
 )
 
+// Forecast trigger kinds (the paper's Section 7 extension): raised by
+// the controller's proactive scan from *predicted* load, before any
+// monitor confirms a measured overload. They carry their own rule
+// bases, deliberately more conservative than the reactive ones, and
+// never page an administrator when unremedied — the measured-overload
+// path is still behind them as a safety net.
+const (
+	ServiceForecastOverload TriggerKind = "serviceForecastOverload"
+	ServerForecastOverload  TriggerKind = "serverForecastOverload"
+)
+
+// Forecast reports whether the kind is a proactive (predicted-load)
+// trigger rather than a confirmed measured situation.
+func (k TriggerKind) Forecast() bool {
+	return k == ServiceForecastOverload || k == ServerForecastOverload
+}
+
 // Trigger is a confirmed exceptional situation handed to the controller.
 type Trigger struct {
 	Kind TriggerKind
@@ -53,9 +70,17 @@ type Trigger struct {
 	WatchedFrom int
 	// Resource names what overflowed: "cpu" (default) or "memory".
 	Resource string
+	// Confidence rates the evidence behind a forecast trigger in
+	// [0, 1] (per-minute-of-day observation depth of the profile the
+	// prediction came from). Measured triggers carry 0; the controller
+	// ignores the field for them.
+	Confidence float64
 }
 
 func (t Trigger) String() string {
+	if t.Kind.Forecast() {
+		return fmt.Sprintf("%s(%s) peak=%.2f conf=%.2f at minute %d", t.Kind, t.Entity, t.AvgLoad, t.Confidence, t.Minute)
+	}
 	return fmt.Sprintf("%s(%s) avg=%.2f at minute %d", t.Kind, t.Entity, t.AvgLoad, t.Minute)
 }
 

@@ -22,6 +22,7 @@ import (
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/obs"
 	"autoglobe/internal/service"
+	"autoglobe/internal/tsdb"
 	"autoglobe/internal/workload"
 )
 
@@ -75,11 +76,29 @@ type Config struct {
 	// series are recorded, e.g. FI for Figures 15–17.
 	RecordServices []string
 	// ForecastHorizon, when positive, enables the proactive extension
-	// (paper Section 7 / [8]): if the pattern-based predictor expects a
-	// host to exceed the overload threshold within the horizon (in
-	// minutes), the controller is triggered ahead of time instead of
-	// waiting out the watchTime.
+	// (paper Section 7 / [8]): the controller's forecast scan predicts
+	// every host's and service's load over the horizon (in minutes) and
+	// raises dedicated forecast triggers ahead of measured overloads,
+	// instead of waiting out the watchTime.
 	ForecastHorizon int
+	// ForecastMinConfidence is the hard floor under the forecast's
+	// profile-evidence confidence: predictions below it never raise a
+	// trigger. 0 leaves the gating entirely to the confidence-aware
+	// forecast rule bases.
+	ForecastMinConfidence float64
+	// ForecastRampFraction is the live-ramp gate of the proactive scan
+	// (see controller.ForecastConfig.RampFraction): a forecast trigger
+	// fires only once measured load passes this fraction of the
+	// overload threshold. 0 uses the controller default, negative
+	// disables the gate.
+	ForecastRampFraction float64
+	// ArchiveDir, when set, backs the load archive with a disk-based
+	// segmented store (internal/tsdb): every recorded sample is written
+	// through, committed once per minute, and replayed on the next run
+	// from the same directory — the recovered day profiles are
+	// byte-identical to the ones the previous run built. Empty keeps
+	// the archive purely in memory.
+	ArchiveDir string
 	// Reservations, when set, is forwarded to the controller so server
 	// selection avoids hosts reserved for mission-critical tasks.
 	Reservations controller.Reserver
@@ -149,13 +168,8 @@ func (c Config) validate() error {
 	case c.FluctuationPerHour < 0 || c.FluctuationPerHour > 1:
 		return fmt.Errorf("simulator: fluctuation %g outside [0, 1]", c.FluctuationPerHour)
 	}
-	if c.Distributed != nil {
-		if c.Distributed.Transport == nil {
-			return fmt.Errorf("simulator: distributed mode needs a transport")
-		}
-		if c.ForecastHorizon > 0 {
-			return fmt.Errorf("simulator: the proactive forecast extension is not available in distributed mode (the predictor reads local monitor state)")
-		}
+	if c.Distributed != nil && c.Distributed.Transport == nil {
+		return fmt.Errorf("simulator: distributed mode needs a transport")
 	}
 	return c.Monitor.Validate()
 }
@@ -177,6 +191,7 @@ type Simulator struct {
 	liveness   *monitor.Liveness
 	crashed    map[string]crashInfo // by instance ID, until remedied
 	res        *Result
+	start      int // first minute of Run: 0, or past a reopened archive's history
 
 	// Distributed mode only: the control plane, the hosts demoted after
 	// confirmed death (kept for re-pooling on recovery), the chaos
@@ -228,7 +243,27 @@ func NewCustom(cfg Config, dep *service.Deployment, gen *workload.Generator) (*S
 }
 
 func newWithDeployment(cfg Config, dep *service.Deployment) (*Simulator, error) {
-	arch := archive.New(0)
+	var arch *archive.Archive
+	if cfg.ArchiveDir != "" {
+		// NoSync: the simulated crash model abandons the process, it
+		// does not cut power — buffered OS writes survive that, and the
+		// crash-point sweeps in internal/tsdb cover torn tails.
+		var err error
+		arch, err = archive.NewBacked(cfg.ArchiveDir, 0, tsdb.Options{NoSync: true})
+		if err != nil {
+			return nil, err
+		}
+		arch.Instrument(cfg.Obs)
+	} else {
+		arch = archive.New(0)
+	}
+	// A reopened backed archive carries history; the store's append
+	// rule is monotone per entity, so the run must resume its clock
+	// past the restored high-water mark rather than replay minute 0.
+	start := 0
+	if last, ok := arch.LastMinute(); ok {
+		start = last + 1
+	}
 	lms, err := monitor.NewSystem(cfg.Monitor, arch)
 	if err != nil {
 		return nil, err
@@ -239,6 +274,18 @@ func newWithDeployment(cfg Config, dep *service.Deployment) (*Simulator, error) 
 	}
 	if cfg.Reservations != nil {
 		cfg.Controller.Reservations = cfg.Reservations
+	}
+	var predictor *forecast.Predictor
+	if cfg.ForecastHorizon > 0 {
+		predictor = forecast.New(arch)
+		cfg.Controller.Forecast = &controller.ForecastConfig{
+			Predictor:     predictor,
+			Horizon:       cfg.ForecastHorizon,
+			Threshold:     cfg.Monitor.OverloadThreshold,
+			MinConfidence: cfg.ForecastMinConfidence,
+			RampFraction:  cfg.ForecastRampFraction,
+			Watching:      lms.Watching,
+		}
 	}
 	var exec controller.Executor = controller.NewDeploymentExecutor(dep, policy)
 	if cfg.WrapExecutor != nil {
@@ -253,6 +300,7 @@ func newWithDeployment(cfg Config, dep *service.Deployment) (*Simulator, error) 
 		dep:        dep,
 		gen:        workload.PaperGenerator(cfg.Multiplier, cfg.Seed),
 		arch:       arch,
+		start:      start,
 		lms:        lms,
 		rng:        rand.New(rand.NewSource(int64(cfg.Seed) + 17)),
 		registered: make(map[string]bool),
@@ -274,9 +322,7 @@ func newWithDeployment(cfg Config, dep *service.Deployment) (*Simulator, error) 
 		return nil, err
 	}
 	s.ctl = ctl
-	if cfg.ForecastHorizon > 0 {
-		s.predictor = forecast.New(arch)
-	}
+	s.predictor = predictor
 	timeout := cfg.HeartbeatTimeout
 	if timeout == 0 {
 		timeout = 2
@@ -311,10 +357,22 @@ func (s *Simulator) Archive() *archive.Archive { return s.arch }
 // scenario before running it.
 func (s *Simulator) Generator() *workload.Generator { return s.gen }
 
+// Close releases the simulator's disk resources: on an archive-backed
+// run it commits buffered samples and closes the store (abandoning a
+// simulator without Close models a coordinator crash — everything
+// through the last completed minute is still recovered). A no-op for
+// in-memory runs.
+func (s *Simulator) Close() error { return s.arch.Close() }
+
+// StartMinute returns the first minute Run will simulate: 0 for a
+// fresh archive, the minute after the restored high-water mark for a
+// reopened one.
+func (s *Simulator) StartMinute() int { return s.start }
+
 // Run simulates the configured number of hours and returns the result.
 func (s *Simulator) Run() (*Result, error) {
 	minutes := s.cfg.Hours * 60
-	for m := 0; m < minutes; m++ {
+	for m := s.start; m < s.start+minutes; m++ {
 		if err := s.Step(m); err != nil {
 			return nil, err
 		}
@@ -331,7 +389,9 @@ func (s *Simulator) Step(minute int) error {
 		// control-loop iterations, never mid-transaction, which is the
 		// crash model the journal's recovery protocol covers (mid-record
 		// crashes are swept separately by the crash-point tests).
-		if err := s.chaos.Apply(minute); err != nil {
+		// The chaos plan is laid out over the run's own minutes, so a
+		// resumed run applies it relative to its start.
+		if err := s.chaos.Apply(minute - s.start); err != nil {
 			return err
 		}
 	}
@@ -350,6 +410,16 @@ func (s *Simulator) Step(minute int) error {
 				return err
 			}
 		}
+		// The proactive forecast scan runs after the minute's measured
+		// triggers: a confirmed situation (and the protection mode its
+		// remedy raised) outranks a prediction of the same thing.
+		for _, tr := range s.ctl.Proactive(minute) {
+			s.res.TriggerCount[tr.Kind]++
+			s.res.ProactiveTriggers++
+			if _, err := s.ctl.HandleTrigger(tr); err != nil {
+				return err
+			}
+		}
 	}
 	if s.plane != nil {
 		// The minute's trigger slice is drained; hand its backing array
@@ -360,7 +430,14 @@ func (s *Simulator) Step(minute int) error {
 	if err := s.injectFailures(minute); err != nil {
 		return err
 	}
-	return s.selfHeal(minute)
+	if err := s.selfHeal(minute); err != nil {
+		return err
+	}
+	// On a backed archive, close the minute: one batched segment write
+	// makes everything recorded this minute durable, and once per hour
+	// history past the retention window rolls into coarser tiers. A
+	// no-op for the in-memory archive.
+	return s.arch.Maintain(minute)
 }
 
 // applyHostEvents executes scheduled pool changes. A removed host takes
@@ -537,20 +614,6 @@ func (s *Simulator) observe(minute int) ([]*monitor.Trigger, error) {
 		tr, err := s.lms.Observe(key, minute, math.Min(1, raw), mem)
 		if err != nil {
 			return nil, err
-		}
-		// Proactive mode: trigger ahead of a predicted overload instead
-		// of waiting for the watchTime to confirm one.
-		if tr == nil && s.cfg.ForecastHorizon > 0 && s.predictor != nil &&
-			!s.lms.Watching(key) && !s.ctl.HostProtected(hostName, minute) {
-			if peak, ok := s.predictor.PredictPeak(key, minute, s.cfg.ForecastHorizon); ok &&
-				peak > s.cfg.Monitor.OverloadThreshold && raw > s.cfg.Monitor.OverloadThreshold*0.8 {
-				tr = &monitor.Trigger{
-					Kind: monitor.ServerOverloaded, Entity: hostName,
-					Minute: minute, AvgLoad: peak,
-					WatchedFrom: minute - s.cfg.Monitor.OverloadWatch,
-				}
-				s.res.ProactiveTriggers++
-			}
 		}
 		if tr != nil {
 			// An idle host with nothing running on it is the normal

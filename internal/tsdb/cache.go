@@ -1,0 +1,94 @@
+package tsdb
+
+import "sync"
+
+// frameBufPool recycles the byte buffers sealed-block frames are read
+// into, so a cache miss costs one ReadAt and no allocation in steady
+// state. Capacity covers a full 64-sample block frame with header.
+var frameBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+// blockKey identifies one sealed block by its physical location.
+type blockKey struct {
+	seq int
+	off int64
+}
+
+// cacheSlot holds one decoded sealed block. Slots are recycled in
+// place: the samples slice keeps its capacity across evictions.
+type cacheSlot struct {
+	key     blockKey
+	valid   bool
+	samples []Sample
+}
+
+// blockCache is a small fixed-capacity cache of decoded sealed blocks
+// with clock (round-robin) eviction — the working set of the
+// controller's steady-state reads is the most recent block or two per
+// watched entity, so recency-approximate eviction is enough and keeps
+// the hit path free of list bookkeeping and allocation.
+type blockCache struct {
+	slots []cacheSlot
+	idx   map[blockKey]int
+	hand  int
+}
+
+func (st *Store) cacheInit() {
+	if st.cache.idx != nil {
+		return
+	}
+	st.cache.slots = make([]cacheSlot, st.opts.CacheBlocks)
+	st.cache.idx = make(map[blockKey]int, st.opts.CacheBlocks)
+	for i := range st.cache.slots {
+		st.cache.slots[i].samples = make([]Sample, 0, BlockSamples)
+	}
+}
+
+func (st *Store) cacheGet(key blockKey) ([]Sample, bool) {
+	st.cacheInit()
+	i, ok := st.cache.idx[key]
+	if !ok {
+		return nil, false
+	}
+	return st.cache.slots[i].samples, true
+}
+
+// cacheSlot evicts the slot under the clock hand and hands it to the
+// caller, already indexed under key.
+func (st *Store) cacheSlot(key blockKey) *cacheSlot {
+	st.cacheInit()
+	c := &st.cache
+	i := c.hand % len(c.slots)
+	c.hand++
+	slot := &c.slots[i]
+	if slot.valid {
+		delete(c.idx, slot.key)
+	}
+	slot.key = key
+	slot.valid = true
+	c.idx[key] = i
+	return slot
+}
+
+func (st *Store) cacheDrop(key blockKey) {
+	i, ok := st.cache.idx[key]
+	if !ok {
+		return
+	}
+	st.cache.slots[i].valid = false
+	delete(st.cache.idx, key)
+}
+
+// cacheDropSeq invalidates every cached block of a deleted segment.
+func (st *Store) cacheDropSeq(seq int) {
+	for key, i := range st.cache.idx {
+		if key.seq == seq {
+			st.cache.slots[i].valid = false
+			delete(st.cache.idx, key)
+		}
+	}
+}

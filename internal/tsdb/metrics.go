@@ -1,0 +1,124 @@
+package tsdb
+
+import "autoglobe/internal/obs"
+
+// Metric families the load archive emits.
+const (
+	// MetricSegments counts segment files opened, by tier (minute, hour,
+	// day, dict).
+	MetricSegments = "autoglobe_archive_segments_total"
+	// MetricCompactions counts roll-ups committed, by destination tier.
+	MetricCompactions = "autoglobe_archive_compactions_total"
+	// MetricWritten counts bytes appended to segments, by tier.
+	MetricWritten = "autoglobe_archive_written_bytes_total"
+	// MetricBlocks counts sealed 64-sample blocks and compacted
+	// aggregates written, by kind.
+	MetricBlocks = "autoglobe_archive_blocks_total"
+	// MetricCacheReads counts hot-block cache lookups, by result — the
+	// hit ratio of the controller's steady-state read path.
+	MetricCacheReads = "autoglobe_archive_cache_reads_total"
+	// MetricDiskBytes gauges the bytes currently on disk across all
+	// live segments (grows with commits, shrinks with pruning).
+	MetricDiskBytes = "autoglobe_archive_disk_bytes_total"
+)
+
+// storeMetrics pre-resolves the store's series. Nil-safe: an
+// uninstrumented store pays one pointer test per event.
+type storeMetrics struct {
+	segments    [4]*obs.Counter
+	compactions [4]*obs.Counter
+	written     [4]*obs.Counter
+	sealed      *obs.Counter
+	aggs        *obs.Counter
+	hits        *obs.Counter
+	misses      *obs.Counter
+	disk        *obs.Gauge
+}
+
+func newStoreMetrics(r *obs.Registry) *storeMetrics {
+	if r == nil {
+		return nil
+	}
+	r.Help(MetricSegments, "Segment files opened, by tier.")
+	r.Help(MetricCompactions, "Roll-ups committed, by destination tier.")
+	r.Help(MetricWritten, "Bytes appended to archive segments, by tier.")
+	r.Help(MetricBlocks, "Sealed blocks and aggregates written, by kind.")
+	r.Help(MetricCacheReads, "Hot-block cache lookups, by result.")
+	r.Help(MetricDiskBytes, "Bytes currently on disk across live segments.")
+	m := &storeMetrics{
+		sealed: r.Counter(MetricBlocks, "kind", "sealed"),
+		aggs:   r.Counter(MetricBlocks, "kind", "agg"),
+		hits:   r.Counter(MetricCacheReads, "result", "hit"),
+		misses: r.Counter(MetricCacheReads, "result", "miss"),
+		disk:   r.Gauge(MetricDiskBytes),
+	}
+	for t := 0; t < 4; t++ {
+		m.segments[t] = r.Counter(MetricSegments, "tier", tierPrefix[t])
+		m.compactions[t] = r.Counter(MetricCompactions, "tier", tierPrefix[t])
+		m.written[t] = r.Counter(MetricWritten, "tier", tierPrefix[t])
+	}
+	return m
+}
+
+func (m *storeMetrics) segment(tier int) {
+	if m != nil {
+		m.segments[tier].Inc()
+	}
+}
+
+func (m *storeMetrics) wrote(tier, n int, disk int64) {
+	if m != nil {
+		m.written[tier].Add(float64(n))
+		m.disk.Set(float64(disk))
+	}
+}
+
+func (m *storeMetrics) addBlocks(kind string, n int) {
+	if m == nil || n == 0 {
+		return
+	}
+	if kind == "sealed" {
+		m.sealed.Add(float64(n))
+	} else {
+		m.aggs.Add(float64(n))
+	}
+}
+
+func (m *storeMetrics) compacted(destTier, aggCount int, disk int64) {
+	if m != nil {
+		m.compactions[destTier].Inc()
+		m.aggs.Add(float64(aggCount))
+		m.disk.Set(float64(disk))
+	}
+}
+
+func (m *storeMetrics) pruned(disk int64) {
+	if m != nil {
+		m.disk.Set(float64(disk))
+	}
+}
+
+func (m *storeMetrics) cache(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.hits.Inc()
+	} else {
+		m.misses.Inc()
+	}
+}
+
+// Instrument attaches an obs registry to the store: segments opened,
+// bytes written, blocks sealed, compactions committed, cache hit ratio
+// and live disk footprint. Attach-only and nil-safe, like every other
+// family — a nil registry leaves the store uninstrumented and the hot
+// paths pay a single pointer test.
+func (st *Store) Instrument(r *obs.Registry) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.m = newStoreMetrics(r)
+	if st.m != nil {
+		st.m.disk.Set(float64(st.diskBytes))
+	}
+}

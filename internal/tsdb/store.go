@@ -1,0 +1,769 @@
+package tsdb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+
+	"autoglobe/internal/journal"
+)
+
+// Options tunes a Store.
+type Options struct {
+	// SegmentBytes is the rotation threshold: a commit that finds the
+	// active segment past it starts a new segment first (default 1 MiB).
+	SegmentBytes int
+	// NoSync skips the fsync after each commit. Simulations and tests
+	// leave it on their temp-dir "disks" (the crash model is process
+	// death, not power loss); production daemons clear it.
+	NoSync bool
+	// CacheBlocks is the hot-block cache capacity in sealed blocks
+	// (default 32 — the controller's steady-state reads touch only the
+	// most recent blocks of each watched entity).
+	CacheBlocks int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.CacheBlocks <= 0 {
+		o.CacheBlocks = 32
+	}
+	return o
+}
+
+// tier file-name prefixes; dictTier is the pseudo-tier of the entity
+// dictionary stream.
+const dictTier = 3
+
+var tierPrefix = [4]string{"min", "hr", "day", "dict"}
+
+// blockRef locates one sealed minute block on disk.
+type blockRef struct {
+	seq   int   // minute-tier segment sequence
+	off   int64 // frame start offset within the segment file
+	n     int   // framed length in bytes
+	start int   // first sample minute
+	end   int   // last sample minute
+}
+
+// entState is the in-memory state of one entity: the open (unsealed)
+// sample buffer, the index of its sealed blocks on disk, and its
+// downsampled tiers.
+type entState struct {
+	id   uint64
+	name string
+
+	// open holds the samples not yet sealed into a 64-sample block;
+	// open[:flushed] is already durable as tail records, open[flushed:]
+	// is lost if the process dies before the next Commit.
+	open    []Sample
+	flushed int
+	last    int // last appended minute (monotonicity guard)
+	hasLast bool
+	dirty   bool
+
+	blocks []blockRef // sealed minute blocks, chronological
+	hours  []Agg      // hour aggregates ≥ the hour→day watermark
+	days   []Agg      // day aggregates, chronological
+}
+
+// Store is a segmented, append-only, disk-backed time-series store.
+// Writes are buffered in memory and made durable by Commit — the
+// archive calls it once per observed minute, so "acked" means "the
+// minute closed". All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu   sync.Mutex
+	ids  map[string]uint64
+	ents []*entState
+
+	active  [4]*os.File // active segment per tier (lazily opened)
+	actSeq  [4]int
+	actSize [4]int64
+	nextSeq [4]int
+
+	files   map[int]*os.File // minute-tier read handles by seq
+	segMax  map[int]int      // minute-tier seq → max sample minute written
+	segSize map[int]int64    // minute-tier seq → bytes written
+
+	// marks[TierMinute]: minute data below this is rolled into hours;
+	// marks[TierHour]: hour data below this is rolled into days.
+	marks [2]int
+
+	pending     []byte // framed minute-tier records staged by Commit
+	dictPending []byte // framed dict records for entities seen since last Commit
+	dirty       []uint64
+	recBuf      []byte // record payload scratch
+	aggScratch  []Agg  // compaction scratch
+
+	cache blockCache
+
+	diskBytes int64
+	closed    bool
+
+	m *storeMetrics
+}
+
+// ErrClosed reports use of a closed store.
+var ErrClosed = errors.New("tsdb: store is closed")
+
+// Open opens (or creates) a store directory, replaying every segment:
+// the entity dictionary, then the day, hour and minute tiers, honoring
+// compaction watermarks (aggregates past the last watermark are orphans
+// of a torn compaction and are dropped; minute data below the watermark
+// has been downsampled and is dropped). Replay tolerates a torn final
+// frame in every stream — the expected end state of a crashed writer.
+// Appends after Open go to fresh segments.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	st := &Store{
+		dir:     dir,
+		opts:    opts.withDefaults(),
+		ids:     make(map[string]uint64),
+		files:   make(map[int]*os.File),
+		segMax:  make(map[int]int),
+		segSize: make(map[int]int64),
+	}
+	if err := st.replay(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// segFiles lists the tier's segment files in sequence order and bumps
+// nextSeq past them.
+func (st *Store) segFiles(tier int) ([]string, error) {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := tierPrefix[tier] + "-"
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), ".seg"))
+		if err != nil {
+			continue
+		}
+		if seq >= st.nextSeq[tier] {
+			st.nextSeq[tier] = seq + 1
+		}
+		names = append(names, name)
+	}
+	// %08d names sort numerically; ReadDir already returns sorted order.
+	slices.Sort(names)
+	return names, nil
+}
+
+func (st *Store) segSeq(name string) int {
+	base := name[strings.IndexByte(name, '-')+1:]
+	seq, _ := strconv.Atoi(strings.TrimSuffix(base, ".seg"))
+	return seq
+}
+
+func (st *Store) replay() error {
+	if err := st.replayDict(); err != nil {
+		return err
+	}
+	// Aggregate tiers first: their watermark records decide which finer
+	// data is still authoritative.
+	if err := st.replayAggs(int(TierDay)); err != nil {
+		return err
+	}
+	if err := st.replayAggs(int(TierHour)); err != nil {
+		return err
+	}
+	if err := st.replayMinutes(); err != nil {
+		return err
+	}
+	// Hour aggregates below the hour→day watermark were rolled into
+	// days; the hr segments still hold them (only minute segments are
+	// pruned), so drop them from memory here.
+	for _, e := range st.ents {
+		e.hours = slices.DeleteFunc(e.hours, func(a Agg) bool {
+			return a.Start < st.marks[TierHour]
+		})
+	}
+	return nil
+}
+
+func (st *Store) replayDict() error {
+	names, err := st.segFiles(dictTier)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(st.dir, name))
+		if err != nil {
+			return err
+		}
+		st.diskBytes += int64(len(b))
+		payloads, _ := journal.Frames(b)
+		for _, p := range payloads {
+			r, err := decodeRecord(p, nil, nil)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if r.kind != kDict {
+				return fmt.Errorf("%s: non-dict record in dict stream: %w", name, ErrBadRecord)
+			}
+			if r.id != uint64(len(st.ents)) {
+				return fmt.Errorf("%s: dict id %d out of order: %w", name, r.id, ErrBadRecord)
+			}
+			st.register(r.name)
+		}
+	}
+	return nil
+}
+
+// replayAggs replays the hour or day stream. Aggregates are provisional
+// until a watermark record commits them: a compaction appends its
+// aggregates and then the watermark in one batch, so an aggregate with
+// no following watermark is the orphan of a torn compaction.
+func (st *Store) replayAggs(tier int) error {
+	names, err := st.segFiles(tier)
+	if err != nil {
+		return err
+	}
+	// The watermark in the day stream governs the HOUR tier (hour→day
+	// roll-up), the one in the hr stream governs the MINUTE tier.
+	srcTier := TierHour
+	if tier == int(TierHour) {
+		srcTier = TierMinute
+	}
+	type pendAgg struct {
+		id uint64
+		a  Agg
+	}
+	var provisional []pendAgg
+	var aggScratch []Agg
+	for _, name := range names {
+		b, err := os.ReadFile(filepath.Join(st.dir, name))
+		if err != nil {
+			return err
+		}
+		st.diskBytes += int64(len(b))
+		payloads, _ := journal.Frames(b)
+		for _, p := range payloads {
+			r, err := decodeRecord(p, nil, aggScratch)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			switch r.kind {
+			case kAgg:
+				if int(r.tier) != tier {
+					return fmt.Errorf("%s: tier %v record in %s stream: %w", name, r.tier, tierPrefix[tier], ErrBadRecord)
+				}
+				if r.id >= uint64(len(st.ents)) {
+					return fmt.Errorf("%s: aggregate for unknown entity %d: %w", name, r.id, ErrBadRecord)
+				}
+				for _, a := range r.aggs {
+					provisional = append(provisional, pendAgg{r.id, a})
+				}
+				aggScratch = r.aggs[:0]
+			case kMark:
+				if r.tier != srcTier {
+					return fmt.Errorf("%s: tier %v watermark in %s stream: %w", name, r.tier, tierPrefix[tier], ErrBadRecord)
+				}
+				for _, pa := range provisional {
+					e := st.ents[pa.id]
+					if tier == int(TierDay) {
+						e.days = append(e.days, pa.a)
+					} else {
+						e.hours = append(e.hours, pa.a)
+					}
+				}
+				provisional = provisional[:0]
+				if r.mark > st.marks[srcTier] {
+					st.marks[srcTier] = r.mark
+				}
+			default:
+				return fmt.Errorf("%s: record kind %d in %s stream: %w", name, r.kind, tierPrefix[tier], ErrBadRecord)
+			}
+		}
+	}
+	return nil
+}
+
+// replayMinutes rebuilds the sealed-block index and each entity's open
+// buffer. A sealed block (exactly BlockSamples samples) becomes an
+// index entry and resets the entity's open accumulation — the tails
+// flushed before it are a prefix of the block by construction. A tail
+// record (fewer samples) concatenates onto the open buffer: consecutive
+// tails cover disjoint, contiguous sample ranges.
+func (st *Store) replayMinutes() error {
+	names, err := st.segFiles(int(TierMinute))
+	if err != nil {
+		return err
+	}
+	wm := st.marks[TierMinute]
+	var scratch []Sample
+	for _, name := range names {
+		seq := st.segSeq(name)
+		b, err := os.ReadFile(filepath.Join(st.dir, name))
+		if err != nil {
+			return err
+		}
+		st.diskBytes += int64(len(b))
+		st.segSize[seq] = int64(len(b))
+		payloads, boundaries := journal.Frames(b)
+		prev := 0
+		for i, p := range payloads {
+			r, err := decodeRecord(p, scratch, nil)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			if r.kind != kBlock || r.tier != TierMinute {
+				return fmt.Errorf("%s: record kind %d in minute stream: %w", name, r.kind, ErrBadRecord)
+			}
+			if r.id >= uint64(len(st.ents)) {
+				return fmt.Errorf("%s: block for unknown entity %d: %w", name, r.id, ErrBadRecord)
+			}
+			e := st.ents[r.id]
+			if len(r.samples) > 0 {
+				maxMin := r.samples[len(r.samples)-1].Minute
+				if maxMin > st.segMax[seq] {
+					st.segMax[seq] = maxMin
+				}
+				if !e.hasLast || maxMin > e.last {
+					e.last, e.hasLast = maxMin, true
+				}
+			}
+			if len(r.samples) == BlockSamples {
+				e.open = e.open[:0]
+				if r.samples[BlockSamples-1].Minute >= wm {
+					e.blocks = append(e.blocks, blockRef{
+						seq:   seq,
+						off:   int64(prev),
+						n:     boundaries[i] - prev,
+						start: r.samples[0].Minute,
+						end:   r.samples[BlockSamples-1].Minute,
+					})
+				}
+			} else {
+				for _, s := range r.samples {
+					if s.Minute < wm {
+						continue // already downsampled into the hour tier
+					}
+					if len(e.open) >= BlockSamples {
+						return fmt.Errorf("%s: entity %d open-block overflow: %w", name, r.id, ErrBadRecord)
+					}
+					e.open = append(e.open, s)
+				}
+			}
+			scratch = r.samples[:0]
+			prev = boundaries[i]
+		}
+	}
+	// Everything replayed into open buffers is already on disk.
+	for _, e := range st.ents {
+		e.flushed = len(e.open)
+	}
+	return nil
+}
+
+// register creates the in-memory state for a new entity (replay path:
+// no dict record is staged).
+func (st *Store) register(name string) *entState {
+	e := &entState{
+		id:   uint64(len(st.ents)),
+		name: name,
+		open: make([]Sample, 0, 2*BlockSamples),
+	}
+	st.ids[name] = e.id
+	st.ents = append(st.ents, e)
+	return e
+}
+
+// Append buffers one sample for entity. Samples per entity must arrive
+// with non-decreasing minutes (the archive's contract) and at or above
+// the minute→hour compaction watermark. The sample is acknowledged —
+// guaranteed to survive a crash — only once a subsequent Commit
+// returns. The steady-state path writes into a fixed-capacity buffer
+// and allocates nothing.
+func (st *Store) Append(entity string, s Sample) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if s.Minute < st.marks[TierMinute] {
+		return fmt.Errorf("tsdb: sample at minute %d below compaction watermark %d", s.Minute, st.marks[TierMinute])
+	}
+	id, ok := st.ids[entity]
+	var e *entState
+	if ok {
+		e = st.ents[id]
+	} else {
+		e = st.register(entity)
+		st.recBuf = appendDictRecord(st.recBuf[:0], e.id, entity)
+		st.dictPending = journal.AppendFrame(st.dictPending, st.recBuf)
+	}
+	if e.hasLast && s.Minute < e.last {
+		return fmt.Errorf("tsdb: non-monotone minute %d for %q (last %d)", s.Minute, entity, e.last)
+	}
+	e.open = append(e.open, s)
+	e.last, e.hasLast = s.Minute, true
+	if !e.dirty {
+		e.dirty = true
+		st.dirty = append(st.dirty, e.id)
+	}
+	return nil
+}
+
+// Commit makes every buffered sample durable in one batched segment
+// write (plus one fsync unless Options.NoSync): full 64-sample blocks
+// are sealed and indexed, the remainder of each entity's open buffer
+// goes out as a short tail record that the next sealed block
+// supersedes on replay. Journal-style prefix durability applies — a
+// crash mid-commit preserves an intact prefix of the batch and the
+// torn tail is dropped on replay. A commit with nothing buffered is a
+// no-op.
+func (st *Store) Commit() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	return st.commitLocked()
+}
+
+func (st *Store) commitLocked() error {
+	if len(st.dirty) == 0 && len(st.dictPending) == 0 {
+		return nil
+	}
+	// New entities become durable before any data referencing them.
+	if len(st.dictPending) > 0 {
+		if err := st.writeTier(dictTier, st.dictPending); err != nil {
+			return err
+		}
+		st.dictPending = st.dictPending[:0]
+	}
+	if len(st.dirty) == 0 {
+		return nil
+	}
+	// Canonical batch order regardless of append interleaving.
+	slices.Sort(st.dirty)
+
+	if err := st.ensureActive(int(TierMinute)); err != nil {
+		return err
+	}
+	seq, base := st.actSeq[TierMinute], st.actSize[TierMinute]
+	st.pending = st.pending[:0]
+	sealed := 0
+	batchMax := -1
+	for _, id := range st.dirty {
+		e := st.ents[id]
+		e.dirty = false
+		// Seal every full block; record its future file location now —
+		// the whole batch lands at base in one write.
+		n := len(e.open)
+		nSeal := (n / BlockSamples) * BlockSamples
+		for i := 0; i < nSeal; i += BlockSamples {
+			blk := e.open[i : i+BlockSamples]
+			st.recBuf = appendBlockRecord(st.recBuf[:0], TierMinute, id, blk)
+			off := int64(len(st.pending))
+			st.pending = journal.AppendFrame(st.pending, st.recBuf)
+			e.blocks = append(e.blocks, blockRef{
+				seq:   seq,
+				off:   base + off,
+				n:     len(st.pending) - int(off),
+				start: blk[0].Minute,
+				end:   blk[BlockSamples-1].Minute,
+			})
+			sealed++
+		}
+		if e.flushed < nSeal {
+			e.flushed = nSeal // tails already written are a prefix of the seals
+		}
+		if e.flushed < n {
+			st.recBuf = appendBlockRecord(st.recBuf[:0], TierMinute, id, e.open[e.flushed:n])
+			st.pending = journal.AppendFrame(st.pending, st.recBuf)
+		}
+		if n > 0 && e.open[n-1].Minute > batchMax {
+			batchMax = e.open[n-1].Minute
+		}
+		// Drop the sealed prefix from the open buffer.
+		if nSeal > 0 {
+			copy(e.open, e.open[nSeal:])
+			e.open = e.open[:n-nSeal]
+		}
+		e.flushed = len(e.open)
+	}
+	st.dirty = st.dirty[:0]
+	if len(st.pending) == 0 {
+		return nil
+	}
+	if err := st.writeTier(int(TierMinute), st.pending); err != nil {
+		return err
+	}
+	if batchMax > st.segMax[seq] {
+		st.segMax[seq] = batchMax
+	}
+	st.segSize[seq] += int64(len(st.pending))
+	st.m.addBlocks("sealed", sealed)
+	return nil
+}
+
+// ensureActive opens (or rotates) the tier's active segment so the next
+// write has room below the rotation threshold.
+func (st *Store) ensureActive(tier int) error {
+	if st.active[tier] != nil && st.actSize[tier] < int64(st.opts.SegmentBytes) {
+		return nil
+	}
+	if st.active[tier] != nil && tier != int(TierMinute) {
+		// Minute handles stay open for ReadAt; other tiers are replay-only.
+		if err := st.active[tier].Close(); err != nil {
+			return err
+		}
+		st.active[tier] = nil
+	}
+	seq := st.nextSeq[tier]
+	st.nextSeq[tier]++
+	name := fmt.Sprintf("%s-%08d.seg", tierPrefix[tier], seq)
+	f, err := os.OpenFile(filepath.Join(st.dir, name), os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	st.active[tier] = f
+	st.actSeq[tier] = seq
+	st.actSize[tier] = 0
+	if tier == int(TierMinute) {
+		st.files[seq] = f
+		st.segSize[seq] = 0
+	}
+	st.m.segment(tier)
+	return nil
+}
+
+// writeTier appends b to the tier's active segment in one write, with
+// an fsync unless NoSync.
+func (st *Store) writeTier(tier int, b []byte) error {
+	if err := st.ensureActive(tier); err != nil {
+		return err
+	}
+	n, err := st.active[tier].Write(b)
+	st.actSize[tier] += int64(n)
+	st.diskBytes += int64(n)
+	st.m.wrote(tier, n, st.diskBytes)
+	if err != nil {
+		return err
+	}
+	if !st.opts.NoSync {
+		return st.active[tier].Sync()
+	}
+	return nil
+}
+
+// ForEachMinute calls fn for every raw minute-tier sample of entity in
+// [from, to), in chronological order — sealed blocks (through the
+// hot-block cache) first, then the open buffer. Minutes below the
+// minute→hour watermark have been downsampled away and are not
+// visited. fn must not call back into the store.
+func (st *Store) ForEachMinute(entity string, from, to int, fn func(Sample)) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	id, ok := st.ids[entity]
+	if !ok {
+		return nil
+	}
+	return st.forEachMinuteLocked(st.ents[id], from, to, fn)
+}
+
+func (st *Store) forEachMinuteLocked(e *entState, from, to int, fn func(Sample)) error {
+	if from < st.marks[TierMinute] {
+		from = st.marks[TierMinute]
+	}
+	for i := range e.blocks {
+		ref := &e.blocks[i]
+		if ref.end < from || ref.start >= to {
+			continue
+		}
+		samples, err := st.loadBlock(ref)
+		if err != nil {
+			return err
+		}
+		for _, s := range samples {
+			if s.Minute >= from && s.Minute < to {
+				fn(s)
+			}
+		}
+	}
+	for _, s := range e.open {
+		if s.Minute >= from && s.Minute < to {
+			fn(s)
+		}
+	}
+	return nil
+}
+
+// loadBlock returns the sealed block's samples via the hot-block cache,
+// reading the frame from disk through a pooled buffer on a miss. The
+// returned slice belongs to the cache slot — callers must not retain it
+// across store calls.
+func (st *Store) loadBlock(ref *blockRef) ([]Sample, error) {
+	key := blockKey{seq: ref.seq, off: ref.off}
+	if s, ok := st.cacheGet(key); ok {
+		st.m.cache(true)
+		return s, nil
+	}
+	st.m.cache(false)
+	f := st.files[ref.seq]
+	if f == nil {
+		var err error
+		name := fmt.Sprintf("%s-%08d.seg", tierPrefix[TierMinute], ref.seq)
+		f, err = os.Open(filepath.Join(st.dir, name))
+		if err != nil {
+			return nil, err
+		}
+		st.files[ref.seq] = f
+	}
+	buf := frameBufPool.Get().(*[]byte)
+	defer frameBufPool.Put(buf)
+	b := *buf
+	if cap(b) < ref.n {
+		b = make([]byte, ref.n)
+		*buf = b
+	}
+	b = b[:ref.n]
+	if _, err := f.ReadAt(b, ref.off); err != nil {
+		return nil, err
+	}
+	payload, _, err := journal.DecodeFrame(b)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: sealed block at %s seq %d off %d: %w", st.dir, ref.seq, ref.off, err)
+	}
+	slot := st.cacheSlot(key)
+	r, err := decodeRecord(payload, slot.samples[:0], nil)
+	if err != nil || r.kind != kBlock {
+		st.cacheDrop(key)
+		if err == nil {
+			err = ErrBadRecord
+		}
+		return nil, err
+	}
+	slot.samples = r.samples
+	return slot.samples, nil
+}
+
+// SeriesBuf is a reusable result buffer for ReadSeries: the best
+// available resolution for each span — day aggregates for the oldest
+// history, hour aggregates below the minute→hour watermark, raw
+// samples above it. Slices are reset, not reallocated, across calls.
+type SeriesBuf struct {
+	Days    []Agg
+	Hours   []Agg
+	Minutes []Sample
+}
+
+// ReadSeries fills buf with entity's data intersecting [from, to):
+// day aggregates whose window starts below the hour→day watermark,
+// hour aggregates from there up to the minute→hour watermark, raw
+// minute samples above it. An unknown entity yields an empty buffer.
+func (st *Store) ReadSeries(entity string, from, to int, buf *SeriesBuf) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	buf.Days, buf.Hours, buf.Minutes = buf.Days[:0], buf.Hours[:0], buf.Minutes[:0]
+	id, ok := st.ids[entity]
+	if !ok {
+		return nil
+	}
+	e := st.ents[id]
+	for _, a := range e.days {
+		if a.Start+TierDay.Window() > from && a.Start < to {
+			buf.Days = append(buf.Days, a)
+		}
+	}
+	for _, a := range e.hours {
+		if a.Start+TierHour.Window() > from && a.Start < to {
+			buf.Hours = append(buf.Hours, a)
+		}
+	}
+	return st.forEachMinuteLocked(e, from, to, func(s Sample) {
+		buf.Minutes = append(buf.Minutes, s)
+	})
+}
+
+// Watermark returns the compaction watermark of a source tier: minute
+// data below Watermark(TierMinute) lives in the hour tier, hour data
+// below Watermark(TierHour) in the day tier. TierDay has no watermark.
+func (st *Store) Watermark(t Tier) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if t >= TierDay {
+		return 0
+	}
+	return st.marks[t]
+}
+
+// Entities returns every known entity name in registration order.
+func (st *Store) Entities() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	names := make([]string, len(st.ents))
+	for i, e := range st.ents {
+		names[i] = e.name
+	}
+	return names
+}
+
+// Dir returns the store directory.
+func (st *Store) Dir() string { return st.dir }
+
+// DiskBytes returns the bytes currently on disk across all segments.
+func (st *Store) DiskBytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.diskBytes
+}
+
+// Close commits buffered samples and closes every file handle. The
+// store is unusable afterwards.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	err := st.commitLocked()
+	st.closed = true
+	for tier, f := range st.active {
+		if f == nil {
+			continue
+		}
+		// Minute-tier actives also sit in st.files; close once there.
+		if tier != int(TierMinute) {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		st.active[tier] = nil
+	}
+	for seq, f := range st.files {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		delete(st.files, seq)
+	}
+	return err
+}

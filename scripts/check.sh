@@ -20,20 +20,27 @@
 #      corpus — a decoder regression against a known-bad frame
 #      (torn tail, bit flip, lying length) fails the gate even when
 #      no new fuzzing is run
-#   7. the dispatch gate: a race-enabled run of the concurrent fan-out
+#   7. the archive gate: race-enabled tsdb crash-point sweeps (every
+#      torn-tail byte boundary across data, dictionary and compaction
+#      records), the tsdb record-decoder fuzz seeds, and the
+#      simulator-level backed-run recovery test (a full day's day
+#      profiles must come back byte-identical after crash-and-reopen)
+#   8. the dispatch gate: a race-enabled run of the concurrent fan-out
 #      stress (per-host lanes under injected faults and competing
 #      callers) and the worker-count byte-identity proof — the claim
 #      that DispatchConfig.Workers is purely a throughput knob
-#   8. the perf gate: the wire fuzz target replayed over its
+#   9. the perf gate: the wire fuzz target replayed over its
 #      checked-in seed corpus (hostile frames must keep failing
 #      cleanly), the zero-allocation guardrails on the steady-state
-#      heartbeat AND dispatch paths (race-free runs, because race
+#      heartbeat AND dispatch paths plus the archive append and
+#      forecast read paths (race-free runs, because race
 #      instrumentation allocates inside sync.Pool), and short smoke
 #      runs of the inference fast-path, 1,000-host ingest,
-#      single-action dispatch and 1,000-host fan-out benchmarks, so a
-#      regression that breaks the compiled path, the pooled codec,
-#      the sharded merge or the pooled dispatch path shows up even
-#      when no test asserts on speed
+#      single-action dispatch, 1,000-host fan-out and tsdb
+#      append/hot-read benchmarks, so a regression that breaks the
+#      compiled path, the pooled codec, the sharded merge, the pooled
+#      dispatch path or the pooled segment buffers shows up even when
+#      no test asserts on speed
 #
 # Usage: scripts/check.sh   (from the repository root)
 set -eu
@@ -85,6 +92,18 @@ go test -race -run 'TestCrashPointSweep' ./internal/agent/
 go test -race -run 'Fuzz' ./internal/journal/
 go test -race -run 'Fuzz' ./internal/wire/
 
+echo "== archive gate: tsdb crash sweeps + fuzz seed corpus + backed-run recovery"
+# The disk-backed load archive's acceptance tests: a store killed at
+# every byte boundary of a torn tail (data, dictionary and compaction
+# watermark records alike) must recover every committed sample and
+# never a torn one; the record decoder replayed over its checked-in
+# seed corpus must keep rejecting hostile frames cleanly; and a full
+# simulated day driven through the real control loop must come back
+# byte-identical (same day profiles) after a crash-and-reopen.
+go test -race -run 'TestCrashPointSweepTSDB|TestCrashPointSweepDict|TestCrashPointSweepCompaction' ./internal/tsdb/
+go test -race -run 'Fuzz' ./internal/tsdb/
+go test -race -run 'TestArchiveBackedRunSurvivesCrash' ./internal/simulator/
+
 echo "== dispatch gate: race-enabled fan-out stress + worker parity"
 # The concurrent fan-out stress hammers the per-host lanes with
 # injected faults and competing callers under the race detector; the
@@ -106,6 +125,15 @@ echo "== perf gate: zero-alloc heartbeat + dispatch paths (race-free run)"
 # -race (race instrumentation allocates inside sync.Pool), so they get
 # a dedicated race-free invocation here.
 go test -run 'TestHeartbeatPathZeroAlloc|TestDispatchPathZeroAlloc|TestTriggerQueueRecycling' -count=1 ./internal/agent/
+# The archive's steady-state write path — ring append, incremental day
+# profile, tsdb block write into pooled segment buffers — and the
+# forecaster's read path must also allocate nothing per sample.
+go test -run 'TestTSDBAppendPathZeroAlloc' -count=1 ./internal/tsdb/
+go test -run 'TestArchiveRecordPathZeroAlloc' -count=1 ./internal/archive/
+go test -run 'TestPredictZeroAlloc' -count=1 ./internal/forecast/
+
+echo "== benchmark smoke: TSDBAppend + TSDBReadHot (archive hot paths)"
+go test -run XXX -bench 'BenchmarkTSDBAppend$|BenchmarkTSDBReadHot$' -benchtime=100x -benchmem ./internal/tsdb/
 
 echo "== benchmark smoke: FuzzyInference (100 iterations)"
 go test -run XXX -bench 'BenchmarkFuzzyInference$' -benchtime=100x -benchmem .
