@@ -32,6 +32,12 @@
 //	# replayed on restart, and the forecast scan raises triggers 45
 //	# minutes ahead of predicted overloads
 //	autoglobe-agentd -mode coordinator -landscape l.xml -archive-dir /var/lib/autoglobe/archive -forecast 45
+//
+//	# administrable rules: seed the versioned rule registry from disk
+//	# and shadow-evaluate a candidate base beside the active set —
+//	# the candidate's decisions are diffed and counted, never executed
+//	autoglobe-agentd -mode coordinator -landscape l.xml -rules-dir /etc/autoglobe/rules \
+//	    -shadow-rules-dir /etc/autoglobe/candidate -shadow-label overhaul@v2
 package main
 
 import (
@@ -56,6 +62,7 @@ import (
 	"autoglobe/internal/journal"
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/obs"
+	"autoglobe/internal/rules"
 	"autoglobe/internal/simulator"
 	"autoglobe/internal/spec"
 	"autoglobe/internal/tsdb"
@@ -80,21 +87,24 @@ func main() {
 		workers     = flag.Int("dispatch-workers", 0, "coordinator/demo modes: action fan-out width — how many per-host dispatch lanes run concurrently (0: one per CPU, 1: serial); outcomes are identical for any width, same-host actions stay ordered")
 		archiveDir  = flag.String("archive-dir", "", "coordinator/demo modes: back the load archive with the segmented on-disk store in this directory; the full observation history is committed once per minute and replayed on restart")
 		forecastMin = flag.Int("forecast", 0, "coordinator/demo modes: proactive-control horizon in minutes — the forecast scan predicts every host's and service's load this far ahead and raises forecast triggers before measured overloads confirm (0 disables)")
+		rulesDir    = flag.String("rules-dir", "", "coordinator/demo modes: versioned rule-base directory (<name>@v<N>.rules); every file is validated into the rule registry and the highest version of each base is hot-swapped into the controller before the first minute")
+		shadowDir   = flag.String("shadow-rules-dir", "", "coordinator/demo modes: candidate rule-base directory shadow-evaluated beside the active rule set on every live trigger — decisions are diffed and counted in autoglobe_rules_shadow_* metrics, never executed")
+		shadowLabel = flag.String("shadow-label", "candidate", "label the shadow candidate carries in metrics and traces (with -shadow-rules-dir)")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards, *workers, *archiveDir, *forecastMin); err != nil {
+	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir); err != nil {
 		fatal(err)
 	}
 	codec, _ := wire.ParseCodec(*codecName) // validated above
 	var err error
 	switch *mode {
 	case "coordinator":
-		err = runCoordinator(*landscape, *listen, *interval, *journalDir, codec, *shards, *workers, *archiveDir, *forecastMin)
+		err = runCoordinator(*landscape, *listen, *interval, *journalDir, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel)
 	case "agent":
 		err = runAgent(*host, *coordinator, *load, *interval, codec)
 	case "demo":
-		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards, *workers, *archiveDir, *forecastMin)
+		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel)
 	}
 	if err != nil {
 		fatal(err)
@@ -111,12 +121,18 @@ func mountObs(tr *wire.HTTP, reg *obs.Registry, tracer *obs.Tracer, health *obs.
 	tr.Mount(obs.HealthPath, obs.HealthHandler(health))
 }
 
-func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards, workers int, archiveDir string, forecastMin int) error {
+func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir string) error {
 	if chaosSeed != 0 && mode != "demo" {
 		return fmt.Errorf("-chaos-seed only applies to -mode demo")
 	}
 	if archiveDir != "" && mode == "agent" {
 		return fmt.Errorf("-archive-dir only applies to -mode coordinator or demo")
+	}
+	if rulesDir != "" && mode == "agent" {
+		return fmt.Errorf("-rules-dir only applies to -mode coordinator or demo")
+	}
+	if shadowDir != "" && mode == "agent" {
+		return fmt.Errorf("-shadow-rules-dir only applies to -mode coordinator or demo")
 	}
 	if forecastMin < 0 {
 		return fmt.Errorf("-forecast %d must be >= 0", forecastMin)
@@ -177,7 +193,7 @@ func loadLandscape(path string) (*spec.Landscape, error) {
 // per interval (closing the service observations, probing silent
 // hosts), and hands every confirmed trigger to the fuzzy controller,
 // whose decisions are dispatched back to the agents.
-func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int) error {
+func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -251,6 +267,7 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 	disp.Instrument(reg)
 	disp.Trace(tracer)
 	health.SetInfo("dispatch_workers", fmt.Sprintf("%d", disp.Workers()))
+	var cj *agent.CoordinatorJournal
 	if journalDir != "" {
 		// Crash safety: fsync-on-commit journal, a fresh durable epoch per
 		// incarnation, and recovery of the previous incarnation's
@@ -258,7 +275,7 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 		// they already applied; rejected on route errors until the agents
 		// rejoin, which journals the abandonment for the controller to
 		// re-plan).
-		cj, err := agent.OpenCoordinatorJournal(journalDir, journal.Options{})
+		cj, err = agent.OpenCoordinatorJournal(journalDir, journal.Options{})
 		if err != nil {
 			return err
 		}
@@ -298,6 +315,38 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 	}
 	ctl.Instrument(reg)
 	ctl.Trace(tracer)
+	// Rule administration: a versioned registry backs the coordinator's
+	// rulePut/ruleGet/ruleList endpoints, -rules-dir seeds it from disk,
+	// and journaled activations from the previous incarnation are
+	// re-validated, re-swapped and re-activated before the first minute.
+	rreg := rules.New(controller.RuleVocabulary)
+	ruleSwap := func(e *rules.Entry) error { return ctl.SwapRuleBase(e.Name, e.Base) }
+	if rulesDir != "" {
+		refs, err := agent.LoadRuleDir(rreg, ctl, rulesDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rules: %d versions loaded from %s\n", len(refs), rulesDir)
+	}
+	coord.AttachRules(rreg, ruleSwap)
+	if cj != nil {
+		if err := agent.ReplayRules(cj, rreg, ruleSwap); err != nil {
+			return err
+		}
+		if n := len(cj.ActiveRules()); n > 0 {
+			fmt.Printf("journal: %d rule activations restored\n", n)
+		}
+	}
+	if shadowDir != "" {
+		// The candidate rides along every live trigger: its decisions are
+		// diffed against the active rule set's and counted, never executed.
+		am, sm, err := agent.ShadowOverlayDir(shadowDir)
+		if err != nil {
+			return err
+		}
+		ctl.Shadow(shadowLabel, am, sm)
+		fmt.Printf("shadow: candidate %q from %s evaluated alongside the active rules\n", shadowLabel, shadowDir)
+	}
 	health.SetInfo("node", coord.Node())
 	// Coordinator.Err drains on read, so the minute loop records the
 	// drained value here and the health check reports it until the next
@@ -456,7 +505,7 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration,
 // declared landscape runs through the simulator's distributed mode over
 // the in-memory loopback, and the run ends with the control-plane panel
 // and the usual result summary.
-func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int) error {
+func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -482,6 +531,9 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 		c.Hours = hours
 		c.ArchiveDir = archiveDir
 		c.ForecastHorizon = forecastMin
+		c.RulesDir = rulesDir
+		c.ShadowRulesDir = shadowDir
+		c.ShadowLabel = shadowLabel
 		dc := &simulator.DistributedConfig{Transport: tr, JournalDir: jdir, IngestShards: shards, DispatchWorkers: workers}
 		if chaosSeed != 0 {
 			hosts := make([]string, 0, len(l.Servers))

@@ -9,6 +9,14 @@
 //	echo 'IF cpuLoad IS high THEN scaleUp IS applicable' | fuzzyc cpuLoad=0.9
 //	fuzzyc -builtin serviceOverloaded cpuLoad=0.85 memLoad=0.4 instanceLoad=0.8 \
 //	       serviceLoad=0.75 instancesOnServer=2 instancesOfService=3 performanceIndex=1
+//
+// The replay subcommand validates a candidate rule file exactly like a
+// coordinator push would and diffs it against the built-in (or a given)
+// baseline over real archived load from a tsdb-backed archive
+// directory — the offline first step of promoting a rule edit:
+//
+//	fuzzyc replay -name serviceIdle -rules candidate.rules \
+//	       -archive-dir /var/lib/autoglobe/archive instancesOfService=5
 package main
 
 import (
@@ -26,6 +34,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		runReplay(os.Args[2:])
+		return
+	}
 	var (
 		rulesPath = flag.String("rules", "", "file with rules in the rule language (default: stdin)")
 		builtin   = flag.String("builtin", "", "evaluate a built-in rule base instead: serviceOverloaded, serviceIdle, serverOverloaded, serverIdle")

@@ -20,7 +20,18 @@ const (
 	recDispatch = "dispatch" // an action is about to leave for an agent
 	recAck      = "ack"      // the action's terminal outcome arrived
 	recLiveness = "liveness" // a host was confirmed dead or recovered
+	recRule     = "rule"     // a rule-base version was activated
 )
+
+// RuleActivation is one journaled rule-base activation: the full source
+// travels with the record, so a restarted coordinator rebuilds the
+// active rule set from the journal alone — no rules directory needed.
+type RuleActivation struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Hash    string `json:"hash"`
+	Source  string `json:"source"`
+}
 
 // journalRecord is the JSON payload of one WAL record. Exactly the
 // fields of its kind are set.
@@ -33,14 +44,16 @@ type journalRecord struct {
 	Host   string              `json:"host,omitempty"`
 	Dead   bool                `json:"dead,omitempty"`
 	Minute int                 `json:"minute,omitempty"`
+	Rule   *RuleActivation     `json:"rule,omitempty"`
 }
 
 // journalState is the snapshot payload: everything recovery needs,
 // compacted, so the record tail stays short.
 type journalState struct {
-	Epoch   uint64               `json:"epoch"`
-	Pending []wire.ActionRequest `json:"pending,omitempty"`
-	Down    map[string]int       `json:"down,omitempty"` // host -> minute confirmed dead
+	Epoch   uint64                    `json:"epoch"`
+	Pending []wire.ActionRequest      `json:"pending,omitempty"`
+	Down    map[string]int            `json:"down,omitempty"`  // host -> minute confirmed dead
+	Rules   map[string]RuleActivation `json:"rules,omitempty"` // name -> active rule base
 }
 
 // CoordinatorJournal is the coordinator's write-ahead action log: a
@@ -83,6 +96,7 @@ type CoordinatorJournal struct {
 	pending map[string]wire.ActionRequest // key -> dispatched, fate unknown
 	order   []string                      // dispatch order of pending keys
 	down    map[string]int                // host -> minute confirmed dead
+	rules   map[string]RuleActivation     // name -> active rule base
 
 	appends       int
 	snapshotEvery int
@@ -129,6 +143,7 @@ func OpenCoordinatorJournal(dir string, opts journal.Options) (*CoordinatorJourn
 		opts:          opts,
 		pending:       make(map[string]wire.ActionRequest),
 		down:          make(map[string]int),
+		rules:         make(map[string]RuleActivation),
 		snapshotEvery: DefaultSnapshotEvery,
 	}
 	snapshot, records := j.Recovered()
@@ -145,6 +160,9 @@ func OpenCoordinatorJournal(dir string, opts journal.Options) (*CoordinatorJourn
 		}
 		for h, m := range st.Down {
 			cj.down[h] = m
+		}
+		for name, ra := range st.Rules {
+			cj.rules[name] = ra
 		}
 	}
 	for _, raw := range records {
@@ -185,6 +203,10 @@ func (cj *CoordinatorJournal) apply(r journalRecord) {
 			cj.down[r.Host] = r.Minute
 		} else {
 			delete(cj.down, r.Host)
+		}
+	case recRule:
+		if r.Rule != nil && r.Rule.Name != "" {
+			cj.rules[r.Rule.Name] = *r.Rule
 		}
 	}
 }
@@ -365,6 +387,31 @@ func (cj *CoordinatorJournal) LogLiveness(host string, dead bool, minute int) er
 	return cj.append(journalRecord{Kind: recLiveness, Host: host, Dead: dead, Minute: minute})
 }
 
+// LogRule durably records a rule-base activation (a version bump of the
+// active rule set). The record carries the full source, so recovery can
+// rebuild and re-activate the rule base without any other storage.
+func (cj *CoordinatorJournal) LogRule(ra RuleActivation) error {
+	if ra.Name == "" {
+		return fmt.Errorf("agent: journal rule activation without name")
+	}
+	r := ra
+	return cj.append(journalRecord{Kind: recRule, Rule: &r})
+}
+
+// ActiveRules returns the journaled active rule set sorted by name —
+// what a recovered coordinator re-activates before administering
+// anything.
+func (cj *CoordinatorJournal) ActiveRules() []RuleActivation {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	out := make([]RuleActivation, 0, len(cj.rules))
+	for _, ra := range cj.rules {
+		out = append(out, ra)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // Pending returns the dispatched actions whose fate is unknown, in
 // dispatch order — what a recovered coordinator must re-issue.
 func (cj *CoordinatorJournal) Pending() []wire.ActionRequest {
@@ -401,7 +448,7 @@ func (cj *CoordinatorJournal) Snapshot() error {
 }
 
 func (cj *CoordinatorJournal) snapshotLocked() error {
-	st := journalState{Epoch: cj.epoch, Down: cj.down}
+	st := journalState{Epoch: cj.epoch, Down: cj.down, Rules: cj.rules}
 	for _, key := range cj.order {
 		if req, ok := cj.pending[key]; ok {
 			st.Pending = append(st.Pending, req)

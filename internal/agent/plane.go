@@ -9,6 +9,7 @@ import (
 	"autoglobe/internal/journal"
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/obs"
+	"autoglobe/internal/rules"
 	"autoglobe/internal/service"
 	"autoglobe/internal/wire"
 )
@@ -43,6 +44,9 @@ type Plane struct {
 	disp   *Dispatcher
 	dep    *service.Deployment
 	agents map[string]*Agent
+
+	rulesReg *rules.Registry
+	ruleSwap RuleActivator
 
 	// HeartbeatTimeout bounds one heartbeat delivery (default 2s).
 	HeartbeatTimeout time.Duration
@@ -122,6 +126,31 @@ func (p *Plane) Agent(host string) (*Agent, bool) {
 	return a, ok
 }
 
+// AttachRules connects a rule-base registry and the controller whose
+// rule set pushed-and-activated bases hot-swap. Rule admin messages
+// (rulePut/ruleGet/ruleList) are served from then on; activations are
+// journaled when a journal is attached, and an attached journal's
+// previously activated rule set is replayed immediately.
+func (p *Plane) AttachRules(reg *rules.Registry, ctrl *controller.Controller) error {
+	var swap RuleActivator
+	if ctrl != nil {
+		swap = func(e *rules.Entry) error { return ctrl.SwapRuleBase(e.Name, e.Base) }
+	}
+	p.rulesReg = reg
+	p.ruleSwap = swap
+	p.coord.AttachRules(reg, swap)
+	if cj := p.disp.Journal(); cj != nil {
+		return p.replayRules(cj)
+	}
+	return nil
+}
+
+// replayRules re-activates the journaled active rule set through the
+// plane's registry and swap hook (see ReplayRules).
+func (p *Plane) replayRules(cj *CoordinatorJournal) error {
+	return ReplayRules(cj, p.rulesReg, p.ruleSwap)
+}
+
 // Executor wraps the inner executor with the plane's dispatching layer:
 // every decision is acknowledged by the affected hosts before it is
 // applied to the model.
@@ -152,6 +181,9 @@ func (p *Plane) adoptJournal(ctx context.Context, cj *CoordinatorJournal) (down 
 	p.coord.AttachJournal(cj)
 	for host, minute := range cj.Down() {
 		p.coord.Liveness().MarkDead(host, minute)
+	}
+	if err := p.replayRules(cj); err != nil {
+		return nil, 0, err
 	}
 	down = cj.DownHosts()
 	reissued, err = cj.Recover(ctx, p.disp)

@@ -15,6 +15,8 @@ package controller
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"autoglobe/internal/archive"
 	"autoglobe/internal/fuzzy"
@@ -206,6 +208,17 @@ type Controller struct {
 	engine *fuzzy.Engine
 	exec   Executor
 
+	// rules is the active rule set. Inference loads the pointer and never
+	// takes a lock; swaps build a successor under swapMu and store it —
+	// see ruleset.go.
+	rules  atomic.Pointer[ruleSet]
+	swapMu sync.Mutex
+	// shadow is the candidate overlay evaluated beside the active set on
+	// every trigger (nil: shadow mode off).
+	shadow      atomic.Pointer[shadowRules]
+	shadowEvals atomic.Uint64
+	shadowDiffs atomic.Uint64
+
 	protHost map[string]int // host -> protected until minute (exclusive)
 	protSvc  map[string]int
 	events   []Event
@@ -228,7 +241,7 @@ func New(cfg Config, dep *service.Deployment, arch *archive.Archive, exec Execut
 		return nil, fmt.Errorf("controller: nil executor")
 	}
 	cfg = cfg.withDefaults()
-	return &Controller{
+	c := &Controller{
 		cfg:      cfg,
 		dep:      dep,
 		arch:     arch,
@@ -236,7 +249,9 @@ func New(cfg Config, dep *service.Deployment, arch *archive.Archive, exec Execut
 		exec:     exec,
 		protHost: make(map[string]int),
 		protSvc:  make(map[string]int),
-	}, nil
+	}
+	c.rules.Store(newRuleSet(cfg.ActionRules, cfg.SelectionRules, cfg.ServiceRules))
+	return c, nil
 }
 
 // Events returns the controller's message log.
@@ -252,28 +267,6 @@ func (c *Controller) Pending() []*Decision {
 	out := make([]*Decision, len(c.pending))
 	copy(out, c.pending)
 	return out
-}
-
-// AddServiceRules registers (or replaces) a service-specific rule base
-// for one trigger at runtime — Section 4.1's dynamic adaptation: "an
-// administrator can add service-specific rule bases for mission
-// critical services". The rule base must be built over the
-// action-selection vocabulary.
-func (c *Controller) AddServiceRules(svcName string, kind monitor.TriggerKind, rb *fuzzy.RuleBase) error {
-	if _, ok := c.dep.Catalog().Get(svcName); !ok {
-		return fmt.Errorf("controller: unknown service %q", svcName)
-	}
-	if rb == nil {
-		return fmt.Errorf("controller: nil rule base")
-	}
-	if c.cfg.ServiceRules == nil {
-		c.cfg.ServiceRules = make(map[string]map[monitor.TriggerKind]*fuzzy.RuleBase)
-	}
-	if c.cfg.ServiceRules[svcName] == nil {
-		c.cfg.ServiceRules[svcName] = make(map[monitor.TriggerKind]*fuzzy.RuleBase)
-	}
-	c.cfg.ServiceRules[svcName][kind] = rb
-	return nil
 }
 
 // HostProtected reports whether the host is in protection mode at the
@@ -311,6 +304,15 @@ func (c *Controller) HandleTrigger(tr monitor.Trigger) (*Decision, error) {
 		c.tracer.End(obs.OutcomeProtected, "")
 		return nil, nil
 	}
+	// Shadow mode: evaluate the candidate rule set against the same
+	// pre-execution snapshot the active set sees, so the diff compares
+	// rule semantics, not execution side effects. The shadow decision is
+	// never executed.
+	sh := c.shadow.Load()
+	var shadowD *Decision
+	if sh != nil {
+		shadowD = c.shadowDecision(sh.overlay(c.ruleset()), tr)
+	}
 	candidates, err := c.SelectActions(tr)
 	if err != nil {
 		c.tracer.End(obs.OutcomeError, err.Error())
@@ -337,12 +339,14 @@ func (c *Controller) HandleTrigger(tr monitor.Trigger) (*Decision, error) {
 				Note: "awaiting administrator confirmation"})
 			c.metrics.decision(tr.Kind, d.Action)
 			c.traceDecide(d)
+			c.recordShadow(d, shadowD, sh)
 			c.tracer.End(obs.OutcomeQueued, "")
 			return d, nil
 		}
 		if ok := c.execute(d); ok {
 			c.metrics.decision(tr.Kind, d.Action)
 			c.traceDecide(d)
+			c.recordShadow(d, shadowD, sh)
 			c.tracer.End(obs.OutcomeExecuted, "")
 			return d, nil
 		}
@@ -355,6 +359,7 @@ func (c *Controller) HandleTrigger(tr monitor.Trigger) (*Decision, error) {
 	case monitor.ServerOverloaded, monitor.ServiceOverloaded:
 		c.note(tr.Minute, "ALERT %s: no applicable action — administrator interaction requested", tr)
 	}
+	c.recordShadow(nil, shadowD, sh)
 	c.tracer.End(obs.OutcomeNoAction, "")
 	return nil, nil
 }

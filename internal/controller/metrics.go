@@ -21,6 +21,20 @@ const (
 	// forecast scan, by trigger kind — decisions they lead to land in
 	// MetricDecisions like any other.
 	MetricForecastTriggers = "autoglobe_controller_forecast_triggers_total"
+	// MetricRuleSwaps counts hot swaps of the active rule set, by layer
+	// (action, selection, service).
+	MetricRuleSwaps = "autoglobe_rules_swaps_total"
+	// MetricRuleFallback counts server selections that found no rule
+	// base registered for the action (only start silently shares the
+	// scale-out placement base; every other miss selects no host and
+	// lands here).
+	MetricRuleFallback = "autoglobe_rules_fallback_total"
+	// MetricShadowEvals counts shadow evaluations of a candidate rule
+	// set, by candidate label.
+	MetricShadowEvals = "autoglobe_rules_shadow_evals_total"
+	// MetricShadowDiffs counts shadow evaluations that disagreed with
+	// the active decision, by candidate label and disagreeing field.
+	MetricShadowDiffs = "autoglobe_rules_shadow_diffs_total"
 )
 
 // controllerMetrics holds the registry for the dynamic decision labels
@@ -37,6 +51,10 @@ func newControllerMetrics(r *obs.Registry) *controllerMetrics {
 	r.Help(MetricDecisions, "Controller decisions, by trigger kind and action.")
 	r.Help(MetricInference, "Latency of one fuzzy inference run.")
 	r.Help(MetricForecastTriggers, "Proactive forecast triggers raised, by trigger kind.")
+	r.Help(MetricRuleSwaps, "Hot swaps of the active rule set, by layer.")
+	r.Help(MetricRuleFallback, "Server selections with no rule base registered for the action.")
+	r.Help(MetricShadowEvals, "Shadow evaluations of a candidate rule set, by candidate.")
+	r.Help(MetricShadowDiffs, "Shadow evaluations disagreeing with the active decision, by candidate and field.")
 	return &controllerMetrics{
 		reg:       r,
 		inference: r.Histogram(MetricInference, obs.LatencySecondsBuckets()),
@@ -59,6 +77,35 @@ func (m *controllerMetrics) forecastTrigger(kind monitor.TriggerKind) {
 		return
 	}
 	m.reg.Counter(MetricForecastTriggers, "trigger", string(kind)).Inc()
+}
+
+// ruleSwap counts one hot swap of the active rule set.
+func (m *controllerMetrics) ruleSwap(layer string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(MetricRuleSwaps, "layer", layer).Inc()
+}
+
+// ruleFallback counts one server selection that found no rule base for
+// its action.
+func (m *controllerMetrics) ruleFallback(a service.Action) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(MetricRuleFallback, "action", string(a)).Inc()
+}
+
+// shadowEval counts one shadow evaluation and, when the candidate
+// disagreed, one diff per disagreeing field.
+func (m *controllerMetrics) shadowEval(candidate string, diff []string) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(MetricShadowEvals, "candidate", candidate).Inc()
+	for _, field := range diff {
+		m.reg.Counter(MetricShadowDiffs, "candidate", candidate, "field", field).Inc()
+	}
 }
 
 // inferred records the latency of one engine.Infer call. The call sites

@@ -1,0 +1,8 @@
+//go:build race
+
+package controller
+
+// raceEnabled reports that the race detector is active; allocation
+// guardrails are skipped because race instrumentation allocates inside
+// sync.Pool operations.
+const raceEnabled = true

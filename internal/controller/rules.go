@@ -1,6 +1,8 @@
 package controller
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 
 	"autoglobe/internal/fuzzy"
@@ -264,6 +266,94 @@ func DefaultSelectionRules() map[service.Action]*fuzzy.RuleBase {
 		out[k] = rb
 	}
 	return out
+}
+
+// Registry glue: the versioned rule registry (internal/rules) stores
+// rule bases by name; these helpers map names to the controller's swap
+// points and vocabularies. Action bases are named after their trigger
+// kind ("serviceOverloaded"); server-selection bases live under
+// "select/" ("select/placement", "select/scaleUp", …).
+
+// selectionRulePrefix marks server-selection rule bases by name
+// (mirrors rules.SelectionPrefix without importing the package).
+const selectionRulePrefix = "select/"
+
+// RuleVocabulary maps a registry rule-base name to the vocabulary its
+// rules are validated against — the VocabFunc a rules.Registry for this
+// controller is built with.
+func RuleVocabulary(name string) *fuzzy.Vocabulary {
+	if strings.HasPrefix(name, selectionRulePrefix) {
+		return SelectionVocabulary()
+	}
+	return ActionVocabulary()
+}
+
+// DefaultRuleSources returns the built-in rule sources by registry
+// name — the seed content of a fresh rules directory, and the baseline
+// fuzzyc diffs candidates against.
+func DefaultRuleSources() map[string]string {
+	return map[string]string{
+		"serviceOverloaded":       serviceOverloadedRules,
+		"serviceIdle":             serviceIdleRules,
+		"serverOverloaded":        serverOverloadedRules,
+		"serverIdle":              serverIdleRules,
+		"serviceForecastOverload": serviceForecastOverloadRules,
+		"serverForecastOverload":  serverForecastOverloadRules,
+		"select/placement":        placementRules,
+		"select/scaleUp":          scaleUpRules,
+		"select/scaleDown":        scaleDownRules,
+		"select/move":             moveRules,
+	}
+}
+
+// TriggerForRuleBase maps an action rule-base name to the trigger kind
+// it is swapped in for. Reports false for selection bases and unknown
+// names.
+func TriggerForRuleBase(name string) (monitor.TriggerKind, bool) {
+	switch monitor.TriggerKind(name) {
+	case monitor.ServiceOverloaded, monitor.ServiceIdle,
+		monitor.ServerOverloaded, monitor.ServerIdle,
+		monitor.ServiceForecastOverload, monitor.ServerForecastOverload:
+		return monitor.TriggerKind(name), true
+	}
+	return "", false
+}
+
+// ActionsForRuleBase maps a selection rule-base name to the actions it
+// scores targets for ("select/placement" serves both scale-out and
+// start — both place a fresh instance). Reports nil for action bases
+// and unknown names.
+func ActionsForRuleBase(name string) []service.Action {
+	switch name {
+	case "select/placement":
+		return []service.Action{service.ActionScaleOut, service.ActionStart}
+	case "select/scaleUp":
+		return []service.Action{service.ActionScaleUp}
+	case "select/scaleDown":
+		return []service.Action{service.ActionScaleDown}
+	case "select/move":
+		return []service.Action{service.ActionMove}
+	}
+	return nil
+}
+
+// SwapRuleBase routes a compiled rule base from the registry to the
+// controller's matching swap point by name. Unknown names are an error
+// — a coordinator must reject a push it cannot route rather than accept
+// and drop it.
+func (c *Controller) SwapRuleBase(name string, rb *fuzzy.RuleBase) error {
+	if kind, ok := TriggerForRuleBase(name); ok {
+		return c.SwapActionRules(kind, rb)
+	}
+	if acts := ActionsForRuleBase(name); acts != nil {
+		for _, a := range acts {
+			if err := c.SwapSelectionRules(a, rb); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("controller: no swap point for rule base %q", name)
 }
 
 // RuleCount returns the total number of rules across all default rule

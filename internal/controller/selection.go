@@ -19,6 +19,14 @@ import (
 // applicability threshold or violating a constraint are discarded; the
 // rest are sorted by applicability in descending order.
 func (c *Controller) SelectActions(tr monitor.Trigger) ([]Candidate, error) {
+	return c.selectActionsIn(c.ruleset(), tr, true)
+}
+
+// selectActionsIn is SelectActions over an explicit rule set. live
+// distinguishes the active path from a shadow evaluation: shadow runs
+// skip the inference-latency histogram so candidate rule bases never
+// skew the controller's steady-state metrics.
+func (c *Controller) selectActionsIn(rs *ruleSet, tr monitor.Trigger, live bool) ([]Candidate, error) {
 	var instances []*service.Instance
 	switch tr.Kind {
 	case monitor.ServerOverloaded, monitor.ServerIdle, monitor.ServerForecastOverload:
@@ -34,9 +42,16 @@ func (c *Controller) SelectActions(tr monitor.Trigger) ([]Candidate, error) {
 		if c.ServiceProtected(inst.Service, tr.Minute) {
 			continue
 		}
-		rb := c.ruleBaseFor(inst.Service, tr.Kind)
+		rb := rs.ruleBase(inst.Service, tr.Kind)
 		if rb == nil {
 			continue
+		}
+		svc, ok := c.dep.Catalog().Get(inst.Service)
+		if !ok {
+			// A zero-value Service supports no action, so proceeding here
+			// would silently filter every candidate — fail loudly instead,
+			// like the unknown-host path in actionInputs.
+			return nil, fmt.Errorf("controller: instance %q of unknown service %q", inst.ID, inst.Service)
 		}
 		inputs, err := c.actionInputs(tr, inst)
 		if err != nil {
@@ -44,11 +59,12 @@ func (c *Controller) SelectActions(tr monitor.Trigger) ([]Candidate, error) {
 		}
 		start := time.Now()
 		res, err := c.engine.Infer(rb, inputs)
-		c.metrics.inferred(start)
+		if live {
+			c.metrics.inferred(start)
+		}
 		if err != nil {
 			return nil, err
 		}
-		svc, _ := c.dep.Catalog().Get(inst.Service)
 		for name, value := range res.Outputs {
 			a := service.Action(name)
 			if value < c.cfg.MinApplicability {
@@ -107,17 +123,6 @@ func explain(rb *fuzzy.RuleBase, fired []float64, output string) []FiredRule {
 		return out[i].Rule < out[j].Rule
 	})
 	return out
-}
-
-// ruleBaseFor returns the service-specific rule base if the
-// administrator registered one, the default for the trigger otherwise.
-func (c *Controller) ruleBaseFor(svc string, kind monitor.TriggerKind) *fuzzy.RuleBase {
-	if per, ok := c.cfg.ServiceRules[svc]; ok {
-		if rb, ok := per[kind]; ok {
-			return rb
-		}
-	}
-	return c.cfg.ActionRules[kind]
 }
 
 // avg returns the watch-window average CPU load of an archive entity,
@@ -304,9 +309,26 @@ func (c *Controller) selectionInputs(host string, minute int) (map[string]float6
 // candidate hosts and returns the most applicable one (its score as
 // second result), or "" when no host reaches the score threshold.
 func (c *Controller) selectHost(a service.Action, svcName, instID string, minute int, exclude map[string]bool) (string, float64) {
-	rb, ok := c.cfg.SelectionRules[a]
+	return c.selectHostIn(c.ruleset(), a, svcName, instID, minute, exclude, true)
+}
+
+// selectHostIn is selectHost over an explicit rule set (live as in
+// selectActionsIn). A start action with no base of its own uses the
+// scale-out placement base — both place a fresh instance, so sharing is
+// deliberate and documented. Any other action with no registered base
+// selects no host: silently borrowing the placement base would change
+// scoring semantics invisibly (e.g. after a partial rule push), so the
+// miss is counted in autoglobe_rules_fallback_total and annotated on
+// the open trace instead.
+func (c *Controller) selectHostIn(rs *ruleSet, a service.Action, svcName, instID string, minute int, exclude map[string]bool, live bool) (string, float64) {
+	rb, ok := rs.selection[a]
 	if !ok {
-		rb = c.cfg.SelectionRules[service.ActionScaleOut] // placement default
+		if a == service.ActionStart {
+			rb = rs.selection[service.ActionScaleOut] // placement covers start
+		} else if live {
+			c.metrics.ruleFallback(a)
+			c.tracer.Annotate(fmt.Sprintf("no selection rule base for %s: no host selected", a))
+		}
 	}
 	if rb == nil {
 		return "", 0
@@ -319,7 +341,9 @@ func (c *Controller) selectHost(a service.Action, svcName, instID string, minute
 		}
 		start := time.Now()
 		res, err := c.engine.Infer(rb, inputs)
-		c.metrics.inferred(start)
+		if live {
+			c.metrics.inferred(start)
+		}
 		if err != nil {
 			continue
 		}
@@ -347,6 +371,12 @@ func (c *Controller) selectHost(a service.Action, svcName, instID string, minute
 // target host where required. It returns nil when no suitable host
 // exists ("Another Action?" in Figure 6).
 func (c *Controller) resolve(tr monitor.Trigger, cand Candidate) (*Decision, error) {
+	return c.resolveIn(c.ruleset(), tr, cand, true)
+}
+
+// resolveIn is resolve over an explicit rule set (live as in
+// selectActionsIn).
+func (c *Controller) resolveIn(rs *ruleSet, tr monitor.Trigger, cand Candidate, live bool) (*Decision, error) {
 	d := &Decision{
 		Trigger:       tr,
 		Action:        cand.Action,
@@ -361,7 +391,7 @@ func (c *Controller) resolve(tr monitor.Trigger, cand Candidate) (*Decision, err
 	if !cand.Action.NeedsTarget() {
 		return d, nil
 	}
-	host, score := c.selectHost(cand.Action, cand.Service, cand.InstanceID, tr.Minute, nil)
+	host, score := c.selectHostIn(rs, cand.Action, cand.Service, cand.InstanceID, tr.Minute, nil, live)
 	if host == "" {
 		return nil, nil
 	}

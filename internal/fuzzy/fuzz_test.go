@@ -1,0 +1,54 @@
+package fuzzy
+
+import "testing"
+
+// FuzzParse throws arbitrary source at the rule parser. The parser must
+// never panic and, when it accepts input, the accepted rules must render
+// back to text the parser accepts again with the same rendering — the
+// invariant the versioned rule registry relies on to store sources.
+//
+// The seed corpus pins the multi-line grammar: newlines inside an open
+// parenthesized group are whitespace (admin-wrapped rules), newlines at
+// depth zero are rule separators, and comments may interrupt a group.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// plain single-line rules
+		"IF cpuLoad IS high THEN scaleOut IS applicable",
+		"IF cpuLoad IS very high AND memLoad IS NOT low THEN move IS applicable",
+		// separators: ';' and depth-zero newlines
+		"IF a IS x THEN o IS t; IF b IS y THEN o IS t\nIF c IS z THEN o IS t",
+		// the multi-line grammar: wraps inside an open group
+		"IF instanceLoad IS high AND (performanceIndex IS low\n OR performanceIndex IS medium) THEN scaleUp IS applicable",
+		"IF a IS x AND (performanceIndex\nIS\nlow OR b IS y) THEN out IS applicable",
+		"IF a IS x AND (NOT\nb IS y\n) THEN out IS applicable",
+		"IF (a IS x OR\n (b IS y\n AND c IS z\n)) THEN out IS applicable",
+		// comment inside a group
+		"IF cpuLoad IS high AND (performanceIndex IS low # note\n OR performanceIndex IS medium) THEN scaleUp IS applicable",
+		// hostile shapes that must fail cleanly
+		"IF (a IS x THEN o IS t",
+		"IF a IS x) THEN o IS t",
+		")))(((",
+		"IF\n\n\nTHEN",
+		"# only a comment",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rules, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, r := range rules {
+			rendered := r.String()
+			again, err := ParseRule(rendered)
+			if err != nil {
+				t.Fatalf("accepted rule failed to re-parse:\n  src: %q\n  rendered: %q\n  err: %v", src, rendered, err)
+			}
+			if again.String() != rendered {
+				t.Fatalf("re-parse changed rendering:\n  first:  %q\n  second: %q", rendered, again.String())
+			}
+		}
+	})
+}

@@ -75,16 +75,23 @@ var keywords = map[string]tokenKind{
 }
 
 // lex tokenizes src. Rule separators (';' and newlines between rules) are
-// emitted as tokSemi so the parser can delimit rules.
+// emitted as tokSemi so the parser can delimit rules. Newlines inside an
+// open parenthesized group are plain whitespace — a multi-line antecedent
+// like "(performanceIndex IS low\n OR performanceIndex IS medium)" must
+// not be cut into two rules — so the lexer tracks paren depth and only
+// emits tokSemi for a newline at depth zero.
 func lex(src string) ([]token, error) {
 	var toks []token
 	line := 1
+	depth := 0
 	i := 0
 	for i < len(src) {
 		c := src[i]
 		switch {
 		case c == '\n':
-			toks = append(toks, token{tokSemi, "\n", i, line})
+			if depth == 0 {
+				toks = append(toks, token{tokSemi, "\n", i, line})
+			}
 			line++
 			i++
 		case c == ' ' || c == '\t' || c == '\r':
@@ -97,9 +104,13 @@ func lex(src string) ([]token, error) {
 			toks = append(toks, token{tokSemi, ";", i, line})
 			i++
 		case c == '(':
+			depth++
 			toks = append(toks, token{tokLParen, "(", i, line})
 			i++
 		case c == ')':
+			if depth > 0 {
+				depth--
+			}
 			toks = append(toks, token{tokRParen, ")", i, line})
 			i++
 		case isIdentStart(rune(c)):

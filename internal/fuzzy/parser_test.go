@@ -172,6 +172,74 @@ func TestParseComments(t *testing.T) {
 	}
 }
 
+func TestParseNewlinesInsideGroup(t *testing.T) {
+	// Inside an open parenthesized group a newline is plain whitespace,
+	// never a rule separator — an admin-authored rule base may wrap a
+	// grouped antecedent at any point, including mid-condition.
+	srcs := []string{
+		// the ISSUE's motivating example: wrap before OR
+		"IF instanceLoad IS high AND (performanceIndex IS low\n OR performanceIndex IS medium) THEN scaleUp IS applicable",
+		// wrap between variable and IS
+		"IF a IS x AND (performanceIndex\nIS low OR b IS y) THEN out IS applicable",
+		// wrap between IS and the term
+		"IF a IS x AND (performanceIndex IS\nlow OR b IS y) THEN out IS applicable",
+		// wrap after NOT
+		"IF a IS x AND (NOT\nperformanceIndex IS low) THEN out IS applicable",
+		// wrap immediately before the closing paren
+		"IF a IS x AND (b IS y\n) THEN out IS applicable",
+		// nested groups, wraps at several depths
+		"IF (a IS x OR\n (b IS y\n AND c IS z\n)) THEN out IS applicable",
+	}
+	for _, src := range srcs {
+		r, err := ParseRule(src)
+		if err != nil {
+			t.Errorf("ParseRule(%q): %v", src, err)
+			continue
+		}
+		if len(r.Consequents) == 0 {
+			t.Errorf("ParseRule(%q): no consequents", src)
+		}
+	}
+}
+
+func TestParseCommentInsideGroup(t *testing.T) {
+	rules, err := Parse(`
+		IF cpuLoad IS high AND (performanceIndex IS low # annotated mid-group
+			OR performanceIndex IS medium) THEN scaleUp IS applicable
+		IF memLoad IS high THEN scaleOut IS applicable
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+	or, ok := rules[0].Antecedent.(AndExpr)
+	if !ok {
+		t.Fatalf("antecedent is %T, want AndExpr", rules[0].Antecedent)
+	}
+	if _, ok := or.Y.(OrExpr); !ok {
+		t.Fatalf("right of AND is %T, want OrExpr (comment must not split the group)", or.Y)
+	}
+}
+
+func TestParseUnbalancedCloseParen(t *testing.T) {
+	// A stray ')' at depth zero must stay a parse error, not corrupt
+	// the lexer's depth tracking for the rest of the input.
+	if _, err := Parse("IF a IS x) THEN out IS applicable"); err == nil {
+		t.Fatal("stray ')' accepted")
+	}
+	// ...and a later, well-formed rule after a stray ')' line still
+	// sees its newline separators.
+	rules, err := Parse("# )\nIF a IS x THEN out IS applicable\nIF b IS y THEN out IS applicable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("parsed %d rules, want 2", len(rules))
+	}
+}
+
 func TestMustParsePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

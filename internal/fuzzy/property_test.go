@@ -207,3 +207,56 @@ func TestPropParserRoundTripRandomRules(t *testing.T) {
 		}
 	}
 }
+
+// TestPropParserNewlineWrapInsideGroups: rendering a random rule and then
+// replacing spaces inside parenthesized groups with newlines must parse
+// to the identical rule — line breaks inside an open group are plain
+// whitespace, wherever the admin wraps.
+func TestPropParserNewlineWrapInsideGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vars := []string{"cpuLoad", "memLoad", "performanceIndex"}
+	terms := []string{"low", "medium", "high"}
+	var gen func(depth int) Expr
+	gen = func(depth int) Expr {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return IsExpr{Var: vars[rng.Intn(len(vars))], Term: terms[rng.Intn(len(terms))]}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return AndExpr{gen(depth - 1), gen(depth - 1)}
+		case 1:
+			return OrExpr{gen(depth - 1), gen(depth - 1)}
+		default:
+			return NotExpr{gen(depth - 1)}
+		}
+	}
+	for i := 0; i < 200; i++ {
+		r := Rule{Antecedent: gen(4), Consequents: []Assignment{{"scaleUp", "applicable"}}}
+		src := r.String()
+		// Wrap: inside parens, turn a random subset of spaces into newlines.
+		wrapped := make([]byte, 0, len(src)+8)
+		depth := 0
+		for j := 0; j < len(src); j++ {
+			c := src[j]
+			switch c {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			case ' ':
+				if depth > 0 && rng.Intn(2) == 0 {
+					wrapped = append(wrapped, '\n')
+					continue
+				}
+			}
+			wrapped = append(wrapped, c)
+		}
+		got, err := ParseRule(string(wrapped))
+		if err != nil {
+			t.Fatalf("wrapped rule failed to parse:\n  src: %q\n  wrapped: %q\n  err: %v", src, wrapped, err)
+		}
+		if got.String() != src {
+			t.Fatalf("newline wrap changed rule:\n  want %s\n  got  %s", src, got.String())
+		}
+	}
+}

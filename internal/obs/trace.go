@@ -50,6 +50,22 @@ type TraceDispatch struct {
 	Error        string `json:"error,omitempty"`
 }
 
+// TraceShadow records the shadow evaluation of a candidate rule set
+// against the same trigger: what the candidate would have decided and
+// which fields disagree with the active decision. Shadow decisions are
+// never executed — this is the evidence an administrator watches before
+// promoting a candidate rule base.
+type TraceShadow struct {
+	// Candidate labels the shadow rule set (e.g. "serviceOverloaded@3").
+	Candidate string `json:"candidate"`
+	// Decision is what the candidate would have done; nil when the
+	// candidate found no applicable action.
+	Decision *TraceDecision `json:"decision,omitempty"`
+	// Diff names the disagreeing fields ("presence", "action", "target",
+	// "applicability"); empty means the candidate agreed.
+	Diff []string `json:"diff,omitempty"`
+}
+
 // Trace outcomes.
 const (
 	OutcomeExecuted  = "executed"  // a decision was executed (after dispatch, in distributed mode)
@@ -69,6 +85,7 @@ type Trace struct {
 	Trigger    TraceTrigger    `json:"trigger"`
 	Decision   *TraceDecision  `json:"decision,omitempty"`
 	Dispatches []TraceDispatch `json:"dispatches,omitempty"`
+	Shadow     *TraceShadow    `json:"shadow,omitempty"`
 	Outcome    string          `json:"outcome"`
 	Note       string          `json:"note,omitempty"`
 }
@@ -142,6 +159,37 @@ func (t *Tracer) Dispatch(d TraceDispatch) {
 		return
 	}
 	t.open.Dispatches = append(t.open.Dispatches, d)
+}
+
+// Shadow attaches a shadow-evaluation record to the open trace.
+func (t *Tracer) Shadow(s TraceShadow) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.open == nil {
+		return
+	}
+	t.open.Shadow = &s
+}
+
+// Annotate appends a note to the open trace without sealing it — used
+// for mid-iteration observations (e.g. a missing selection rule base)
+// that should survive into the sealed record.
+func (t *Tracer) Annotate(note string) {
+	if t == nil || note == "" {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.open == nil {
+		return
+	}
+	if t.open.Note != "" {
+		t.open.Note += "; "
+	}
+	t.open.Note += note
 }
 
 // End seals the open trace with an outcome (see the Outcome constants)

@@ -1,0 +1,35 @@
+package simulator
+
+import (
+	"fmt"
+
+	"autoglobe/internal/agent"
+	"autoglobe/internal/controller"
+	"autoglobe/internal/fuzzy"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/rules"
+	"autoglobe/internal/service"
+)
+
+// loadRuleDir loads a versioned rule-base directory into a registry and
+// hot-swaps the highest version of each base into the controller.
+// Validation (parse, vocabulary, compile) happens in the registry
+// before any swap; a base no controller slot answers to is an error.
+func loadRuleDir(ctl *controller.Controller, dir string) error {
+	reg := rules.New(controller.RuleVocabulary)
+	if _, err := agent.LoadRuleDir(reg, ctl, dir); err != nil {
+		return fmt.Errorf("simulator: rules dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// shadowOverlay loads a candidate rule directory and routes its bases
+// into the overlay maps controller.Shadow takes — the same by-name
+// routing a live swap uses, but without touching the active rule set.
+func shadowOverlay(dir string) (map[monitor.TriggerKind]*fuzzy.RuleBase, map[service.Action]*fuzzy.RuleBase, error) {
+	action, selection, err := agent.ShadowOverlayDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("simulator: shadow rules dir %s: %w", dir, err)
+	}
+	return action, selection, nil
+}

@@ -99,6 +99,22 @@ type Config struct {
 	// byte-identical to the ones the previous run built. Empty keeps
 	// the archive purely in memory.
 	ArchiveDir string
+	// RulesDir, when set, is loaded as a versioned rule-base directory
+	// (the internal/rules layout, <name>@v<version>.rules): the highest
+	// version of each base is validated, compiled and hot-swapped into
+	// the controller before minute 0 — the file-driven equivalent of an
+	// activated rulePut push.
+	RulesDir string
+	// ShadowRulesDir, when set, is loaded the same way and installed as
+	// the controller's shadow overlay: every live trigger is also
+	// decided under the candidate rule set and the decisions diffed —
+	// never executed — surfacing in the autoglobe_rules_shadow_*
+	// metrics and the decision tracer. The run itself is byte-identical
+	// to one without the shadow.
+	ShadowRulesDir string
+	// ShadowLabel names the candidate overlay in metrics and traces
+	// (default "candidate").
+	ShadowLabel string
 	// Reservations, when set, is forwarded to the controller so server
 	// selection avoids hosts reserved for mission-critical tasks.
 	Reservations controller.Reserver
@@ -320,6 +336,22 @@ func newWithDeployment(cfg Config, dep *service.Deployment) (*Simulator, error) 
 	ctl, err := controller.New(cfg.Controller, dep, arch, exec)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.RulesDir != "" {
+		if err := loadRuleDir(ctl, cfg.RulesDir); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ShadowRulesDir != "" {
+		action, selection, err := shadowOverlay(cfg.ShadowRulesDir)
+		if err != nil {
+			return nil, err
+		}
+		label := cfg.ShadowLabel
+		if label == "" {
+			label = "candidate"
+		}
+		ctl.Shadow(label, action, selection)
 	}
 	s.ctl = ctl
 	s.predictor = predictor

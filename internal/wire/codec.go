@@ -80,6 +80,9 @@ const (
 	kindProbe
 	kindProbeAck
 	kindHello
+	kindRuleGet
+	kindRulePut
+	kindRuleList
 )
 
 func kindOf(t MsgType) (byte, bool) {
@@ -96,6 +99,12 @@ func kindOf(t MsgType) (byte, bool) {
 		return kindProbeAck, true
 	case TypeHello:
 		return kindHello, true
+	case TypeRuleGet:
+		return kindRuleGet, true
+	case TypeRulePut:
+		return kindRulePut, true
+	case TypeRuleList:
+		return kindRuleList, true
 	}
 	return 0, false
 }
@@ -114,6 +123,12 @@ func typeOf(k byte) (MsgType, bool) {
 		return TypeProbeAck, true
 	case kindHello:
 		return TypeHello, true
+	case kindRuleGet:
+		return TypeRuleGet, true
+	case kindRulePut:
+		return TypeRulePut, true
+	case kindRuleList:
+		return TypeRuleList, true
 	}
 	return "", false
 }
@@ -160,6 +175,12 @@ type envBox struct {
 	ack   ActionAck
 	probe Probe
 	hello Hello
+	// Rule admin messages are cold-path; their payloads ride in the box
+	// for uniformity, not for allocation savings (sources and catalog
+	// entries allocate fresh strings/slices anyway).
+	rget  RuleGet
+	rput  RulePut
+	rlist RuleList
 }
 
 var envPool = sync.Pool{New: func() any { return new(envBox) }}
@@ -361,6 +382,38 @@ func AppendEnvelope(dst []byte, e *Envelope) ([]byte, error) {
 		dst = appendFloat(dst, h.PerformanceIndex)
 		dst = appendVarint(dst, int64(h.MemoryMB))
 		dst = appendString(dst, h.Addr)
+	case TypeRuleGet:
+		g := e.RuleGet
+		dst = appendString(dst, g.Name)
+		dst = appendVarint(dst, int64(g.Version))
+	case TypeRulePut:
+		p := e.RulePut
+		dst = appendString(dst, p.Name)
+		dst = appendVarint(dst, int64(p.Version))
+		dst = appendString(dst, p.Hash)
+		dst = appendString(dst, p.Source)
+		var flags byte
+		if p.Activate {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+		dst = appendString(dst, p.Error)
+	case TypeRuleList:
+		l := e.RuleList
+		dst = appendUvarint(dst, uint64(len(l.Entries)))
+		for i := range l.Entries {
+			r := &l.Entries[i]
+			dst = appendString(dst, r.Name)
+			dst = appendVarint(dst, int64(r.Version))
+			dst = appendString(dst, r.Hash)
+			var flags byte
+			if r.Active {
+				flags |= 1
+			}
+			dst = append(dst, flags)
+			dst = appendVarint(dst, int64(r.Rules))
+		}
+		dst = appendString(dst, l.Error)
 	}
 
 	payload := len(dst) - start
@@ -607,6 +660,79 @@ func DecodeEnvelope(b []byte, in *Interner) (*Envelope, int, error) {
 		}
 		h.MemoryMB = int(memMB)
 		h.Addr, err = d.str()
+	case TypeRuleGet:
+		g := &bx.rget
+		e.RuleGet = g
+		var version int64
+		if g.Name, err = d.ident(); err != nil {
+			break
+		}
+		if version, err = d.varint(); err != nil {
+			break
+		}
+		g.Version = int(version)
+	case TypeRulePut:
+		p := &bx.rput
+		e.RulePut = p
+		var version int64
+		var flags byte
+		if p.Name, err = d.ident(); err != nil {
+			break
+		}
+		if version, err = d.varint(); err != nil {
+			break
+		}
+		p.Version = int(version)
+		if p.Hash, err = d.str(); err != nil {
+			break
+		}
+		if p.Source, err = d.str(); err != nil {
+			break
+		}
+		if flags, err = d.byteVal(); err != nil {
+			break
+		}
+		p.Activate = flags&1 != 0
+		p.Error, err = d.str()
+	case TypeRuleList:
+		l := &bx.rlist
+		e.RuleList = l
+		var count uint64
+		if count, err = d.uvarint(); err != nil {
+			break
+		}
+		if count > uint64(len(d.b)) { // each entry needs ≥ 1 byte
+			err = errShortFrame
+			break
+		}
+		for i := uint64(0); i < count; i++ {
+			var r RuleInfo
+			var version, rules int64
+			var flags byte
+			if r.Name, err = d.ident(); err != nil {
+				break
+			}
+			if version, err = d.varint(); err != nil {
+				break
+			}
+			r.Version = int(version)
+			if r.Hash, err = d.str(); err != nil {
+				break
+			}
+			if flags, err = d.byteVal(); err != nil {
+				break
+			}
+			r.Active = flags&1 != 0
+			if rules, err = d.varint(); err != nil {
+				break
+			}
+			r.Rules = int(rules)
+			l.Entries = append(l.Entries, r)
+		}
+		if err != nil {
+			break
+		}
+		l.Error, err = d.str()
 	}
 	if err != nil {
 		ReleaseEnvelope(e)
@@ -652,6 +778,19 @@ func CloneEnvelope(e *Envelope) *Envelope {
 	if e.Hello != nil {
 		h := *e.Hello
 		c.Hello = &h
+	}
+	if e.RuleGet != nil {
+		g := *e.RuleGet
+		c.RuleGet = &g
+	}
+	if e.RulePut != nil {
+		p := *e.RulePut
+		c.RulePut = &p
+	}
+	if e.RuleList != nil {
+		l := *e.RuleList
+		l.Entries = append([]RuleInfo(nil), e.RuleList.Entries...)
+		c.RuleList = &l
 	}
 	return &c
 }

@@ -30,6 +30,22 @@ func corpusEnvelopes() []*Envelope {
 		{Version: Version, Type: TypeHello, From: "b9", To: "coordinator",
 			Hello: &Hello{Host: "b9", PerformanceIndex: 1.25, MemoryMB: 4096,
 				Addr: "http://127.0.0.1:8147"}},
+		{Version: Version, Type: TypeRuleGet, From: "admin", To: "coordinator", Seq: 11,
+			RuleGet: &RuleGet{Name: "serviceOverloaded", Version: 2}},
+		{Version: Version, Type: TypeRulePut, From: "admin", To: "coordinator", Seq: 12,
+			RulePut: &RulePut{Name: "select/placement", Version: 3,
+				Hash:     "ab12cd34",
+				Source:   "IF cpuLoad IS high THEN scaleOut IS applicable\n",
+				Activate: true}},
+		{Version: Version, Type: TypeRulePut, From: "coordinator", To: "admin", Seq: 13,
+			RulePut: &RulePut{Name: "serverIdle", Error: "fuzzy: parse error at line 1"}},
+		{Version: Version, Type: TypeRuleList, From: "admin", To: "coordinator",
+			RuleList: &RuleList{}},
+		{Version: Version, Type: TypeRuleList, From: "coordinator", To: "admin",
+			RuleList: &RuleList{Entries: []RuleInfo{
+				{Name: "select/placement", Version: 3, Hash: "ab12cd34", Active: true, Rules: 5},
+				{Name: "serviceOverloaded", Version: 1, Hash: "99ff00aa", Rules: 2},
+			}}},
 	}
 }
 
@@ -51,6 +67,12 @@ func renderEnvelope(e *Envelope) string {
 		s += fmt.Sprintf("|%+v", *e.Probe)
 	case e.Hello != nil:
 		s += fmt.Sprintf("|%+v", *e.Hello)
+	case e.RuleGet != nil:
+		s += fmt.Sprintf("|%+v", *e.RuleGet)
+	case e.RulePut != nil:
+		s += fmt.Sprintf("|%+v", *e.RulePut)
+	case e.RuleList != nil:
+		s += fmt.Sprintf("|%+v", *e.RuleList)
 	}
 	return s
 }

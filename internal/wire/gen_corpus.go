@@ -43,6 +43,22 @@ func main() {
 		"seed-hello": {Version: wire.Version, Type: wire.TypeHello, From: "b9", To: "coordinator",
 			Hello: &wire.Hello{Host: "b9", PerformanceIndex: 1.25, MemoryMB: 4096,
 				Addr: "http://127.0.0.1:8147"}},
+		"seed-rule-get": {Version: wire.Version, Type: wire.TypeRuleGet, From: "admin", To: "coordinator", Seq: 11,
+			RuleGet: &wire.RuleGet{Name: "serviceOverloaded", Version: 2}},
+		"seed-rule-put": {Version: wire.Version, Type: wire.TypeRulePut, From: "admin", To: "coordinator", Seq: 12,
+			RulePut: &wire.RulePut{Name: "select/placement", Version: 3,
+				Hash:     "ab12cd34",
+				Source:   "IF cpuLoad IS high THEN scaleOut IS applicable\n",
+				Activate: true}},
+		"seed-rule-put-err": {Version: wire.Version, Type: wire.TypeRulePut, From: "coordinator", To: "admin", Seq: 13,
+			RulePut: &wire.RulePut{Name: "serverIdle", Error: "fuzzy: parse error at line 1"}},
+		"seed-rule-list": {Version: wire.Version, Type: wire.TypeRuleList, From: "admin", To: "coordinator",
+			RuleList: &wire.RuleList{}},
+		"seed-rule-list-reply": {Version: wire.Version, Type: wire.TypeRuleList, From: "coordinator", To: "admin",
+			RuleList: &wire.RuleList{Entries: []wire.RuleInfo{
+				{Name: "select/placement", Version: 3, Hash: "ab12cd34", Active: true, Rules: 5},
+				{Name: "serviceOverloaded", Version: 1, Hash: "99ff00aa", Rules: 2},
+			}}},
 	}
 
 	corpus := make(map[string][]byte, len(envs)+8)

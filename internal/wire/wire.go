@@ -42,6 +42,20 @@ const (
 	// TypeHello announces an agent joining the landscape (host name and
 	// hardware attributes), used by cmd/autoglobe-agentd.
 	TypeHello MsgType = "hello"
+	// TypeRuleGet asks the coordinator for one archived rule base
+	// (by name, optionally by version); answered with a TypeRulePut
+	// carrying the source, or an error.
+	TypeRuleGet MsgType = "ruleGet"
+	// TypeRulePut pushes a rule base to the coordinator's registry —
+	// the admin half of treating rule bases as hot-swappable data. The
+	// coordinator validates (parse + vocabulary + compile) before any
+	// version is assigned or activated, and answers with a TypeRulePut
+	// echoing the stored name/version/hash (or an Error). The same
+	// payload shape also answers TypeRuleGet.
+	TypeRulePut MsgType = "rulePut"
+	// TypeRuleList asks for (request) and carries (reply) the registry
+	// catalog: every stored rule-base version and which are active.
+	TypeRuleList MsgType = "ruleList"
 )
 
 // Op enumerates the host-local operations an action request can carry.
@@ -134,6 +148,54 @@ type Hello struct {
 	Addr string `json:"addr,omitempty"`
 }
 
+// RuleGet asks for one rule base from the coordinator's registry.
+type RuleGet struct {
+	// Name addresses the rule base ("serviceOverloaded",
+	// "select/placement", …).
+	Name string `json:"name"`
+	// Version selects an archived version; zero means the active one.
+	Version int `json:"version,omitempty"`
+}
+
+// RulePut carries a rule base's source text. As a request it pushes a
+// candidate to the coordinator's registry; as a reply it echoes what
+// was stored (Version and Hash assigned by the registry) or answers a
+// RuleGet, or reports an Error with everything else empty.
+type RulePut struct {
+	Name string `json:"name"`
+	// Version is registry-assigned in replies; requests leave it zero
+	// (journal replay between coordinators pins it explicitly).
+	Version int `json:"version,omitempty"`
+	// Hash is the hex SHA-256 of Source. Requests may leave it empty;
+	// when set, the receiver verifies it against the received Source
+	// before validating — a cheap end-to-end corruption check.
+	Hash string `json:"hash,omitempty"`
+	// Source is the rule-language text.
+	Source string `json:"source,omitempty"`
+	// Activate asks the coordinator to hot-swap the pushed version into
+	// the live controller after validation. False archives it only — an
+	// admin can then shadow-evaluate before promoting.
+	Activate bool `json:"activate,omitempty"`
+	// Error reports a rejected push or failed lookup (reply only).
+	Error string `json:"error,omitempty"`
+}
+
+// RuleInfo is one registry entry in a rule-list reply, mirroring the
+// rules package's Ref.
+type RuleInfo struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Hash    string `json:"hash"`
+	Active  bool   `json:"active,omitempty"`
+	Rules   int    `json:"rules,omitempty"`
+}
+
+// RuleList is both the catalog request (empty) and its reply.
+type RuleList struct {
+	Entries []RuleInfo `json:"entries,omitempty"`
+	Error   string     `json:"error,omitempty"`
+}
+
 // Envelope is the versioned frame every message travels in.
 type Envelope struct {
 	Version int     `json:"v"`
@@ -155,6 +217,9 @@ type Envelope struct {
 	Ack       *ActionAck     `json:"ack,omitempty"`
 	Probe     *Probe         `json:"probe,omitempty"`
 	Hello     *Hello         `json:"hello,omitempty"`
+	RuleGet   *RuleGet       `json:"ruleGet,omitempty"`
+	RulePut   *RulePut       `json:"rulePut,omitempty"`
+	RuleList  *RuleList      `json:"ruleList,omitempty"`
 
 	// box links a pooled envelope back to its carrier; ReleaseEnvelope
 	// recycles it. Nil for plainly constructed envelopes.
@@ -202,6 +267,27 @@ func HelloEnvelope(from, to string, h Hello) *Envelope {
 	return e
 }
 
+// RuleGetEnvelope frames a rule-base lookup request.
+func RuleGetEnvelope(from, to string, g RuleGet) *Envelope {
+	e := NewEnvelope(TypeRuleGet, from, to)
+	e.RuleGet = &g
+	return e
+}
+
+// RulePutEnvelope frames a rule-base push (or a ruleGet reply).
+func RulePutEnvelope(from, to string, p RulePut) *Envelope {
+	e := NewEnvelope(TypeRulePut, from, to)
+	e.RulePut = &p
+	return e
+}
+
+// RuleListEnvelope frames a registry-catalog request or reply.
+func RuleListEnvelope(from, to string, l RuleList) *Envelope {
+	e := NewEnvelope(TypeRuleList, from, to)
+	e.RuleList = &l
+	return e
+}
+
 // Validate checks version and payload consistency. Transports call it
 // on receipt so a malformed or incompatible frame is rejected at the
 // boundary, before any handler state changes.
@@ -235,6 +321,30 @@ func (e *Envelope) Validate() error {
 	case TypeHello:
 		if e.Hello == nil {
 			return fmt.Errorf("wire: hello envelope without hello payload")
+		}
+	case TypeRuleGet:
+		if e.RuleGet == nil {
+			return fmt.Errorf("wire: ruleGet envelope without ruleGet payload")
+		}
+		if e.RuleGet.Name == "" {
+			return fmt.Errorf("wire: ruleGet without rule-base name")
+		}
+	case TypeRulePut:
+		if e.RulePut == nil {
+			return fmt.Errorf("wire: rulePut envelope without rulePut payload")
+		}
+		if e.RulePut.Name == "" {
+			return fmt.Errorf("wire: rulePut without rule-base name")
+		}
+		// A push carries Source; an error reply carries Error; a success
+		// reply carries the registry-assigned Version. Anything with none
+		// of the three says nothing at all.
+		if e.RulePut.Source == "" && e.RulePut.Error == "" && e.RulePut.Version == 0 {
+			return fmt.Errorf("wire: rulePut without source, version or error")
+		}
+	case TypeRuleList:
+		if e.RuleList == nil {
+			return fmt.Errorf("wire: ruleList envelope without ruleList payload")
 		}
 	default:
 		return fmt.Errorf("wire: unknown message type %q", e.Type)

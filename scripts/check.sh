@@ -29,7 +29,16 @@
 #      stress (per-host lanes under injected faults and competing
 #      callers) and the worker-count byte-identity proof — the claim
 #      that DispatchConfig.Workers is purely a throughput knob
-#   9. the perf gate: the wire fuzz target replayed over its
+#   9. the rules gate: race-enabled runs of the versioned rule
+#      registry, the controller's hot-swap and shadow-evaluation
+#      tests (swap under concurrent inference, perturbed-candidate
+#      diffing) and the coordinator rule-push/journal-recovery tests,
+#      plus the rule-parser fuzz target replayed over its seed corpus
+#      (the multi-line grammar — newlines inside parenthesized groups —
+#      and the String→Parse round trip the registry depends on); the
+#      zero-alloc guard proving inference stays 0 allocs/op after a
+#      hot swap runs race-free in the perf gate below
+#  10. the perf gate: the wire fuzz target replayed over its
 #      checked-in seed corpus (hostile frames must keep failing
 #      cleanly), the zero-allocation guardrails on the steady-state
 #      heartbeat AND dispatch paths plus the archive append and
@@ -113,6 +122,20 @@ echo "== dispatch gate: race-enabled fan-out stress + worker parity"
 go test -race -run 'TestDoBatchFanoutStress|TestDoBatchPerHostOrdering|TestGroupCommitCoalesces' ./internal/agent/
 go test -race -run 'TestDispatchWorkersByteIdentical' ./internal/simulator/
 
+echo "== rules gate: registry + hot-swap/shadow + push recovery + parser fuzz seeds"
+# Rule bases are administrable data: the versioned registry, the
+# controller's atomic hot-swap point (including a swap racing live
+# inference) and shadow evaluation, and the coordinator's
+# validate-before-activate push path with journal-logged activations
+# all run under the race detector; the parser fuzz seeds pin the
+# multi-line grammar and the String→Parse round trip stored sources
+# rely on.
+go test -race ./internal/rules/
+go test -race -run 'TestSwap|TestShadow|TestSelectHostFallback|TestSelectActionsUnknownServiceError' ./internal/controller/
+go test -race -run 'TestCoordinatorRule|TestRuleActivationSurvivesRestart' ./internal/agent/
+go test -race -run 'TestHotSwapIdenticalBaseMidRunByteIdentical|TestShadowRulesDiffOnSimulatedDay|TestRulesDirActivatesOnStartup' ./internal/simulator/
+go test -race -run 'Fuzz' ./internal/fuzzy/
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -125,6 +148,9 @@ echo "== perf gate: zero-alloc heartbeat + dispatch paths (race-free run)"
 # -race (race instrumentation allocates inside sync.Pool), so they get
 # a dedicated race-free invocation here.
 go test -run 'TestHeartbeatPathZeroAlloc|TestDispatchPathZeroAlloc|TestTriggerQueueRecycling' -count=1 ./internal/agent/
+# The inference fast path must stay 0 allocs/op even after a rule-base
+# hot swap — the swap is a pointer store, never a de-optimization.
+go test -run 'TestInferZeroAllocAfterSwap' -count=1 ./internal/controller/
 # The archive's steady-state write path — ring append, incremental day
 # profile, tsdb block write into pooled segment buffers — and the
 # forecaster's read path must also allocate nothing per sample.
