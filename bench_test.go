@@ -10,6 +10,8 @@ package autoglobe_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"autoglobe/internal/controller"
 	"autoglobe/internal/experiments"
 	"autoglobe/internal/fuzzy"
+	"autoglobe/internal/journal"
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/service"
 	"autoglobe/internal/simulator"
@@ -565,6 +568,113 @@ func BenchmarkDispatchFanout1k(b *testing.B) {
 				b.Fatalf("dispatched %d actions, want %d", st.Actions, b.N*hosts)
 			}
 		})
+	}
+}
+
+// BenchmarkFailoverTakeover measures the mechanical work a hot standby
+// performs to replace a dead leader: the read-only warm replay of the
+// leader's journal directory, the durable epoch-bumping takeover
+// snapshot into the standby's own (fsync'd) journal, and the recovery
+// re-issue of the in-flight actions — 16 pending, one per host, the
+// crash-heaviest shape. The lease protocol adds one leaderless minute
+// (the TTL) of detection latency on top; this is the cost of the
+// takeover itself once the lease lapses, i.e. how far behind the
+// minute boundary the successor's first merge starts.
+func BenchmarkFailoverTakeover(b *testing.B) {
+	const hosts = 16
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	names := make([]string, hosts)
+	for i := range names {
+		names[i] = fmt.Sprintf("h%02d", i)
+		if _, err := agent.NewAgent(names[i], agent.CoordinatorNode, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// The dead leader's journal: one action per host, dispatched as one
+	// group-committed batch and acknowledged — then cut right after the
+	// batch's dispatch records, the shape a leader death mid-fan-out
+	// leaves behind, so the successor has the full set to recover (the
+	// agents applied and cached, the acks never became durable).
+	cfg := agent.DispatchConfig{
+		Timeout:     time.Second,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  time.Microsecond,
+		MaxAttempts: 2,
+		Sleep:       func(time.Duration) {},
+	}
+	seedDir := b.TempDir()
+	cj, err := agent.OpenCoordinatorJournal(seedDir, journal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := agent.NewDispatcher(cfg, tr)
+	d.AttachJournal(cj)
+	ctx := context.Background()
+	reqs := make([]wire.ActionRequest, hosts)
+	for i, h := range names {
+		reqs[i] = wire.ActionRequest{Op: wire.OpStart, Host: h, Service: "app", InstanceID: "app-" + h}
+	}
+	for _, res := range d.DoBatch(ctx, reqs) {
+		if res.Err != nil || !res.Ack.OK {
+			b.Fatalf("seed dispatch: (%v, %+v)", res.Err, res.Ack)
+		}
+	}
+	if err := cj.Close(); err != nil {
+		b.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(seedDir, "wal-*.seg"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	leaderDir := b.TempDir()
+	var cutSegs int
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(data) == 0 {
+			continue
+		}
+		// Records: epoch, then the batch's 16 dispatches, then the acks.
+		// Cut after the dispatch records.
+		_, boundaries := journal.Frames(data)
+		if len(boundaries) < hosts+1 {
+			b.Fatalf("segment has %d records, want at least %d", len(boundaries), hosts+1)
+		}
+		if err := os.WriteFile(filepath.Join(leaderDir, filepath.Base(seg)), data[:boundaries[hosts]], 0o644); err != nil {
+			b.Fatal(err)
+		}
+		cutSegs++
+	}
+	if cutSegs != 1 {
+		b.Fatalf("%d non-empty segments, want 1", cutSegs)
+	}
+
+	standbyRoot := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ls, err := agent.WarmReplay(leaderDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scj, err := agent.OpenStandbyJournal(fmt.Sprintf("%s/t%d", standbyRoot, i), journal.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := scj.Takeover(ls); err != nil {
+			b.Fatal(err)
+		}
+		d2 := agent.NewDispatcher(cfg, tr)
+		d2.AttachJournal(scj)
+		if n, err := scj.Recover(ctx, d2); err != nil || n != hosts {
+			b.Fatalf("recover = (%d, %v), want (%d, nil)", n, err, hosts)
+		}
+		if err := scj.Close(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -38,6 +38,18 @@
 //	# the candidate's decisions are diffed and counted, never executed
 //	autoglobe-agentd -mode coordinator -landscape l.xml -rules-dir /etc/autoglobe/rules \
 //	    -shadow-rules-dir /etc/autoglobe/candidate -shadow-label overhaul@v2
+//
+//	# hot standby: watch a running coordinator's health, warm-replay its
+//	# journal from shared storage, and promote on lease expiry — the
+//	# promotion bumps the journal epoch, so agents fence any straggling
+//	# messages from the deposed incarnation
+//	autoglobe-agentd -mode standby -standby-of http://127.0.0.1:7700 \
+//	    -landscape l.xml -listen 127.0.0.1:7701 -journal /var/lib/autoglobe/journal
+//
+//	# failover demo: the single-process plane with two hot standbys and
+//	# a seeded fault schedule that repeatedly kills and partitions the
+//	# leader — watch autoglobe_election_* in the run's metric dump
+//	autoglobe-agentd -mode demo -landscape l.xml -standbys 2 -chaos-seed 11
 package main
 
 import (
@@ -60,6 +72,7 @@ import (
 	"autoglobe/internal/controller"
 	"autoglobe/internal/forecast"
 	"autoglobe/internal/journal"
+	"autoglobe/internal/lease"
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/obs"
 	"autoglobe/internal/rules"
@@ -71,7 +84,7 @@ import (
 
 func main() {
 	var (
-		mode        = flag.String("mode", "demo", "coordinator, agent or demo")
+		mode        = flag.String("mode", "demo", "coordinator, agent, standby or demo")
 		landscape   = flag.String("landscape", "", "declarative XML landscape (coordinator and demo modes)")
 		listen      = flag.String("listen", "127.0.0.1:7700", "coordinator listen address")
 		coordinator = flag.String("coordinator", "http://127.0.0.1:7700", "coordinator base URL (agent mode)")
@@ -90,10 +103,13 @@ func main() {
 		rulesDir    = flag.String("rules-dir", "", "coordinator/demo modes: versioned rule-base directory (<name>@v<N>.rules); every file is validated into the rule registry and the highest version of each base is hot-swapped into the controller before the first minute")
 		shadowDir   = flag.String("shadow-rules-dir", "", "coordinator/demo modes: candidate rule-base directory shadow-evaluated beside the active rule set on every live trigger — decisions are diffed and counted in autoglobe_rules_shadow_* metrics, never executed")
 		shadowLabel = flag.String("shadow-label", "candidate", "label the shadow candidate carries in metrics and traces (with -shadow-rules-dir)")
+		standbyOf   = flag.String("standby-of", "", "standby mode: base URL of the acting coordinator to watch; when its lease lapses this process promotes itself over the shared -journal directory")
+		leaseTTL    = flag.Int("lease-ttl", lease.DefaultTTL, "standby/demo modes: leadership lease time-to-live in intervals — a leader silent this long is presumed dead (co-located standbys should stagger this so a deterministic single winner promotes first)")
+		standbys    = flag.Int("standbys", 0, "demo mode: attach this many hot-standby coordinators and run lease-based leader election (chaos seeds then also kill and partition the leader)")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir); err != nil {
+	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *standbyOf, *journalDir, *leaseTTL, *standbys); err != nil {
 		fatal(err)
 	}
 	codec, _ := wire.ParseCodec(*codecName) // validated above
@@ -103,8 +119,10 @@ func main() {
 		err = runCoordinator(*landscape, *listen, *interval, *journalDir, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel)
 	case "agent":
 		err = runAgent(*host, *coordinator, *load, *interval, codec)
+	case "standby":
+		err = runStandby(*landscape, *listen, *standbyOf, *interval, *journalDir, *leaseTTL, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel)
 	case "demo":
-		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel)
+		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel, *standbys, *leaseTTL)
 	}
 	if err != nil {
 		fatal(err)
@@ -121,9 +139,21 @@ func mountObs(tr *wire.HTTP, reg *obs.Registry, tracer *obs.Tracer, health *obs.
 	tr.Mount(obs.HealthPath, obs.HealthHandler(health))
 }
 
-func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir string) error {
+func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, standbyOf, journalDir string, leaseTTL, standbys int) error {
 	if chaosSeed != 0 && mode != "demo" {
 		return fmt.Errorf("-chaos-seed only applies to -mode demo")
+	}
+	if standbyOf != "" && mode != "standby" {
+		return fmt.Errorf("-standby-of only applies to -mode standby")
+	}
+	if standbys != 0 && mode != "demo" {
+		return fmt.Errorf("-standbys only applies to -mode demo")
+	}
+	if standbys < 0 {
+		return fmt.Errorf("-standbys %d must be >= 0", standbys)
+	}
+	if leaseTTL <= 0 {
+		return fmt.Errorf("-lease-ttl %d must be positive", leaseTTL)
 	}
 	if archiveDir != "" && mode == "agent" {
 		return fmt.Errorf("-archive-dir only applies to -mode coordinator or demo")
@@ -160,12 +190,22 @@ func validateFlags(mode, landscape, host string, load float64, interval time.Dur
 		if landscape == "" {
 			return fmt.Errorf("-mode %s needs -landscape", mode)
 		}
+	case "standby":
+		if landscape == "" {
+			return fmt.Errorf("-mode standby needs -landscape")
+		}
+		if standbyOf == "" {
+			return fmt.Errorf("-mode standby needs -standby-of (the acting coordinator's base URL)")
+		}
+		if journalDir == "" {
+			return fmt.Errorf("-mode standby needs -journal (the leader's journal directory on shared storage)")
+		}
 	case "agent":
 		if host == "" {
 			return fmt.Errorf("-mode agent needs -host")
 		}
 	default:
-		return fmt.Errorf("unknown -mode %q (coordinator, agent or demo)", mode)
+		return fmt.Errorf("unknown -mode %q (coordinator, agent, standby or demo)", mode)
 	}
 	if load < 0 || load > 1 {
 		return fmt.Errorf("-load %g outside [0, 1]", load)
@@ -455,17 +495,29 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration,
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Joining retries forever with a capped exponential backoff: an agent
+	// started before its coordinator — or re-pointed at a standby that is
+	// still promoting — keeps knocking, quickly at first, then settles at
+	// the cap instead of hammering a recovering leader.
 	hello := wire.Hello{Host: host, Addr: base}
+	backoff := interval / 4
+	if backoff <= 0 {
+		backoff = interval
+	}
+	maxBackoff := 8 * interval
 	for {
 		err := a.SendHello(ctx, hello)
 		if err == nil {
 			break
 		}
-		fmt.Fprintf(os.Stderr, "hello: %v (retrying in %v)\n", err, interval)
+		fmt.Fprintf(os.Stderr, "hello: %v (retrying in %v)\n", err, backoff)
 		select {
 		case <-ctx.Done():
 			return nil
-		case <-time.After(interval):
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
 		}
 	}
 	fmt.Printf("agent %s at %s joined %s, heartbeat every %v\n", host, base, coordinatorURL, interval)
@@ -473,6 +525,11 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration,
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	rep := a.Reporter()
+	// A transiently lost heartbeat is redelivered within the interval
+	// (two quick retries), and an outage that outlives the retries parks
+	// the minute in the reporter's ring for the next successful send —
+	// the coordinator's day profiles stay gap-free across a failover.
+	rep.SetRetry(2, interval/16, nil)
 	var ids []string
 	for minute := 0; ; minute++ {
 		select {
@@ -501,11 +558,84 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration,
 	}
 }
 
+// runStandby is the hot-standby coordinator daemon: it checks the
+// acting leader's health endpoint once per interval, warm-replays the
+// leader's journal from shared storage so its view of the in-flight
+// actions stays current, and — when the leader has been unreachable
+// for the lease TTL — promotes itself by running the full coordinator
+// over the same journal directory. The promotion reopens the journal
+// under a bumped epoch, so the agents' epoch guard fences any
+// straggling messages from the deposed incarnation; safety rests on
+// that fencing, the lease only decides when to move. The standby's
+// -listen address should sit behind the shared coordinator address
+// (VIP or DNS) so the agents' hello retry reconnects them, and
+// co-located standbys should stagger -lease-ttl so exactly one
+// promotes first.
+func runStandby(landscapePath, listenAddr, leaderURL string, interval time.Duration, journalDir string, ttl int, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string) error {
+	tracker := lease.NewTracker(ttl)
+	client := &http.Client{Timeout: interval / 2}
+	healthURL := leaderURL + obs.HealthPath
+	check := func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, healthURL, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("leader unhealthy: %s", resp.Status)
+		}
+		return nil
+	}
+
+	fmt.Printf("standby: watching %s, lease TTL %d intervals of %v, journal %s\n",
+		leaderURL, tracker.TTL(), interval, journalDir)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var lastEpoch uint64
+	lastPending := -1
+	for tick := 0; ; tick++ {
+		select {
+		case <-ctx.Done():
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+		}
+		if err := check(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "standby: leader check: %v\n", err)
+		} else {
+			tracker.Renew(tick, 0)
+		}
+		// Follow the leader's durable state between checks: the replay is
+		// read-only and torn-tail tolerant, so it is safe against a leader
+		// that is still appending.
+		if ls, err := agent.WarmReplay(journalDir); err != nil {
+			fmt.Fprintf(os.Stderr, "standby: warm replay: %v\n", err)
+		} else if ls.Epoch != lastEpoch || len(ls.Pending) != lastPending {
+			fmt.Printf("standby: following epoch %d, %d in-flight actions, %d hosts down\n",
+				ls.Epoch, len(ls.Pending), len(ls.Down))
+			lastEpoch, lastPending = ls.Epoch, len(ls.Pending)
+		}
+		if !tracker.Expired(tick) {
+			continue
+		}
+		stop() // release the signal context; the coordinator installs its own
+		fmt.Printf("standby: lease expired after %d silent intervals — promoting over %s\n",
+			tracker.TTL(), journalDir)
+		return runCoordinator(landscapePath, listenAddr, interval, journalDir, codec, shards, workers, archiveDir, forecastMin, rulesDir, shadowDir, shadowLabel)
+	}
+}
+
 // runDemo fast-forwards the whole distributed plane in one process: the
 // declared landscape runs through the simulator's distributed mode over
 // the in-memory loopback, and the run ends with the control-plane panel
 // and the usual result summary.
-func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string) error {
+func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string, standbys, leaseTTL int) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -516,9 +646,10 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
 	jdir := journalDir
-	if chaosSeed != 0 && jdir == "" {
-		// Crash injections need a journal to recover from; an unjournaled
-		// chaos run would die at the first crash.
+	if (chaosSeed != 0 || standbys > 0) && jdir == "" {
+		// Crash injections need a journal to recover from (an unjournaled
+		// chaos run would die at the first crash), and standby
+		// coordinators warm-replay the leader's journal directory.
 		tmp, err := os.MkdirTemp("", "autoglobe-journal-")
 		if err != nil {
 			return err
@@ -534,7 +665,7 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 		c.RulesDir = rulesDir
 		c.ShadowRulesDir = shadowDir
 		c.ShadowLabel = shadowLabel
-		dc := &simulator.DistributedConfig{Transport: tr, JournalDir: jdir, IngestShards: shards, DispatchWorkers: workers}
+		dc := &simulator.DistributedConfig{Transport: tr, JournalDir: jdir, IngestShards: shards, DispatchWorkers: workers, Standbys: standbys, LeaseTTL: leaseTTL}
 		if chaosSeed != 0 {
 			hosts := make([]string, 0, len(l.Servers))
 			for _, s := range l.Servers {
@@ -556,6 +687,14 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 			_, err := sim.Plane().CrashCoordinator(context.Background())
 			return err
 		}
+		if e := sim.Plane().Election(); e != nil {
+			// With standbys attached, crash injections become leader kills:
+			// a standby promotes after the lease TTL instead of the same
+			// incarnation restarting in place.
+			drv.Crash = nil
+			drv.KillLeader = func(step int) (bool, error) { return e.KillLeader(step) }
+			drv.Leader = e.LeaderNode
+		}
 		fmt.Printf("chaos: seed %d schedules %d injections over %d minutes\n",
 			chaosSeed, drv.Remaining(), hours*60)
 	}
@@ -568,12 +707,16 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 	if drv != nil {
 		fmt.Printf("chaos: applied %v\n", drv.Stats())
 		if cj := sim.Plane().Dispatcher().Journal(); cj != nil {
-			fmt.Printf("journal: final epoch %d (initial open + one per crash)\n", cj.Epoch())
+			fmt.Printf("journal: final epoch %d (initial open + one per crash or takeover)\n", cj.Epoch())
 		}
 		if err := sim.CheckInvariants(true); err != nil {
 			return fmt.Errorf("post-chaos invariant check: %w", err)
 		}
 		fmt.Println("invariants: landscape constraints hold after the fault schedule")
+	}
+	if e := sim.Plane().Election(); e != nil {
+		fmt.Printf("election: leader %s, %d takeovers, %d fenced depositions\n",
+			e.LeaderNode(), e.Takeovers(), e.FencedDepositions())
 	}
 	fmt.Println(console.PlaneView(sim.Deployment(), sim.Plane()))
 	fmt.Println()

@@ -246,6 +246,8 @@ func (a *Agent) Handle(env *wire.Envelope) (*wire.Envelope, error) {
 		// Answering at all is the proof of life.
 		return wire.AcquireProbeAckEnvelope(a.host, env.From,
 			wire.Probe{Host: a.host, Minute: env.Probe.Minute}), nil
+	case wire.TypeLease:
+		return wire.AcquireLeaseAckEnvelope(a.host, env.From, a.observeLease(*env.Lease)), nil
 	default:
 		return nil, fmt.Errorf("agent: %s cannot handle %q messages", a.host, env.Type)
 	}
@@ -279,6 +281,41 @@ func (a *Agent) guardEpoch(env *wire.Envelope) (wire.ActionAck, bool) {
 	}
 	a.coordEpoch = env.Epoch
 	return wire.ActionAck{}, false
+}
+
+// observeLease processes a leader's lease beacon. A beacon carrying an
+// epoch at or above the highest the agent has seen is legitimate
+// (epochs are unique per incarnation, so an equal epoch is the same
+// leader renewing): the agent adopts the epoch and redirects its
+// heartbeats to the announced leader — the next reporter Send drains
+// any minutes buffered during the leaderless window to the new leader.
+// A lower epoch is a deposed incarnation still beaconing; it is fenced
+// exactly like a stale action (counted, state untouched) and the reply
+// carries the higher epoch so the sender learns it was superseded and
+// steps down.
+func (a *Agent) observeLease(l wire.Lease) wire.Lease {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if l.Epoch < a.coordEpoch {
+		a.staleNacks++
+		if a.epochRejects != nil {
+			a.epochRejects.Inc()
+		}
+		return wire.Lease{Leader: a.coordinator, Epoch: a.coordEpoch, Minute: l.Minute}
+	}
+	a.coordEpoch = l.Epoch
+	if l.Leader != "" {
+		a.coordinator = l.Leader
+	}
+	return wire.Lease{Leader: a.coordinator, Epoch: a.coordEpoch, Minute: l.Minute}
+}
+
+// Coordinator returns the node the agent currently sends heartbeats to
+// — updated by lease beacons after a failover.
+func (a *Agent) Coordinator() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.coordinator
 }
 
 // apply executes one operation against the process table, answering
@@ -375,14 +412,15 @@ func (a *Agent) SendHello(ctx context.Context, h wire.Hello) error {
 	if h.Host == "" {
 		h.Host = a.host
 	}
-	reply, err := a.tr.Call(ctx, a.coordinator, wire.HelloEnvelope(a.host, a.coordinator, h))
+	coord := a.Coordinator()
+	reply, err := a.tr.Call(ctx, coord, wire.HelloEnvelope(a.host, coord, h))
 	if err != nil {
 		return err
 	}
 	ok := reply != nil && reply.Type == wire.TypeAck && reply.Ack != nil && reply.Ack.OK
 	wire.ReleaseEnvelope(reply)
 	if !ok {
-		return fmt.Errorf("agent: %s: hello not acknowledged by %s", a.host, a.coordinator)
+		return fmt.Errorf("agent: %s: hello not acknowledged by %s", a.host, coord)
 	}
 	return nil
 }
@@ -394,10 +432,11 @@ func (a *Agent) SendHeartbeat(ctx context.Context, hb wire.Heartbeat) error {
 	a.mu.Lock()
 	a.seq++
 	seq := a.seq
+	coord := a.coordinator
 	a.mu.Unlock()
-	env := wire.HeartbeatEnvelope(a.host, a.coordinator, hb)
+	env := wire.HeartbeatEnvelope(a.host, coord, hb)
 	env.Seq = seq
-	reply, err := a.tr.Call(ctx, a.coordinator, env)
+	reply, err := a.tr.Call(ctx, coord, env)
 	if err != nil {
 		return err
 	}
@@ -420,7 +459,6 @@ func (a *Agent) Reporter() *HeartbeatReporter {
 		r.env.Version = wire.Version
 		r.env.Type = wire.TypeHeartbeat
 		r.env.From = a.host
-		r.env.To = a.coordinator
 		r.env.Heartbeat = &r.hb
 		r.hb.Host = a.host
 		a.reporter = r
@@ -428,12 +466,28 @@ func (a *Agent) Reporter() *HeartbeatReporter {
 	return a.reporter
 }
 
+// reporterBufferCap bounds the ring of undelivered heartbeat minutes a
+// reporter holds while its coordinator is unreachable (a leaderless
+// failover window, a transient network fault). When the ring is full
+// the oldest minute is dropped — the monitor would discard a report
+// that stale anyway, and an unbounded buffer on a long-partitioned
+// host would be a leak.
+const reporterBufferCap = 16
+
 // HeartbeatReporter coalesces one host's per-minute load report — the
 // host-level CPU/memory numbers plus a sample per resident instance —
 // into a single reusable envelope, so the steady-state heartbeat path
 // allocates nothing: the envelope, the heartbeat payload and the
 // instance-sample slice are reused minute after minute. A host daemon
 // calls Begin once per minute, Sample per instance, then Send.
+//
+// A report Send cannot deliver is not lost: after the configured
+// retries it is parked in a bounded ring and re-offered, oldest first,
+// at the start of every later Send — so the minutes of a leaderless
+// failover window drain to the new leader on the first successful
+// heartbeat after the redirect, and the monitor's day profiles stay
+// gap-free. The destination is re-read from the agent on every attempt,
+// so a lease redirect takes effect mid-buffer.
 //
 // The reporter is NOT safe for concurrent use: it models the one
 // monitoring loop a host daemon runs. Transports never retain the
@@ -443,7 +497,32 @@ type HeartbeatReporter struct {
 	a   *Agent
 	env wire.Envelope
 	hb  wire.Heartbeat
+
+	// buffered holds the undelivered minutes, oldest first, at most
+	// reporterBufferCap entries. Each entry owns its Instances slice.
+	buffered []wire.Heartbeat
+
+	// retries and backoff bound the per-report delivery attempts: a Send
+	// makes 1+retries attempts, sleeping backoff<<attempt between them.
+	// The default (0 retries) preserves the fire-and-forget semantics a
+	// missed-heartbeat liveness signal depends on.
+	retries int
+	backoff time.Duration
+	sleep   func(time.Duration)
 }
+
+// SetRetry configures bounded in-call retry: up to n extra delivery
+// attempts per report with exponential backoff starting at d. The
+// sleeper is replaceable for tests; nil uses time.Sleep.
+func (r *HeartbeatReporter) SetRetry(n int, d time.Duration, sleep func(time.Duration)) {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	r.retries, r.backoff, r.sleep = n, d, sleep
+}
+
+// Buffered returns how many undelivered minutes the reporter holds.
+func (r *HeartbeatReporter) Buffered() int { return len(r.buffered) }
 
 // Begin starts a new report for the minute, resetting the sample batch.
 func (r *HeartbeatReporter) Begin(minute int, cpu, mem float64) {
@@ -459,23 +538,78 @@ func (r *HeartbeatReporter) Sample(id, service string, load float64) {
 		ID: id, Service: service, Load: load})
 }
 
-// Send delivers the batched report. Like SendHeartbeat it is
-// fire-and-forget: failures are returned, never retried — a missed
-// heartbeat is the liveness detector's signal.
+// Send delivers the batched report: any buffered minutes first, oldest
+// to newest, then the open one. The first failure stops the drain —
+// everything undelivered (the open report included) stays buffered for
+// the next Send — and is returned, so the caller still sees a missed
+// heartbeat (the liveness detector's signal) even though the data will
+// arrive late rather than never.
 func (r *HeartbeatReporter) Send(ctx context.Context) error {
-	a := r.a
-	a.mu.Lock()
-	a.seq++
-	r.env.Seq = a.seq
-	a.mu.Unlock()
-	reply, err := a.tr.Call(ctx, a.coordinator, &r.env)
-	if err != nil {
+	for len(r.buffered) > 0 {
+		if r.buffered[0].Minute >= r.hb.Minute {
+			// The open report supersedes a buffered same-or-newer minute
+			// (a re-report after a partial drain): latest wins.
+			r.buffered = r.buffered[:copy(r.buffered, r.buffered[1:])]
+			continue
+		}
+		env := wire.HeartbeatEnvelope(r.a.host, "", r.buffered[0])
+		if err := r.sendOne(ctx, env); err != nil {
+			r.park()
+			return err
+		}
+		r.buffered = r.buffered[:copy(r.buffered, r.buffered[1:])]
+	}
+	if err := r.sendOne(ctx, &r.env); err != nil {
+		r.park()
 		return err
 	}
-	ok := reply != nil && reply.Type == wire.TypeAck && reply.Ack != nil && reply.Ack.OK
-	wire.ReleaseEnvelope(reply)
-	if !ok {
-		return fmt.Errorf("agent: %s: heartbeat not acknowledged", a.host)
-	}
 	return nil
+}
+
+// park copies the open report into the buffer (deduplicating its
+// minute), evicting the oldest entry if the ring is full. The open
+// report's sample slice is reused next minute, so the copy is deep.
+func (r *HeartbeatReporter) park() {
+	keep := wire.Heartbeat{
+		Host: r.hb.Host, Minute: r.hb.Minute, CPU: r.hb.CPU, Mem: r.hb.Mem,
+		Instances: append([]wire.InstanceSample(nil), r.hb.Instances...),
+	}
+	for i := range r.buffered {
+		if r.buffered[i].Minute == keep.Minute {
+			r.buffered[i] = keep
+			return
+		}
+	}
+	if len(r.buffered) >= reporterBufferCap {
+		r.buffered = r.buffered[:copy(r.buffered, r.buffered[1:])]
+	}
+	r.buffered = append(r.buffered, keep)
+}
+
+// sendOne delivers one heartbeat envelope with the configured bounded
+// retry, re-reading the agent's current coordinator on every attempt.
+func (r *HeartbeatReporter) sendOne(ctx context.Context, env *wire.Envelope) error {
+	a := r.a
+	for attempt := 0; ; attempt++ {
+		a.mu.Lock()
+		a.seq++
+		env.Seq = a.seq
+		env.To = a.coordinator
+		a.mu.Unlock()
+		reply, err := a.tr.Call(ctx, env.To, env)
+		if err == nil {
+			ok := reply != nil && reply.Type == wire.TypeAck && reply.Ack != nil && reply.Ack.OK
+			wire.ReleaseEnvelope(reply)
+			if ok {
+				return nil
+			}
+			err = fmt.Errorf("agent: %s: heartbeat not acknowledged", a.host)
+		}
+		if attempt >= r.retries {
+			return err
+		}
+		if r.backoff > 0 {
+			r.sleep(r.backoff << attempt)
+		}
+	}
 }

@@ -61,6 +61,14 @@ type Coordinator struct {
 	// joining the landscape); its error is returned to the agent.
 	OnHello func(wire.Hello) error
 
+	// ha flips the coordinator into high-availability ingest mode: a
+	// host may deliver several distinct minutes inside one merge window
+	// (a reporter draining the backlog it buffered during a leaderless
+	// failover), and the minute close replays them as ascending
+	// per-minute groups instead of keeping only the latest. Off by
+	// default — the plain path stays byte-for-byte the original.
+	ha atomic.Bool
+
 	// Lock-free ingest counters: Ingest runs concurrently across
 	// shards and must not serialise on c.mu.
 	heartbeats atomic.Int64
@@ -95,6 +103,14 @@ type Coordinator struct {
 	journal    *CoordinatorJournal
 	rulesReg   *rules.Registry
 	ruleSwap   RuleActivator
+	leaseHook  func(wire.Lease) wire.Lease
+	// mergeFloor (HA mode) is the newest minute the shared monitor
+	// pipeline has already observed: a takeover sets it from the
+	// previous leadership so a drained backlog cannot double-observe a
+	// minute the deposed leader already merged. lastMerged is the
+	// newest minute this coordinator actually observed host beats at.
+	mergeFloor int
+	lastMerged int
 }
 
 // RuleActivator is the hook a validated-and-activated rule base is
@@ -116,12 +132,26 @@ type hostBeat struct {
 
 // ingestShard is one slice of the ingest plane: a mutex, the pending
 // beat per host, the per-host high-water minute (stale-replay guard),
-// and a freelist of recycled beats.
+// and a freelist of recycled beats. In HA mode a host's displaced
+// older-minute beats wait in backfill instead of being overwritten, so
+// a drained failover backlog survives until the minute-close merge.
 type ingestShard struct {
-	mu      sync.Mutex
-	pending map[string]*hostBeat
-	lastMin map[string]int
-	free    []*hostBeat
+	mu       sync.Mutex
+	pending  map[string]*hostBeat
+	lastMin  map[string]int
+	free     []*hostBeat
+	backfill []*hostBeat
+}
+
+// take pops a recycled beat from the freelist or allocates one.
+// Callers hold sh.mu.
+func (sh *ingestShard) take() *hostBeat {
+	if n := len(sh.free); n > 0 {
+		b := sh.free[n-1]
+		sh.free = sh.free[:n-1]
+		return b
+	}
+	return &hostBeat{}
 }
 
 func newShards(n int) *[]*ingestShard {
@@ -242,8 +272,15 @@ func (c *Coordinator) Reshard(n int) {
 			dst.lastMin[host] = m
 			dst.mu.Unlock()
 		}
+		for _, b := range sh.backfill {
+			dst := shards[fnv1a(b.host)%uint32(len(shards))]
+			dst.mu.Lock()
+			dst.backfill = append(dst.backfill, b)
+			dst.mu.Unlock()
+		}
 		clear(sh.pending)
 		clear(sh.lastMin)
+		sh.backfill = sh.backfill[:0]
 		sh.mu.Unlock()
 	}
 }
@@ -288,6 +325,40 @@ func (c *Coordinator) ruleState() (*rules.Registry, RuleActivator, *CoordinatorJ
 	return c.rulesReg, c.ruleSwap, c.journal
 }
 
+// EnableHA switches the coordinator into high-availability ingest
+// mode (see the ha field). It is enabled once, before traffic, on
+// every member of an elected coordinator group.
+func (c *Coordinator) EnableHA() { c.ha.Store(true) }
+
+// SetMergeFloor (HA mode) records the newest minute the shared monitor
+// pipeline has already observed. Beats at or below the floor are
+// discarded by the grouped minute close — a new leader sets this at
+// takeover so a drained agent backlog cannot double-observe minutes
+// its predecessor already merged.
+func (c *Coordinator) SetMergeFloor(minute int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mergeFloor = minute
+}
+
+// LastMerged returns the newest minute this coordinator observed host
+// beats at — the value a plane carries across a takeover into the
+// successor's merge floor.
+func (c *Coordinator) LastMerged() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastMerged
+}
+
+// SetLeaseHook routes incoming lease-renewal beacons (an elected
+// leader announcing itself to its standbys) to the election member
+// owning this coordinator. The hook returns the ack payload.
+func (c *Coordinator) SetLeaseHook(hook func(wire.Lease) wire.Lease) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.leaseHook = hook
+}
+
 // Node returns the coordinator's transport node name.
 func (c *Coordinator) Node() string { return c.node }
 
@@ -329,6 +400,16 @@ func (c *Coordinator) Handle(env *wire.Envelope) (*wire.Envelope, error) {
 			}
 		}
 		return wire.AcquireAckEnvelope(c.node, env.From, wire.ActionAck{OK: true}), nil
+	case wire.TypeLease:
+		c.mu.Lock()
+		hook := c.leaseHook
+		c.mu.Unlock()
+		if hook == nil {
+			// A coordinator outside an election group just echoes the
+			// lease: it neither tracks nor contests leadership.
+			return wire.AcquireLeaseAckEnvelope(c.node, env.From, *env.Lease), nil
+		}
+		return wire.AcquireLeaseAckEnvelope(c.node, env.From, hook(*env.Lease)), nil
 	case wire.TypeRulePut:
 		return c.handleRulePut(env), nil
 	case wire.TypeRuleGet:
@@ -473,14 +554,27 @@ func (c *Coordinator) Ingest(hb wire.Heartbeat) error {
 	}
 	b := sh.pending[hb.Host]
 	if b == nil {
-		if n := len(sh.free); n > 0 {
-			b = sh.free[n-1]
-			sh.free = sh.free[:n-1]
-		} else {
-			b = &hostBeat{}
-		}
+		b = sh.take()
+		sh.pending[hb.Host] = b
+	} else if hb.Minute > b.minute && c.ha.Load() {
+		// HA: a newer minute arriving on top of an unmerged one is a
+		// backlog drain, not a replacement — park the older beat for the
+		// grouped minute close instead of losing its minute.
+		sh.backfill = append(sh.backfill, b)
+		b = sh.take()
 		sh.pending[hb.Host] = b
 	} else if hb.Minute < b.minute {
+		if c.ha.Load() {
+			// HA: an out-of-order older minute still fills its slot in the
+			// day profile; the grouped close replays it in minute order.
+			nb := sh.take()
+			nb.host = hb.Host
+			nb.minute = hb.Minute
+			nb.cpu = hb.CPU
+			nb.mem = hb.Mem
+			nb.samples = append(nb.samples[:0], hb.Instances...)
+			sh.backfill = append(sh.backfill, nb)
+		}
 		sh.mu.Unlock()
 		return nil
 	}
@@ -569,12 +663,128 @@ func (c *Coordinator) mergeHostsLocked(minute int) error {
 			firstErr = c.observeBeatLocked(b, minute)
 		}
 	}
+	if firstErr == nil && minute > c.lastMerged {
+		c.lastMerged = minute
+	}
 	// Return every beat to its shard's freelist, error or not.
 	for _, b := range beats {
 		sh := c.shard(b.host)
 		sh.mu.Lock()
 		sh.free = append(sh.free, b)
 		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// mergeGroupedLocked is the HA-mode minute close: it steals the pending
+// AND backfilled beats, drops anything at or below the merge floor
+// (already observed under the previous leadership), and replays the
+// rest as ascending per-minute groups — hosts in canonical order, then
+// the service close — each at the group's own minute. A drained
+// failover backlog therefore lands in the monitor pipeline exactly as
+// the fault-free run would have observed it: same minutes, same order,
+// same archive slots, so day profiles stay gap-free. A host whose only
+// beats sit at or below the floor gets its newest one observed at the
+// authoritative minute instead — the plain path's late-beat semantics —
+// so a report that raced the previous minute close is degraded, never
+// silently discarded. Callers hold c.mu.
+func (c *Coordinator) mergeGroupedLocked(minute int) error {
+	shards := *c.shards.Load()
+	beats := c.scratch[:0]
+	for _, sh := range shards {
+		sh.mu.Lock()
+		for _, b := range sh.pending {
+			beats = append(beats, b)
+		}
+		clear(sh.pending)
+		beats = append(beats, sh.backfill...)
+		sh.backfill = sh.backfill[:0]
+		sh.mu.Unlock()
+	}
+	c.scratch = beats[:0] // keep the (possibly grown) buffer
+
+	// Newest minute per host (stored +1 so minute 0 survives the zero
+	// value), deciding which stale beats clamp and which drop.
+	newest := make(map[string]int, len(beats))
+	for _, b := range beats {
+		if b.minute+1 > newest[b.host] {
+			newest[b.host] = b.minute + 1
+		}
+	}
+	kept := beats[:0:0]
+	for _, b := range beats {
+		if b.minute <= c.mergeFloor {
+			if newest[b.host]-1 <= c.mergeFloor && b.minute == newest[b.host]-1 {
+				b.minute = minute // clamp the host's newest stale report
+				kept = append(kept, b)
+			}
+			continue
+		}
+		kept = append(kept, b)
+	}
+
+	order := c.hostOrder
+	clear(order)
+	for i, name := range c.dep.Cluster().Names() {
+		order[name] = i + 1 // 0 means "not in cluster"
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].minute != kept[j].minute {
+			return kept[i].minute < kept[j].minute
+		}
+		oi, oj := order[kept[i].host], order[kept[j].host]
+		if oi != oj {
+			if oi == 0 {
+				return false // clustered hosts first
+			}
+			if oj == 0 {
+				return true
+			}
+			return oi < oj
+		}
+		return kept[i].host < kept[j].host
+	})
+
+	var firstErr error
+	groupMin := 0
+	open := false
+	for i, b := range kept {
+		if i > 0 && b.minute == kept[i-1].minute && b.host == kept[i-1].host {
+			continue // duplicate delivery of the same host minute
+		}
+		if firstErr != nil {
+			continue
+		}
+		if open && b.minute != groupMin {
+			firstErr = c.closeServicesLocked(groupMin)
+			if firstErr != nil {
+				continue
+			}
+			open = false
+		}
+		groupMin = b.minute
+		open = true
+		firstErr = c.observeBeatLocked(b, b.minute)
+	}
+	if firstErr == nil && open {
+		firstErr = c.closeServicesLocked(groupMin)
+		if groupMin > c.lastMerged {
+			c.lastMerged = groupMin
+		}
+	}
+	// Return every beat and refresh the stale-replay watermarks,
+	// error or not.
+	for _, b := range beats {
+		sh := c.shard(b.host)
+		sh.mu.Lock()
+		if b.minute > sh.lastMin[b.host] {
+			sh.lastMin[b.host] = b.minute
+		}
+		sh.free = append(sh.free, b)
+		sh.mu.Unlock()
+	}
+	if minute > c.mergeFloor {
+		c.mergeFloor = minute
 	}
 	return firstErr
 }
@@ -630,9 +840,19 @@ func (c *Coordinator) observeBeatLocked(b *hostBeat, minute int) error {
 func (c *Coordinator) ObserveServices(minute int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.ha.Load() {
+		return c.mergeGroupedLocked(minute)
+	}
 	if err := c.mergeHostsLocked(minute); err != nil {
 		return err
 	}
+	return c.closeServicesLocked(minute)
+}
+
+// closeServicesLocked observes the per-service loads accumulated from
+// the heartbeats of one minute, in catalog order, and resets the
+// accumulators. Callers hold c.mu.
+func (c *Coordinator) closeServicesLocked(minute int) error {
 	for _, svcName := range c.dep.Catalog().Names() {
 		samples := c.samples[svcName]
 		if len(samples) == 0 {

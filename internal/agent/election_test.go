@@ -1,0 +1,423 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+	"time"
+
+	"autoglobe/internal/archive"
+	"autoglobe/internal/journal"
+	"autoglobe/internal/monitor"
+	"autoglobe/internal/wire"
+)
+
+// electionPlane wires a plane with a journal and n standbys over a
+// loopback, ready for minute-driven failover tests.
+func electionPlane(t *testing.T, n int) (*Plane, *Election, *wire.Loopback, *monitor.System) {
+	t.Helper()
+	dep := testDeployment(t)
+	lms, err := monitor.NewSystem(monitor.PaperParams(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := wire.NewLoopback()
+	t.Cleanup(func() { tr.Close() })
+	p, err := NewPlane(PlaneConfig{Transport: tr, Dispatch: fastDispatch()}, dep, lms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.AttachJournal(context.Background(), t.TempDir(), journal.Options{NoSync: true}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.AttachStandbys(n, ElectionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, e, tr, lms
+}
+
+// electionMinute drives one simulated minute: election tick, every
+// host's heartbeat report, and — when a leader is up — the minute
+// close on the current leader.
+func electionMinute(t *testing.T, p *Plane, e *Election, minute int) {
+	t.Helper()
+	ctx := context.Background()
+	if err := e.Tick(ctx, minute); err != nil {
+		t.Fatalf("minute %d: tick: %v", minute, err)
+	}
+	for _, host := range p.dep.Cluster().Names() {
+		rep, ok := p.Reporter(host)
+		if !ok {
+			t.Fatalf("no reporter for %s", host)
+		}
+		rep.Begin(minute, 0.4, 0.3)
+		for _, inst := range p.dep.InstancesOn(host) {
+			rep.Sample(inst.ID, inst.Service, 0.4)
+		}
+		sendCtx, cancel := context.WithTimeout(ctx, time.Second)
+		_ = rep.Send(sendCtx) // failures buffer; that is the point
+		cancel()
+	}
+	if !e.LeaderAlive() {
+		return
+	}
+	if err := p.Coordinator().ObserveServices(minute); err != nil {
+		t.Fatalf("minute %d: observe: %v", minute, err)
+	}
+}
+
+// TestElectionFailover kills the leader and walks the full takeover:
+// one leaderless minute of buffered reports, a standby bumping the
+// epoch and announcing itself, agents redirecting and draining their
+// backlog — no heartbeat minute lost — and the killed member rejoining
+// as a standby after its restart delay.
+func TestElectionFailover(t *testing.T) {
+	p, e, _, lms := electionPlane(t, 2)
+	for m := 0; m < 3; m++ {
+		electionMinute(t, p, e, m)
+	}
+	origLeader := e.LeaderNode()
+	if got := e.Epoch(); got != 1 {
+		t.Fatalf("pre-kill epoch = %d, want 1", got)
+	}
+
+	killed, err := e.KillLeader(3)
+	if err != nil || !killed {
+		t.Fatalf("KillLeader = (%v, %v), want (true, nil)", killed, err)
+	}
+	electionMinute(t, p, e, 3) // leaderless: reports buffer
+	if e.LeaderAlive() {
+		t.Fatal("leader reported alive right after the kill")
+	}
+	for _, host := range p.dep.Cluster().Names() {
+		rep, _ := p.Reporter(host)
+		if rep.Buffered() != 1 {
+			t.Fatalf("host %s buffered %d minutes during the leaderless window, want 1", host, rep.Buffered())
+		}
+	}
+
+	electionMinute(t, p, e, 4) // lease lapses: takeover, redirect, drain
+	if got := e.Takeovers(); got != 1 {
+		t.Fatalf("takeovers = %d, want 1", got)
+	}
+	if e.LeaderNode() == origLeader {
+		t.Fatal("takeover kept the dead leader wired")
+	}
+	if got := e.Epoch(); got != 2 {
+		t.Fatalf("post-takeover epoch = %d, want 2 (exactly one bump per kill)", got)
+	}
+	for _, host := range p.dep.Cluster().Names() {
+		a, _ := p.Agent(host)
+		if a.Coordinator() != e.LeaderNode() {
+			t.Fatalf("host %s still reports to %q, want redirect to %q", host, a.Coordinator(), e.LeaderNode())
+		}
+		rep, _ := p.Reporter(host)
+		if rep.Buffered() != 0 {
+			t.Fatalf("host %s still buffers %d minutes after the redirect", host, rep.Buffered())
+		}
+	}
+	// The leaderless minute was backfilled: the archive has an
+	// observation in every slot, the day profile is gap-free.
+	arch := lms.Archive()
+	for _, host := range p.dep.Cluster().Names() {
+		for m := 0; m <= 4; m++ {
+			if n := arch.ObservationCount(archive.HostEntity(host), m); n != 1 {
+				t.Fatalf("host %s minute %d observed %d times, want 1", host, m, n)
+			}
+		}
+	}
+
+	for m := 5; m <= 6; m++ {
+		electionMinute(t, p, e, m)
+	}
+	roles := e.Members()
+	if roles[origLeader] != "standby" {
+		t.Fatalf("killed leader is %q after the restart delay, want standby (roles %v)", roles[origLeader], roles)
+	}
+	if roles[e.LeaderNode()] != "leader" {
+		t.Fatalf("wired leader role = %q, want leader", roles[e.LeaderNode()])
+	}
+}
+
+// TestElectionIsolatedLeaderFenced is the split-brain drill: the
+// leader is partitioned, not killed. A successor is elected while the
+// old leader still believes it leads; when the partition heals, its
+// first beacon is rebuffed by the agents' epoch fence and it steps
+// down to standby — no post-fence mutation, no split brain.
+func TestElectionIsolatedLeaderFenced(t *testing.T) {
+	p, e, tr, _ := electionPlane(t, 2)
+	for m := 0; m < 3; m++ {
+		electionMinute(t, p, e, m)
+	}
+	origLeader := e.LeaderNode()
+	tr.Isolate(origLeader)
+	electionMinute(t, p, e, 3) // isolated: beacons and reports vanish
+	electionMinute(t, p, e, 4) // takeover
+	if got := e.Takeovers(); got != 1 {
+		t.Fatalf("takeovers = %d, want 1", got)
+	}
+	roles := e.Members()
+	if roles[origLeader] != "leader" {
+		t.Fatalf("isolated leader role = %q, want leader (it cannot know it was deposed)", roles[origLeader])
+	}
+
+	tr.Heal(origLeader)
+	electionMinute(t, p, e, 5) // healed: its beacon is fenced, it steps down
+	if got := e.FencedDepositions(); got != 1 {
+		t.Fatalf("fenced depositions = %d, want 1", got)
+	}
+	if roles := e.Members(); roles[origLeader] != "standby" {
+		t.Fatalf("deposed leader role = %q, want standby (roles %v)", roles[origLeader], roles)
+	}
+	fenced := 0
+	for _, host := range p.dep.Cluster().Names() {
+		a, _ := p.Agent(host)
+		fenced += a.StaleNacks()
+		if a.Coordinator() != e.LeaderNode() {
+			t.Fatalf("host %s reports to %q after the heal, want %q", host, a.Coordinator(), e.LeaderNode())
+		}
+	}
+	if fenced == 0 {
+		t.Fatal("no agent fenced the deposed leader's beacon")
+	}
+	if got := e.Takeovers(); got != 1 {
+		t.Fatalf("takeovers after heal = %d, want still 1 (stepping down is not a takeover)", got)
+	}
+}
+
+// TestLeaderDeathCrashPointSweep is the takeover acceptance sweep: the
+// leader's journal is cut at every record boundary AND mid-record, a
+// standby warm-replays the prefix, performs the durable epoch-bumping
+// takeover and recovers — and at every cut the successor's pending set
+// is exactly the dispatch-minus-ack set of the intact prefix (zero
+// lost acked actions) and the agents' audit logs never change (zero
+// duplicated side effects). The mirror of TestCrashPointSweep with a
+// takeover in place of a same-directory reopen.
+func TestLeaderDeathCrashPointSweep(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	agents := make(map[string]*Agent)
+	for _, h := range []string{"h1", "h2"} {
+		a, err := NewAgent(h, CoordinatorNode, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents[h] = a
+	}
+	dir := t.TempDir()
+	cj := openTestJournal(t, dir)
+	cfg := fastDispatch()
+	d := NewDispatcher(cfg, tr)
+	d.AttachJournal(cj)
+	ctx := context.Background()
+
+	// The same every-fate run the reopen sweep uses: clean acks, an
+	// applied-but-ack-lost expiry, a NACK.
+	if _, err := d.Do(ctx, startReq("h1", "i1")); err != nil {
+		t.Fatal(err)
+	}
+	tr.DropReplyNext("h2", cfg.MaxAttempts)
+	if _, err := d.Do(ctx, startReq("h2", "i2")); err == nil {
+		t.Fatal("want expiry: acks for i2 are lost")
+	}
+	var nack *NackError
+	if _, err := d.Do(ctx, wire.ActionRequest{Op: wire.OpStop, Host: "h1", InstanceID: "ghost"}); !errors.As(err, &nack) {
+		t.Fatalf("stop of unknown instance: err = %v, want NackError", err)
+	}
+	if _, err := d.Do(ctx, startReq("h2", "i4")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cj.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	baseline := make(map[string][]string)
+	for h, a := range agents {
+		baseline[h] = a.Log()
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seg string
+	var data []byte
+	for _, s := range segs {
+		b, err := os.ReadFile(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b) > 0 {
+			if data != nil {
+				t.Fatalf("more than one non-empty segment: %v", segs)
+			}
+			seg, data = filepath.Base(s), b
+		}
+	}
+	payloads, boundaries := journal.Frames(data)
+	if len(payloads) != 9 {
+		t.Fatalf("journal has %d records, want 9 for the full run", len(payloads))
+	}
+	cuts := []int{0}
+	prev := 0
+	for _, b := range boundaries {
+		cuts = append(cuts, (prev+b)/2, b) // torn mid-record, then the clean boundary
+		prev = b
+	}
+	for _, cut := range cuts {
+		cdir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(cdir, seg), data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// The standby warm-replays the dead leader's directory and takes
+		// over into its OWN journal — the leader's files are never touched.
+		ls, err := WarmReplay(cdir)
+		if err != nil {
+			t.Fatalf("cut %d: warm replay: %v", cut, err)
+		}
+		scj, err := OpenStandbyJournal(filepath.Join(cdir, "standby-1"), journal.Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("cut %d: open standby: %v", cut, err)
+		}
+		if err := scj.Takeover(ls); err != nil {
+			t.Fatalf("cut %d: takeover: %v", cut, err)
+		}
+		if got, want := scj.Epoch(), ls.Epoch+1; got != want {
+			t.Fatalf("cut %d: takeover epoch = %d, want %d (exactly one bump)", cut, got, want)
+		}
+		want := pendingOfPrefix(t, data[:cut])
+		got := make(map[string]bool)
+		for _, req := range scj.Pending() {
+			got[req.Key] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cut %d: pending = %v, want %v", cut, got, want)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("cut %d: acked-or-dispatched action %s lost across the takeover", cut, k)
+			}
+		}
+		d2 := NewDispatcher(cfg, tr)
+		d2.AttachJournal(scj)
+		if _, err := scj.Recover(ctx, d2); err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		for h, a := range agents {
+			if !slices.Equal(a.Log(), baseline[h]) {
+				t.Fatalf("cut %d: host %s log changed %v -> %v (duplicate side effect across takeover)",
+					cut, h, baseline[h], a.Log())
+			}
+		}
+		scj.Close() //nolint:errcheck
+	}
+}
+
+// TestReporterBuffersAndDrains: a report the transport loses is parked
+// in the reporter's bounded ring and delivered — oldest first, to the
+// CURRENT coordinator — by the next successful Send, so no minute is
+// lost to a transient outage.
+func TestReporterBuffersAndDrains(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	var gotMinutes []int
+	if err := tr.Listen(CoordinatorNode, func(env *wire.Envelope) (*wire.Envelope, error) {
+		gotMinutes = append(gotMinutes, env.Heartbeat.Minute)
+		return wire.AcquireAckEnvelope(CoordinatorNode, env.From, wire.ActionAck{OK: true}), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent("h1", CoordinatorNode, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Reporter()
+	ctx := context.Background()
+
+	send := func(minute int) error {
+		rep.Begin(minute, 0.5, 0.5)
+		rep.Sample("i1", "app", 0.5)
+		return rep.Send(ctx)
+	}
+	if err := send(0); err != nil {
+		t.Fatal(err)
+	}
+	tr.DropNext(CoordinatorNode, 2)
+	if err := send(1); err == nil {
+		t.Fatal("want delivery failure for minute 1")
+	}
+	if err := send(2); err == nil {
+		t.Fatal("want delivery failure for minute 2")
+	}
+	if got := rep.Buffered(); got != 2 {
+		t.Fatalf("buffered = %d, want 2", got)
+	}
+	if err := send(3); err != nil {
+		t.Fatalf("drain send: %v", err)
+	}
+	if got := rep.Buffered(); got != 0 {
+		t.Fatalf("buffered after drain = %d, want 0", got)
+	}
+	if want := []int{0, 1, 2, 3}; !slices.Equal(gotMinutes, want) {
+		t.Fatalf("delivered minutes %v, want %v (buffered minutes drain oldest first)", gotMinutes, want)
+	}
+
+	// The ring is bounded: a long outage keeps the newest
+	// reporterBufferCap minutes and drops the oldest.
+	tr.DropNext(CoordinatorNode, reporterBufferCap+3)
+	for m := 4; m < 4+reporterBufferCap+3; m++ {
+		if err := send(m); err == nil {
+			t.Fatalf("minute %d: want delivery failure", m)
+		}
+	}
+	if got := rep.Buffered(); got != reporterBufferCap {
+		t.Fatalf("buffered = %d, want cap %d", got, reporterBufferCap)
+	}
+}
+
+// TestReporterBoundedRetry: with SetRetry the reporter redelivers
+// within one Send — backing off between attempts — and only parks the
+// report once the attempts are exhausted.
+func TestReporterBoundedRetry(t *testing.T) {
+	tr := wire.NewLoopback()
+	defer tr.Close()
+	if err := tr.Listen(CoordinatorNode, func(env *wire.Envelope) (*wire.Envelope, error) {
+		return wire.AcquireAckEnvelope(CoordinatorNode, env.From, wire.ActionAck{OK: true}), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAgent("h1", CoordinatorNode, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := a.Reporter()
+	var slept []time.Duration
+	rep.SetRetry(2, 10*time.Millisecond, func(d time.Duration) { slept = append(slept, d) })
+	ctx := context.Background()
+
+	tr.DropNext(CoordinatorNode, 2)
+	rep.Begin(0, 0.5, 0.5)
+	if err := rep.Send(ctx); err != nil {
+		t.Fatalf("send with retries: %v", err)
+	}
+	if rep.Buffered() != 0 {
+		t.Fatalf("buffered = %d after in-call retry success, want 0", rep.Buffered())
+	}
+	if want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}; !slices.Equal(slept, want) {
+		t.Fatalf("backoffs = %v, want %v", slept, want)
+	}
+
+	// All attempts exhausted: the report parks and the error surfaces.
+	tr.DropNext(CoordinatorNode, 3)
+	rep.Begin(1, 0.5, 0.5)
+	if err := rep.Send(ctx); err == nil {
+		t.Fatal("want failure after exhausting retries")
+	}
+	if rep.Buffered() != 1 {
+		t.Fatalf("buffered = %d after exhausted retries, want 1", rep.Buffered())
+	}
+}

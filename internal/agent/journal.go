@@ -133,6 +133,32 @@ const DefaultSnapshotEvery = 256
 // and durably begins a new epoch. The previous incarnation's unacked
 // dispatches are available through Pending (and re-issued by Recover).
 func OpenCoordinatorJournal(dir string, opts journal.Options) (*CoordinatorJournal, error) {
+	cj, err := openCoordinatorJournal(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	// This incarnation's lease: durably one past everything seen.
+	cj.epoch++
+	if err := cj.append(journalRecord{Kind: recEpoch, Epoch: cj.epoch}); err != nil {
+		cj.j.Close()
+		return nil, err
+	}
+	return cj, nil
+}
+
+// OpenStandbyJournal opens the WAL in dir WITHOUT beginning a new
+// epoch: the replayed epoch (zero for a fresh standby) is kept as-is.
+// A standby coordinator must not bump the epoch at construction — only
+// an actual takeover is a new incarnation, and the acceptance invariant
+// "one epoch bump per leader death" depends on standbys staying
+// epoch-silent until then. Takeover performs the bump durably.
+func OpenStandbyJournal(dir string, opts journal.Options) (*CoordinatorJournal, error) {
+	return openCoordinatorJournal(dir, opts)
+}
+
+// openCoordinatorJournal opens the log and replays snapshot + tail into
+// the typed state, without starting an epoch.
+func openCoordinatorJournal(dir string, opts journal.Options) (*CoordinatorJournal, error) {
 	j, err := journal.Open(dir, opts)
 	if err != nil {
 		return nil, err
@@ -175,13 +201,99 @@ func OpenCoordinatorJournal(dir string, opts journal.Options) (*CoordinatorJourn
 		}
 		cj.apply(r)
 	}
-	// This incarnation's lease: durably one past everything seen.
-	cj.epoch++
-	if err := cj.append(journalRecord{Kind: recEpoch, Epoch: cj.epoch}); err != nil {
-		j.Close()
+	return cj, nil
+}
+
+// LeaderState is the durable state of a (possibly dead, possibly still
+// appending) leader's journal, read without mutating the directory —
+// what a standby warm-replays and adopts at takeover.
+type LeaderState struct {
+	Epoch   uint64
+	Pending []wire.ActionRequest
+	Down    map[string]int
+	Rules   map[string]RuleActivation
+}
+
+// WarmReplay reads a leader's journal directory read-only (see
+// journal.Replay) and folds snapshot + tail into a LeaderState. A
+// standby calls it periodically while following and once more at
+// takeover; because the underlying reader is torn-tail tolerant and
+// never touches the files, it is safe against a leader that is still
+// appending — the view is a durable prefix of the leader's log.
+func WarmReplay(dir string) (*LeaderState, error) {
+	snapshot, records, err := journal.Replay(dir)
+	if err != nil {
 		return nil, err
 	}
-	return cj, nil
+	tmp := &CoordinatorJournal{
+		pending: make(map[string]wire.ActionRequest),
+		down:    make(map[string]int),
+		rules:   make(map[string]RuleActivation),
+	}
+	if snapshot != nil {
+		var st journalState
+		if err := json.Unmarshal(snapshot, &st); err != nil {
+			return nil, fmt.Errorf("agent: journal snapshot unreadable: %w", err)
+		}
+		tmp.epoch = st.Epoch
+		for _, req := range st.Pending {
+			tmp.pending[req.Key] = req
+			tmp.order = append(tmp.order, req.Key)
+		}
+		for h, m := range st.Down {
+			tmp.down[h] = m
+		}
+		for name, ra := range st.Rules {
+			tmp.rules[name] = ra
+		}
+	}
+	for _, raw := range records {
+		var r journalRecord
+		if err := json.Unmarshal(raw, &r); err != nil {
+			return nil, fmt.Errorf("agent: journal record unreadable: %w", err)
+		}
+		tmp.apply(r)
+	}
+	ls := &LeaderState{Epoch: tmp.epoch, Down: tmp.down, Rules: tmp.rules}
+	for _, key := range tmp.order {
+		if req, ok := tmp.pending[key]; ok {
+			ls.Pending = append(ls.Pending, req)
+		}
+	}
+	return ls, nil
+}
+
+// Takeover durably adopts a dead leader's warm-replayed state into this
+// (standby) journal: the epoch becomes one past the larger of the
+// standby's own and the leader's — exactly one bump per leader death —
+// and the pending/down/rules state is replaced wholesale. Everything is
+// committed with a single snapshot, which embeds the epoch: the
+// snapshot record is the new incarnation's durable lease, after which
+// the adopted pending actions are available through Pending for the
+// usual Recover re-issue.
+func (cj *CoordinatorJournal) Takeover(ls *LeaderState) error {
+	cj.mu.Lock()
+	defer cj.mu.Unlock()
+	if ls.Epoch > cj.epoch {
+		cj.epoch = ls.Epoch
+	}
+	cj.epoch++
+	cj.pending = make(map[string]wire.ActionRequest, len(ls.Pending))
+	cj.order = cj.order[:0]
+	for _, req := range ls.Pending {
+		cj.pending[req.Key] = req
+		cj.order = append(cj.order, req.Key)
+	}
+	cj.down = make(map[string]int, len(ls.Down))
+	for h, m := range ls.Down {
+		cj.down[h] = m
+	}
+	cj.rules = make(map[string]RuleActivation, len(ls.Rules))
+	for name, ra := range ls.Rules {
+		cj.rules[name] = ra
+	}
+	cj.appends = 0
+	return cj.snapshotLocked()
 }
 
 // apply folds one replayed record into the recovered state.

@@ -41,10 +41,22 @@ const (
 	// fate unknown — across all recoveries; each is re-issued under its
 	// original idempotency key.
 	MetricRecoveryPending = "autoglobe_recovery_pending_total"
-	// MetricEpochRejections counts action requests an agent NACKed
-	// because they carried a superseded coordinator epoch — traffic from
-	// a not-quite-dead predecessor incarnation.
-	MetricEpochRejections = "autoglobe_epoch_rejections_total"
+	// MetricEpochRejections counts sends an agent fenced for carrying a
+	// superseded coordinator epoch — action requests NACKed and lease
+	// beacons rebuffed, both traffic from a not-quite-dead predecessor
+	// incarnation.
+	MetricEpochRejections = "autoglobe_agent_epoch_rejections_total"
+	// MetricElectionTakeovers counts leadership takeovers: a standby's
+	// lease on its leader expired and it durably bumped the epoch,
+	// recovered the journal and announced itself.
+	MetricElectionTakeovers = "autoglobe_election_takeovers_total"
+	// MetricElectionRole is a per-member gauge: 1 while the member acts
+	// as leader, 0 while standby or down.
+	MetricElectionRole = "autoglobe_election_role"
+	// MetricElectionBufferedMinutes gauges how many heartbeat minutes
+	// agents currently hold buffered for a leaderless window — nonzero
+	// while a failover is in progress, draining to zero on redirect.
+	MetricElectionBufferedMinutes = "autoglobe_election_buffered_minutes"
 )
 
 // dispatchMetrics pre-resolves the dispatcher's series. Nil-safe.
@@ -194,4 +206,48 @@ func (m *journalMetrics) recovery(pending int) {
 	}
 	m.recoveries.Inc()
 	m.pending.Add(float64(pending))
+}
+
+// electionMetrics pre-resolves the election's series. Nil-safe.
+type electionMetrics struct {
+	r         *obs.Registry
+	takeovers *obs.Counter
+	buffered  *obs.Gauge
+}
+
+func newElectionMetrics(r *obs.Registry) *electionMetrics {
+	if r == nil {
+		return nil
+	}
+	r.Help(MetricElectionTakeovers, "Leadership takeovers after lease expiry.")
+	r.Help(MetricElectionRole, "Per-member leadership role: 1 leader, 0 standby or down.")
+	r.Help(MetricElectionBufferedMinutes, "Heartbeat minutes buffered agent-side awaiting a leader.")
+	return &electionMetrics{
+		r:         r,
+		takeovers: r.Counter(MetricElectionTakeovers),
+		buffered:  r.Gauge(MetricElectionBufferedMinutes),
+	}
+}
+
+func (m *electionMetrics) takeover() {
+	if m != nil {
+		m.takeovers.Inc()
+	}
+}
+
+func (m *electionMetrics) role(node string, leading bool) {
+	if m == nil {
+		return
+	}
+	v := 0.0
+	if leading {
+		v = 1
+	}
+	m.r.Gauge(MetricElectionRole, "member", node).Set(v)
+}
+
+func (m *electionMetrics) bufferedDepth(n int) {
+	if m != nil {
+		m.buffered.Set(float64(n))
+	}
 }

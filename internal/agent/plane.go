@@ -43,10 +43,16 @@ type Plane struct {
 	coord  *Coordinator
 	disp   *Dispatcher
 	dep    *service.Deployment
+	lms    *monitor.System
 	agents map[string]*Agent
 
 	rulesReg *rules.Registry
 	ruleSwap RuleActivator
+
+	// election, when standbys are attached, runs leader election over a
+	// group of coordinators; p.coord then always points at the member
+	// currently holding leadership.
+	election *Election
 
 	// HeartbeatTimeout bounds one heartbeat delivery (default 2s).
 	HeartbeatTimeout time.Duration
@@ -72,6 +78,7 @@ func NewPlane(cfg PlaneConfig, dep *service.Deployment, lms *monitor.System) (*P
 		coord:            coord,
 		disp:             NewDispatcher(cfg.Dispatch, cfg.Transport),
 		dep:              dep,
+		lms:              lms,
 		agents:           make(map[string]*Agent),
 		HeartbeatTimeout: 2 * time.Second,
 	}
@@ -106,6 +113,9 @@ func (p *Plane) AttachHost(host string) error {
 func (p *Plane) Instrument(r *obs.Registry) {
 	p.coord.Instrument(r)
 	p.disp.Instrument(r)
+	if p.election != nil {
+		p.election.Instrument(r)
+	}
 }
 
 // Trace attaches a tracer to the plane's dispatcher so per-host

@@ -46,6 +46,19 @@ const (
 	KindIsolate Kind = "isolate"
 	// KindHeal reconnects a partitioned host.
 	KindHeal Kind = "heal"
+	// KindKillLeader crashes the acting leader of a coordinator group:
+	// journal closed mid-flight, transport endpoint gone. A standby's
+	// lease expires and it takes over (see agent.Election). Skipped when
+	// the run has no coordinator group or no live standby.
+	KindKillLeader Kind = "killLeader"
+	// KindIsolateLeader partitions the acting leader WITHOUT killing it —
+	// the split-brain drill: a successor is elected while the old leader
+	// still believes it leads, and only epoch fencing keeps the deposed
+	// incarnation harmless once the partition heals.
+	KindIsolateLeader Kind = "isolateLeader"
+	// KindHealLeader reconnects the leader isolated by the paired
+	// KindIsolateLeader injection.
+	KindHealLeader Kind = "healLeader"
 )
 
 // Injection is one scheduled fault.
@@ -80,6 +93,16 @@ type Profile struct {
 	// HoldSteps is how many steps a held message stays parked
 	// (default 2).
 	HoldSteps int
+	// KillLeaderRate is the per-step probability of crashing the acting
+	// leader of a coordinator group (no-op without one).
+	KillLeaderRate float64
+	// IsolateLeaderRate is the per-step probability of partitioning the
+	// acting leader without killing it, healed IsolateLeaderSteps later.
+	IsolateLeaderRate float64
+	// IsolateLeaderSteps is how long a leader isolation lasts (default
+	// 4 — longer than the lease TTL, so a successor is always elected
+	// and the deposed leader must be fenced when the partition heals).
+	IsolateLeaderSteps int
 	// QuietTail is how many trailing steps inject nothing, giving the
 	// landscape time to converge before it is compared against the
 	// fault-free run (default 0; convergence tests set it).
@@ -92,13 +115,16 @@ type Profile struct {
 // and the occasional coordinator crash.
 func DefaultProfile() Profile {
 	return Profile{
-		CrashRate:      0.01,
-		DuplicateRate:  0.05,
-		HoldRate:       0.03,
-		PartitionRate:  0.01,
-		PartitionSteps: 1,
-		HoldSteps:      2,
-		QuietTail:      60,
+		CrashRate:          0.01,
+		DuplicateRate:      0.05,
+		HoldRate:           0.03,
+		PartitionRate:      0.01,
+		PartitionSteps:     1,
+		HoldSteps:          2,
+		KillLeaderRate:     0.005,
+		IsolateLeaderRate:  0.002,
+		IsolateLeaderSteps: 4,
+		QuietTail:          60,
 	}
 }
 
@@ -114,6 +140,13 @@ func (p Profile) holdSteps() int {
 		return 2
 	}
 	return p.HoldSteps
+}
+
+func (p Profile) isolateLeaderSteps() int {
+	if p.IsolateLeaderSteps <= 0 {
+		return 4
+	}
+	return p.IsolateLeaderSteps
 }
 
 // NewPlan derives the deterministic injection plan for a run of the
@@ -147,6 +180,17 @@ func NewPlan(seed uint64, steps int, hosts []string, p Profile) []Injection {
 				Injection{Step: step, Kind: KindIsolate, Host: h},
 				Injection{Step: step + p.partitionSteps(), Kind: KindHeal, Host: h})
 		}
+		// Leader-fault draws come last and only when their rate is set,
+		// so a profile with zero leader rates reproduces its pre-HA plan
+		// bit for bit.
+		if p.KillLeaderRate > 0 && rng.Float64() < p.KillLeaderRate {
+			plan = append(plan, Injection{Step: step, Kind: KindKillLeader})
+		}
+		if p.IsolateLeaderRate > 0 && rng.Float64() < p.IsolateLeaderRate {
+			plan = append(plan,
+				Injection{Step: step, Kind: KindIsolateLeader},
+				Injection{Step: step + p.isolateLeaderSteps(), Kind: KindHealLeader})
+		}
 	}
 	sort.SliceStable(plan, func(i, j int) bool { return plan[i].Step < plan[j].Step })
 	return plan
@@ -158,13 +202,25 @@ type Driver struct {
 	// Crash, when set, is invoked for KindCrash injections (typically
 	// agent.Plane.CrashCoordinator). Nil skips crash injections.
 	Crash func() error
+	// KillLeader, when set, is invoked for KindKillLeader injections
+	// with the firing step (typically agent.Election.KillLeader). A
+	// false return means the kill was skipped (no live standby) and it
+	// is not counted as applied. Nil skips kill-leader injections.
+	KillLeader func(step int) (bool, error)
+	// Leader, when set, names the acting leader's transport node —
+	// resolved at injection time for KindIsolateLeader. Nil skips
+	// leader isolations.
+	Leader func() string
 
 	mu      sync.Mutex
 	net     *wire.Loopback
 	plan    []Injection
 	next    int
 	applied map[Kind]int
-	metrics *chaosMetrics
+	// isolatedLeaders queues the nodes isolated by KindIsolateLeader,
+	// healed FIFO by the paired KindHealLeader.
+	isolatedLeaders []string
+	metrics         *chaosMetrics
 }
 
 // NewDriver builds a driver for the plan over the loopback network. The
@@ -200,6 +256,7 @@ func (d *Driver) Apply(step int) error {
 		d.next++
 	}
 	net, crash, m := d.net, d.Crash, d.metrics
+	killLeader, leader := d.KillLeader, d.Leader
 	d.mu.Unlock()
 
 	for _, in := range due {
@@ -207,7 +264,7 @@ func (d *Driver) Apply(step int) error {
 		if n < 1 {
 			n = 1
 		}
-		if net == nil && in.Kind != KindCrash {
+		if net == nil && in.Kind != KindCrash && in.Kind != KindKillLeader {
 			return fmt.Errorf("chaos: step %d: %s injection without a bound network", in.Step, in.Kind)
 		}
 		switch in.Kind {
@@ -218,6 +275,41 @@ func (d *Driver) Apply(step int) error {
 			if err := crash(); err != nil {
 				return fmt.Errorf("chaos: step %d: coordinator did not recover: %w", in.Step, err)
 			}
+		case KindKillLeader:
+			if killLeader == nil {
+				continue // no coordinator group in this run
+			}
+			killed, err := killLeader(in.Step)
+			if err != nil {
+				return fmt.Errorf("chaos: step %d: kill leader: %w", in.Step, err)
+			}
+			if !killed {
+				continue // no live standby: the kill would be permanent
+			}
+		case KindIsolateLeader:
+			if leader == nil {
+				continue
+			}
+			node := leader()
+			if node == "" {
+				continue
+			}
+			net.Isolate(node)
+			d.mu.Lock()
+			d.isolatedLeaders = append(d.isolatedLeaders, node)
+			d.mu.Unlock()
+		case KindHealLeader:
+			d.mu.Lock()
+			var node string
+			if len(d.isolatedLeaders) > 0 {
+				node = d.isolatedLeaders[0]
+				d.isolatedLeaders = d.isolatedLeaders[1:]
+			}
+			d.mu.Unlock()
+			if node == "" {
+				continue // the paired isolation was skipped
+			}
+			net.Heal(node)
 		case KindDuplicate:
 			net.DuplicateNext(in.Host, n)
 		case KindHold:

@@ -19,8 +19,9 @@ func newChaosMetrics(r *obs.Registry) *chaosMetrics {
 		return nil
 	}
 	r.Help(MetricChaosInjections, "Applied chaos fault injections, by kind.")
-	m := &chaosMetrics{byKind: make(map[Kind]*obs.Counter, 6), r: r}
-	for _, k := range []Kind{KindCrash, KindDuplicate, KindHold, KindRelease, KindIsolate, KindHeal} {
+	m := &chaosMetrics{byKind: make(map[Kind]*obs.Counter, 9), r: r}
+	for _, k := range []Kind{KindCrash, KindDuplicate, KindHold, KindRelease, KindIsolate,
+		KindHeal, KindKillLeader, KindIsolateLeader, KindHealLeader} {
 		m.byKind[k] = r.Counter(MetricChaosInjections, "kind", string(k))
 	}
 	return m

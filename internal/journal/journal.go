@@ -236,6 +236,51 @@ func Open(dir string, opts Options) (*Journal, error) {
 	return j, nil
 }
 
+// Replay reads a journal directory WITHOUT opening it for appends: the
+// latest snapshot payload (nil if none) plus every intact record after
+// it, oldest first, tolerating a torn tail exactly like Open. Nothing
+// in the directory is created, renamed or pruned, so a standby
+// coordinator can warm-replay a live leader's journal while the leader
+// keeps appending — the reader sees a prefix-durable view, never a
+// misparsed record. A missing directory replays as empty.
+func Replay(dir string) (snapshot []byte, records [][]byte, err error) {
+	segs, snaps, _, err := scan(dir)
+	if err != nil {
+		if os.IsNotExist(errors.Unwrap(err)) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	var snapSeq uint64
+	if len(snaps) > 0 {
+		snapSeq = snaps[len(snaps)-1]
+		path := filepath.Join(dir, fmt.Sprintf("%s%08d%s", snapPrefix, snapSeq, snapSuffix))
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+		payload, _, derr := DecodeFrame(b)
+		if derr != nil {
+			return nil, nil, fmt.Errorf("journal: snapshot %s corrupt: %w", path, derr)
+		}
+		snapshot = append([]byte(nil), payload...)
+	}
+	for _, seq := range segs {
+		if seq < snapSeq {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix)))
+		if err != nil {
+			return nil, nil, fmt.Errorf("journal: %w", err)
+		}
+		payloads, _ := Frames(b)
+		for _, p := range payloads {
+			records = append(records, append([]byte(nil), p...))
+		}
+	}
+	return snapshot, records, nil
+}
+
 // scan lists the segment and snapshot sequence numbers in dir, sorted
 // ascending, plus the overall maximum.
 func scan(dir string) (segs, snaps []uint64, maxSeq uint64, err error) {

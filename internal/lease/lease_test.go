@@ -1,0 +1,64 @@
+package lease
+
+import "testing"
+
+func TestTrackerExpiry(t *testing.T) {
+	tr := NewTracker(2)
+	if tr.TTL() != 2 {
+		t.Fatalf("TTL = %d, want 2", tr.TTL())
+	}
+	// Never renewed: measures from minute 0.
+	if tr.Expired(1) {
+		t.Fatal("expired 1 minute after start with TTL 2")
+	}
+	if !tr.Expired(2) {
+		t.Fatal("not expired 2 minutes after start with TTL 2")
+	}
+	tr.Renew(5, 3)
+	if tr.Expired(6) {
+		t.Fatal("expired 1 minute after renewal")
+	}
+	if !tr.Expired(7) {
+		t.Fatal("not expired TTL minutes after renewal")
+	}
+	if tr.Epoch() != 3 {
+		t.Fatalf("epoch = %d, want 3", tr.Epoch())
+	}
+}
+
+func TestTrackerRenewalsMonotone(t *testing.T) {
+	tr := NewTracker(2)
+	tr.Renew(10, 4)
+	tr.Renew(8, 9) // late-delivered older beacon: clock stays, epoch still rises
+	if tr.Expired(11) {
+		t.Fatal("stale renewal moved the clock backwards")
+	}
+	if tr.Epoch() != 9 {
+		t.Fatalf("epoch = %d, want 9 (epochs are max-merged)", tr.Epoch())
+	}
+	tr.Renew(12, 2)
+	if tr.Epoch() != 9 {
+		t.Fatalf("epoch = %d, want 9 (epochs never regress)", tr.Epoch())
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker(3)
+	tr.Renew(4, 7)
+	tr.Reset(20)
+	if tr.Epoch() != 0 {
+		t.Fatalf("epoch survived reset: %d", tr.Epoch())
+	}
+	if tr.Expired(22) {
+		t.Fatal("expired before a full TTL after reset")
+	}
+	if !tr.Expired(23) {
+		t.Fatal("not expired TTL minutes after reset")
+	}
+}
+
+func TestTrackerDefaultTTL(t *testing.T) {
+	if got := NewTracker(0).TTL(); got != DefaultTTL {
+		t.Fatalf("TTL = %d, want default %d", got, DefaultTTL)
+	}
+}

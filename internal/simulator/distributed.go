@@ -68,6 +68,15 @@ type DistributedConfig struct {
 	// any heartbeat or dispatch of the minute, so a coordinator crash
 	// never lands mid-transaction. See the chaos package.
 	Chaos Injector
+	// Standbys, when positive, attaches that many hot-standby
+	// coordinators (requires JournalDir): the plane runs lease-based
+	// leader election, a killed or isolated leader is replaced after
+	// the lease TTL, and agents buffer their heartbeat minutes through
+	// the leaderless window. See agent.Election.
+	Standbys int
+	// LeaseTTL is the leadership lease time-to-live in minutes
+	// (0: lease.DefaultTTL).
+	LeaseTTL int
 	// DispatchWorkers is the dispatcher's batch fan-out width (0: the
 	// dispatcher default, one worker per CPU; 1: serial dispatch). Like
 	// IngestShards it is purely a throughput knob — per-host lanes and
@@ -137,6 +146,14 @@ func (s *Simulator) buildPlane(dc *DistributedConfig, lms *monitor.System) error
 			return err
 		}
 	}
+	if dc.Standbys > 0 {
+		if dc.JournalDir == "" {
+			return fmt.Errorf("simulator: standby coordinators need a journal directory")
+		}
+		if _, err := plane.AttachStandbys(dc.Standbys, agent.ElectionConfig{TTL: dc.LeaseTTL}); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -155,6 +172,16 @@ func (s *Simulator) Plane() *agent.Plane { return s.plane }
 // transport the trigger stream is byte-identical.
 func (s *Simulator) observeDistributed(minute int) ([]*monitor.Trigger, error) {
 	ctx := context.Background()
+	election := s.plane.Election()
+	if election != nil {
+		// The election ticks before the minute's reports: a takeover's
+		// announcement redirects the reporters, so the backlog they
+		// buffered through the leaderless window drains to the new
+		// leader within the same minute it is elected.
+		if err := election.Tick(ctx, minute); err != nil {
+			return nil, err
+		}
+	}
 	coord := s.plane.Coordinator()
 
 	for _, hostName := range s.dep.Cluster().Names() {
@@ -175,6 +202,13 @@ func (s *Simulator) observeDistributed(minute int) ([]*monitor.Trigger, error) {
 		// exactly the signal the liveness detector consumes.
 		_ = rep.Send(hbCtx)
 		cancel()
+	}
+	if election != nil && !election.LeaderAlive() {
+		// Leaderless minute: the reports above failed and sit buffered in
+		// the agents; there is no coordinator to merge, probe or trigger.
+		// The next takeover replays the backlog as if the minute had been
+		// observed on time.
+		return nil, nil
 	}
 	// Ingestion errors (a corrupt message, an archive failure) are
 	// swallowed into timeouts on the agent side; surface them here.

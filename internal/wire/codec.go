@@ -83,6 +83,8 @@ const (
 	kindRuleGet
 	kindRulePut
 	kindRuleList
+	kindLease
+	kindLeaseAck
 )
 
 func kindOf(t MsgType) (byte, bool) {
@@ -105,6 +107,10 @@ func kindOf(t MsgType) (byte, bool) {
 		return kindRulePut, true
 	case TypeRuleList:
 		return kindRuleList, true
+	case TypeLease:
+		return kindLease, true
+	case TypeLeaseAck:
+		return kindLeaseAck, true
 	}
 	return 0, false
 }
@@ -129,6 +135,10 @@ func typeOf(k byte) (MsgType, bool) {
 		return TypeRulePut, true
 	case kindRuleList:
 		return TypeRuleList, true
+	case kindLease:
+		return TypeLease, true
+	case kindLeaseAck:
+		return TypeLeaseAck, true
 	}
 	return "", false
 }
@@ -181,6 +191,7 @@ type envBox struct {
 	rget  RuleGet
 	rput  RulePut
 	rlist RuleList
+	lease Lease
 }
 
 var envPool = sync.Pool{New: func() any { return new(envBox) }}
@@ -250,6 +261,20 @@ func AcquireProbeAckEnvelope(from, to string, p Probe) *Envelope {
 	bx.env.To = to
 	bx.probe = p
 	bx.env.Probe = &bx.probe
+	return &bx.env
+}
+
+// AcquireLeaseAckEnvelope frames a lease-beacon reply in a pooled
+// envelope — every standby and agent answers the leader's per-minute
+// beacon, so the reply rides the pooled path like probe acks do.
+func AcquireLeaseAckEnvelope(from, to string, l Lease) *Envelope {
+	bx := acquireBox()
+	bx.env.Version = Version
+	bx.env.Type = TypeLeaseAck
+	bx.env.From = from
+	bx.env.To = to
+	bx.lease = l
+	bx.env.Lease = &bx.lease
 	return &bx.env
 }
 
@@ -414,6 +439,11 @@ func AppendEnvelope(dst []byte, e *Envelope) ([]byte, error) {
 			dst = appendVarint(dst, int64(r.Rules))
 		}
 		dst = appendString(dst, l.Error)
+	case TypeLease, TypeLeaseAck:
+		l := e.Lease
+		dst = appendString(dst, l.Leader)
+		dst = appendUvarint(dst, l.Epoch)
+		dst = appendVarint(dst, int64(l.Minute))
 	}
 
 	payload := len(dst) - start
@@ -733,6 +763,20 @@ func DecodeEnvelope(b []byte, in *Interner) (*Envelope, int, error) {
 			break
 		}
 		l.Error, err = d.str()
+	case TypeLease, TypeLeaseAck:
+		l := &bx.lease
+		e.Lease = l
+		var minute int64
+		if l.Leader, err = d.ident(); err != nil {
+			break
+		}
+		if l.Epoch, err = d.uvarint(); err != nil {
+			break
+		}
+		if minute, err = d.varint(); err != nil {
+			break
+		}
+		l.Minute = int(minute)
 	}
 	if err != nil {
 		ReleaseEnvelope(e)
@@ -791,6 +835,10 @@ func CloneEnvelope(e *Envelope) *Envelope {
 		l := *e.RuleList
 		l.Entries = append([]RuleInfo(nil), e.RuleList.Entries...)
 		c.RuleList = &l
+	}
+	if e.Lease != nil {
+		l := *e.Lease
+		c.Lease = &l
 	}
 	return &c
 }

@@ -46,6 +46,10 @@ func corpusEnvelopes() []*Envelope {
 				{Name: "select/placement", Version: 3, Hash: "ab12cd34", Active: true, Rules: 5},
 				{Name: "serviceOverloaded", Version: 1, Hash: "99ff00aa", Rules: 2},
 			}}},
+		{Version: Version, Type: TypeLease, From: "coordinator", To: "b1", Seq: 14, Epoch: 3,
+			Lease: &Lease{Leader: "coordinator", Epoch: 3, Minute: 615}},
+		{Version: Version, Type: TypeLeaseAck, From: "b1", To: "coordinator", Seq: 15,
+			Lease: &Lease{Leader: "standby-1", Epoch: 4, Minute: 616}},
 	}
 }
 
@@ -73,6 +77,8 @@ func renderEnvelope(e *Envelope) string {
 		s += fmt.Sprintf("|%+v", *e.RulePut)
 	case e.RuleList != nil:
 		s += fmt.Sprintf("|%+v", *e.RuleList)
+	case e.Lease != nil:
+		s += fmt.Sprintf("|%+v", *e.Lease)
 	}
 	return s
 }

@@ -59,6 +59,10 @@ func main() {
 				{Name: "select/placement", Version: 3, Hash: "ab12cd34", Active: true, Rules: 5},
 				{Name: "serviceOverloaded", Version: 1, Hash: "99ff00aa", Rules: 2},
 			}}},
+		"seed-lease": {Version: wire.Version, Type: wire.TypeLease, From: "coordinator", To: "b1", Seq: 14, Epoch: 3,
+			Lease: &wire.Lease{Leader: "coordinator", Epoch: 3, Minute: 615}},
+		"seed-lease-ack": {Version: wire.Version, Type: wire.TypeLeaseAck, From: "b1", To: "coordinator", Seq: 15,
+			Lease: &wire.Lease{Leader: "standby-1", Epoch: 4, Minute: 616}},
 	}
 
 	corpus := make(map[string][]byte, len(envs)+8)

@@ -92,6 +92,21 @@ func (l *Loopback) Listen(node string, h Handler) error {
 	return nil
 }
 
+// Unlisten removes a node's handler: subsequent calls to it fail with
+// ErrNoRoute, exactly like a crashed process whose port went away. The
+// node may Listen again later (a restart). Held messages for the node
+// are discarded — the process they were addressed to is gone.
+func (l *Loopback) Unlisten(node string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.handlers, node)
+	for _, env := range l.held[node] {
+		ReleaseEnvelope(env)
+	}
+	delete(l.held, node)
+	return nil
+}
+
 func errDuplicateListener(node string) error {
 	return &listenerError{node}
 }

@@ -56,6 +56,15 @@ const (
 	// TypeRuleList asks for (request) and carries (reply) the registry
 	// catalog: every stored rule-base version and which are active.
 	TypeRuleList MsgType = "ruleList"
+	// TypeLease is the acting leader's renewal beacon: sent every
+	// coordinated minute to standby coordinators (renewing their lease
+	// timers) and to agents (announcing which node currently leads, so
+	// agents redirect after a takeover and drain buffered heartbeats).
+	TypeLease MsgType = "lease"
+	// TypeLeaseAck answers a lease beacon, echoing the receiver's
+	// highest known epoch — a sender that learns of a higher epoch from
+	// an ack has been deposed and steps down to standby.
+	TypeLeaseAck MsgType = "leaseAck"
 )
 
 // Op enumerates the host-local operations an action request can carry.
@@ -196,6 +205,19 @@ type RuleList struct {
 	Error   string     `json:"error,omitempty"`
 }
 
+// Lease is the leader-election renewal payload, shared by TypeLease
+// (the beacon) and TypeLeaseAck (the reply). In a beacon, Leader names
+// the sender claiming leadership, Epoch is its journal epoch and Minute
+// is its authoritative coordinated minute. In an ack, Leader names the
+// leader the receiver currently follows and Epoch is the highest epoch
+// the receiver has seen — the fencing signal a deposed leader steps
+// down on.
+type Lease struct {
+	Leader string `json:"leader"`
+	Epoch  uint64 `json:"epoch"`
+	Minute int    `json:"minute"`
+}
+
 // Envelope is the versioned frame every message travels in.
 type Envelope struct {
 	Version int     `json:"v"`
@@ -220,6 +242,7 @@ type Envelope struct {
 	RuleGet   *RuleGet       `json:"ruleGet,omitempty"`
 	RulePut   *RulePut       `json:"rulePut,omitempty"`
 	RuleList  *RuleList      `json:"ruleList,omitempty"`
+	Lease     *Lease         `json:"lease,omitempty"`
 
 	// box links a pooled envelope back to its carrier; ReleaseEnvelope
 	// recycles it. Nil for plainly constructed envelopes.
@@ -288,6 +311,20 @@ func RuleListEnvelope(from, to string, l RuleList) *Envelope {
 	return e
 }
 
+// LeaseEnvelope frames a leader lease-renewal beacon.
+func LeaseEnvelope(from, to string, l Lease) *Envelope {
+	e := NewEnvelope(TypeLease, from, to)
+	e.Lease = &l
+	return e
+}
+
+// LeaseAckEnvelope frames a lease-beacon reply.
+func LeaseAckEnvelope(from, to string, l Lease) *Envelope {
+	e := NewEnvelope(TypeLeaseAck, from, to)
+	e.Lease = &l
+	return e
+}
+
 // Validate checks version and payload consistency. Transports call it
 // on receipt so a malformed or incompatible frame is rejected at the
 // boundary, before any handler state changes.
@@ -345,6 +382,13 @@ func (e *Envelope) Validate() error {
 	case TypeRuleList:
 		if e.RuleList == nil {
 			return fmt.Errorf("wire: ruleList envelope without ruleList payload")
+		}
+	case TypeLease, TypeLeaseAck:
+		if e.Lease == nil {
+			return fmt.Errorf("wire: lease envelope without lease payload")
+		}
+		if e.Lease.Leader == "" {
+			return fmt.Errorf("wire: lease without leader name")
 		}
 	default:
 		return fmt.Errorf("wire: unknown message type %q", e.Type)

@@ -38,7 +38,18 @@
 #      and the String→Parse round trip the registry depends on); the
 #      zero-alloc guard proving inference stays 0 allocs/op after a
 #      hot swap runs race-free in the perf gate below
-#  10. the perf gate: the wire fuzz target replayed over its
+#  10. the HA gate: race-enabled runs of the coordinator failover
+#      machinery — the lease tracker, the in-process election tests
+#      (lease-expiry takeover, isolated-leader fencing), the
+#      leader-death crash-point sweep (WarmReplay + Takeover at every
+#      journal byte boundary), the agent-side graceful-degradation
+#      tests (bounded heartbeat ring, bounded send retry), and the
+#      full-day failover acceptance run (≥3 seeded leader kills plus a
+#      split-brain drill must converge byte-identically to the
+#      fault-free landscape, one epoch bump per takeover, gap-free day
+#      profiles); the wire fuzz seed corpus replayed in the robustness
+#      gate above already covers the lease/leaseAck envelopes
+#  11. the perf gate: the wire fuzz target replayed over its
 #      checked-in seed corpus (hostile frames must keep failing
 #      cleanly), the zero-allocation guardrails on the steady-state
 #      heartbeat AND dispatch paths plus the archive append and
@@ -76,9 +87,10 @@ go test -race ./internal/obs/...
 
 # Metric-name lint: every metric family declared as a Metric* constant
 # must live in the autoglobe_ namespace and end in a conventional unit
-# suffix, so the exposition stays scrapeable and greppable.
+# suffix (or the state-gauge suffix "role"), so the exposition stays
+# scrapeable and greppable.
 bad=$(grep -rhoE 'Metric[A-Za-z]+ += +"[^"]*"' internal --include='metrics.go' |
-	grep -vE '= +"autoglobe_[a-z_]+_(total|seconds|minutes)"' || true)
+	grep -vE '= +"autoglobe_[a-z_]+_(total|seconds|minutes|role)"' || true)
 if [ -n "$bad" ]; then
 	echo "metric-name lint: families outside the naming convention:" >&2
 	echo "$bad" >&2
@@ -135,6 +147,25 @@ go test -race -run 'TestSwap|TestShadow|TestSelectHostFallback|TestSelectActions
 go test -race -run 'TestCoordinatorRule|TestRuleActivationSurvivesRestart' ./internal/agent/
 go test -race -run 'TestHotSwapIdenticalBaseMidRunByteIdentical|TestShadowRulesDiffOnSimulatedDay|TestRulesDirActivatesOnStartup' ./internal/simulator/
 go test -race -run 'Fuzz' ./internal/fuzzy/
+
+echo "== HA gate: election failover + leader-death crash sweep + full-day convergence"
+# The coordinator high-availability acceptance tests, all
+# race-enabled: the minute-clock lease tracker; the in-process
+# election (lease-expiry takeover with redirect-and-drain, and the
+# split-brain drill where a deposed-but-alive leader must be fenced by
+# the agents' epoch NACKs and step down); the leader-death crash-point
+# sweep proving WarmReplay + Takeover at EVERY byte boundary of the
+# dead leader's journal neither duplicates nor loses an action; the
+# agent-side graceful-degradation tests (the bounded heartbeat ring
+# buffers unsent minutes and drains them oldest-first to the
+# successor, the bounded send retry gives up instead of blocking the
+# minute loop); and the full-day failover run — ≥3 seeded leader
+# kills plus an isolation drill must converge byte-identically to the
+# fault-free landscape with one epoch bump per takeover and exactly
+# one archived observation per host-minute.
+go test -race ./internal/lease/
+go test -race -run 'TestElectionFailover|TestElectionIsolatedLeaderFenced|TestLeaderDeathCrashPointSweep|TestReporterBuffersAndDrains|TestReporterBoundedRetry' ./internal/agent/
+go test -race -run 'TestFailoverConvergesToFaultFreeLandscape' ./internal/simulator/
 
 echo "== go test -race ./..."
 go test -race ./...
