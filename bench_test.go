@@ -693,3 +693,181 @@ func BenchmarkSimulatorDay(b *testing.B) {
 		}
 	}
 }
+
+// selectionLandscape builds an nHosts-host landscape for the server-
+// selection benchmarks: a sea of PI-1 blades with one PI-9 server per
+// 400 hosts (~250 on the 100k landscape), an unconstrained app service,
+// and a mission-critical service confined to the PI-9 tier by
+// MinPerfIndex and memory demand. Selecting a host for the critical
+// service therefore scores a few hundred real candidates, while the
+// full-scan reference path still visits every host in the cluster —
+// the access-path gap the placement index exists to close.
+func selectionDeployment(b *testing.B, nHosts int) *service.Deployment {
+	b.Helper()
+	hosts := make([]cluster.Host, nHosts)
+	for i := range hosts {
+		h := cluster.Host{Name: fmt.Sprintf("h%06d", i), Category: "blade",
+			PerformanceIndex: 1, CPUs: 1, ClockMHz: 2400, CacheKB: 512,
+			MemoryMB: 4096, SwapMB: 2048, TempMB: 51200}
+		if i%400 == 0 {
+			h.Category = "server"
+			h.PerformanceIndex = 9
+			h.CPUs = 8
+			h.MemoryMB = 65536
+		}
+		hosts[i] = h
+	}
+	allowed := make(map[service.Action]bool)
+	for _, a := range service.Actions() {
+		allowed[a] = true
+	}
+	cat, err := service.NewCatalog(
+		&service.Service{
+			Name: "app", Type: service.TypeInteractive, Subsystem: "ERP",
+			MinInstances: 1, UsersPerUnit: 150, RequestWeight: 1,
+			MemoryMBPerInstance: 256, Allowed: allowed,
+		},
+		&service.Service{
+			Name: "crit", Type: service.TypeInteractive, Subsystem: "ERP",
+			MinInstances: 1, MinPerfIndex: 5, UsersPerUnit: 150, RequestWeight: 1,
+			MemoryMBPerInstance: 8192, Allowed: allowed,
+		},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return service.NewDeployment(cluster.MustNew(hosts...), cat)
+}
+
+// selectionController attaches a controller to the deployment, with an
+// archive holding one load sample for every PI-9 server — the
+// candidates the selection controller actually scores — and one crit
+// instance placed on the first of them.
+func selectionController(b *testing.B, dep *service.Deployment, cfg controller.Config) (*controller.Controller, string) {
+	b.Helper()
+	arch := archive.New(256)
+	for i, n := range dep.Cluster().Names() {
+		h, _ := dep.Cluster().Host(n)
+		if h.PerformanceIndex < 5 {
+			continue
+		}
+		s := archive.Sample{Minute: 10, CPU: 0.1 + 0.05*float64(i%8), Mem: 0.2}
+		if err := arch.Record(archive.HostEntity(n), s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctl, err := controller.New(cfg, dep, arch, controller.NewDeploymentExecutor(dep, controller.RebalanceUsers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := dep.Start("crit", "h000000")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctl, inst.ID
+}
+
+// benchmarkSelectHost measures one server-selection decision for the
+// tier-confined service — candidate enumeration, Table 3 scoring and
+// the argmax — under three access paths: the incremental placement
+// index (the default), the index with parallel scoring, and the
+// full-cluster scan the controller used before the index existed.
+func benchmarkSelectHost(b *testing.B, nHosts int) {
+	modes := []struct {
+		name string
+		cfg  controller.Config
+	}{
+		{"indexed", controller.Config{}},
+		{"indexed-workers8", controller.Config{SelectionWorkers: 8}},
+		{"fullscan", controller.Config{DisablePlacementIndex: true}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			ctl, instID := selectionController(b, selectionDeployment(b, nHosts), m.cfg)
+			host, _ := ctl.SelectHost(service.ActionScaleOut, "crit", instID, 10)
+			if host == "" {
+				b.Fatal("selection found no host — the benchmark is vacuous")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctl.SelectHost(service.ActionScaleOut, "crit", instID, 10)
+			}
+		})
+	}
+}
+
+func BenchmarkSelectHost1k(b *testing.B)   { benchmarkSelectHost(b, 1_000) }
+func BenchmarkSelectHost100k(b *testing.B) { benchmarkSelectHost(b, 100_000) }
+
+// BenchmarkHandleTriggerStorm measures the full trigger-handling path
+// under sustained pressure on a 1,000-host landscape: action-selection
+// inference over every instance of the overloaded service, constraint
+// verification (index-backed feasibility probes), server selection for
+// the winning action, and execution with fallback. Protection is
+// disabled so every trigger is decided rather than absorbed; the run
+// reaches a steady state once the instances have migrated to the PI-9
+// tier, and decisions/op reports how many triggers still executed an
+// action.
+func BenchmarkHandleTriggerStorm(b *testing.B) {
+	dep := selectionDeployment(b, 1_000)
+	arch := archive.New(256)
+	// Rebuild the archive picture the storm needs: blades loaded, the
+	// PI-9 tier idle, the app service hot.
+	names := dep.Cluster().Names()
+	for _, n := range names {
+		h, _ := dep.Cluster().Host(n)
+		cpu := 0.85
+		if h.PerformanceIndex >= 5 {
+			cpu = 0.15
+		}
+		for m := 0; m <= 10; m++ {
+			if err := arch.Record(archive.HostEntity(n), archive.Sample{Minute: m, CPU: cpu, Mem: 0.3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	started := 0
+	for _, n := range names {
+		h, _ := dep.Cluster().Host(n)
+		if h.PerformanceIndex >= 5 {
+			continue
+		}
+		inst, err := dep.Start("app", n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for m := 0; m <= 10; m++ {
+			if err := arch.Record(archive.InstanceEntity(inst.ID), archive.Sample{Minute: m, CPU: 0.8, Mem: 0.3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if started++; started == 4 {
+			break
+		}
+	}
+	for m := 0; m <= 10; m++ {
+		if err := arch.Record(archive.ServiceEntity("app"), archive.Sample{Minute: m, CPU: 0.8, Mem: 0.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	storm, err := controller.New(controller.Config{ProtectionMinutes: -1}, dep, arch, controller.NewDeploymentExecutor(dep, controller.RebalanceUsers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	trg := monitor.Trigger{Kind: monitor.ServiceOverloaded, Entity: "app", Minute: 10, WatchedFrom: 0, AvgLoad: 0.85}
+	executed := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := storm.HandleTrigger(trg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d != nil {
+			executed++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(executed)/float64(b.N), "decisions/op")
+}

@@ -58,6 +58,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -106,23 +107,25 @@ func main() {
 		standbyOf   = flag.String("standby-of", "", "standby mode: base URL of the acting coordinator to watch; when its lease lapses this process promotes itself over the shared -journal directory")
 		leaseTTL    = flag.Int("lease-ttl", lease.DefaultTTL, "standby/demo modes: leadership lease time-to-live in intervals — a leader silent this long is presumed dead (co-located standbys should stagger this so a deterministic single winner promotes first)")
 		standbys    = flag.Int("standbys", 0, "demo mode: attach this many hot-standby coordinators and run lease-based leader election (chaos seeds then also kill and partition the leader)")
+		selWorkers  = flag.Int("selection-workers", 0, "coordinator/demo modes: parallel server-selection width — how many goroutines score candidate hosts per placement decision (0 or 1: serial); selections are byte-identical at any width")
+		pprofOn     = flag.Bool("pprof", false, "expose the runtime profiling surface (net/http/pprof) under /debug/pprof/ on the observability listener")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *standbyOf, *journalDir, *leaseTTL, *standbys); err != nil {
+	if err := validateFlags(*mode, *landscape, *host, *load, *interval, *hours, *chaosSeed, *codecName, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *standbyOf, *journalDir, *leaseTTL, *standbys, *selWorkers); err != nil {
 		fatal(err)
 	}
 	codec, _ := wire.ParseCodec(*codecName) // validated above
 	var err error
 	switch *mode {
 	case "coordinator":
-		err = runCoordinator(*landscape, *listen, *interval, *journalDir, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel)
+		err = runCoordinator(*landscape, *listen, *interval, *journalDir, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel, *selWorkers, *pprofOn)
 	case "agent":
-		err = runAgent(*host, *coordinator, *load, *interval, codec)
+		err = runAgent(*host, *coordinator, *load, *interval, codec, *pprofOn)
 	case "standby":
-		err = runStandby(*landscape, *listen, *standbyOf, *interval, *journalDir, *leaseTTL, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel)
+		err = runStandby(*landscape, *listen, *standbyOf, *interval, *journalDir, *leaseTTL, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel, *selWorkers, *pprofOn)
 	case "demo":
-		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel, *standbys, *leaseTTL)
+		err = runDemo(*landscape, *hours, *obsAddr, *journalDir, *chaosSeed, codec, *shards, *workers, *archiveDir, *forecastMin, *rulesDir, *shadowDir, *shadowLabel, *standbys, *leaseTTL, *selWorkers, *pprofOn)
 	}
 	if err != nil {
 		fatal(err)
@@ -139,7 +142,19 @@ func mountObs(tr *wire.HTTP, reg *obs.Registry, tracer *obs.Tracer, health *obs.
 	tr.Mount(obs.HealthPath, obs.HealthHandler(health))
 }
 
-func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, standbyOf, journalDir string, leaseTTL, standbys int) error {
+// mountPprof registers the runtime profiling surface under
+// /debug/pprof/ via any mux-style mount function (-pprof): CPU and heap
+// profiles of a live daemon, e.g. of the server-selection hot path
+// under a trigger storm.
+func mountPprof(mount func(path string, h http.Handler)) {
+	mount("/debug/pprof/", http.HandlerFunc(pprof.Index))
+	mount("/debug/pprof/cmdline", http.HandlerFunc(pprof.Cmdline))
+	mount("/debug/pprof/profile", http.HandlerFunc(pprof.Profile))
+	mount("/debug/pprof/symbol", http.HandlerFunc(pprof.Symbol))
+	mount("/debug/pprof/trace", http.HandlerFunc(pprof.Trace))
+}
+
+func validateFlags(mode, landscape, host string, load float64, interval time.Duration, hours int, chaosSeed uint64, codecName string, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, standbyOf, journalDir string, leaseTTL, standbys, selWorkers int) error {
 	if chaosSeed != 0 && mode != "demo" {
 		return fmt.Errorf("-chaos-seed only applies to -mode demo")
 	}
@@ -184,6 +199,12 @@ func validateFlags(mode, landscape, host string, load float64, interval time.Dur
 	}
 	if workers > 0 && mode == "agent" {
 		return fmt.Errorf("-dispatch-workers only applies to -mode coordinator or demo")
+	}
+	if selWorkers < 0 {
+		return fmt.Errorf("-selection-workers %d must be >= 0", selWorkers)
+	}
+	if selWorkers > 0 && mode == "agent" {
+		return fmt.Errorf("-selection-workers only applies to -mode coordinator or demo")
 	}
 	switch mode {
 	case "coordinator", "demo":
@@ -233,7 +254,7 @@ func loadLandscape(path string) (*spec.Landscape, error) {
 // per interval (closing the service observations, probing silent
 // hosts), and hands every confirmed trigger to the fuzzy controller,
 // whose decisions are dispatched back to the agents.
-func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string) error {
+func runCoordinator(landscapePath, listenAddr string, interval time.Duration, journalDir string, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string, selWorkers int, pprofOn bool) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -256,6 +277,9 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 	health.SetInfo("mode", "coordinator")
 	tr.Instrument(reg)
 	mountObs(tr, reg, tracer, health)
+	if pprofOn {
+		mountPprof(tr.Mount)
+	}
 
 	params := monitor.PaperParams()
 	// A backed archive makes the observation history durable: every
@@ -339,7 +363,7 @@ func runCoordinator(landscapePath, listenAddr string, interval time.Duration, jo
 	}
 	exec := agent.NewDispatchExecutor(dep,
 		controller.NewDeploymentExecutor(dep, controller.StickyUsers), disp)
-	ctlCfg := controller.Config{}
+	ctlCfg := controller.Config{SelectionWorkers: selWorkers}
 	if forecastMin > 0 {
 		ctlCfg.Forecast = &controller.ForecastConfig{
 			Predictor: forecast.New(lms.Archive()),
@@ -472,7 +496,7 @@ func renderEvent(e controller.Event) string {
 // coordinator needs a well-known address), and then reports a heartbeat
 // per interval with the configured synthetic load spread over whatever
 // instances the coordinator has started here.
-func runAgent(host, coordinatorURL string, load float64, interval time.Duration, codec wire.Codec) error {
+func runAgent(host, coordinatorURL string, load float64, interval time.Duration, codec wire.Codec, pprofOn bool) error {
 	tr := wire.NewHTTP()
 	tr.Codec = codec
 	defer tr.Close()
@@ -485,6 +509,9 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration,
 	health.SetInfo("host", host)
 	tr.Instrument(reg)
 	mountObs(tr, reg, nil, health)
+	if pprofOn {
+		mountPprof(tr.Mount)
+	}
 	tr.Register(agent.CoordinatorNode, coordinatorURL)
 	a, err := agent.NewAgent(host, agent.CoordinatorNode, tr)
 	if err != nil {
@@ -571,7 +598,7 @@ func runAgent(host, coordinatorURL string, load float64, interval time.Duration,
 // (VIP or DNS) so the agents' hello retry reconnects them, and
 // co-located standbys should stagger -lease-ttl so exactly one
 // promotes first.
-func runStandby(landscapePath, listenAddr, leaderURL string, interval time.Duration, journalDir string, ttl int, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string) error {
+func runStandby(landscapePath, listenAddr, leaderURL string, interval time.Duration, journalDir string, ttl int, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string, selWorkers int, pprofOn bool) error {
 	tracker := lease.NewTracker(ttl)
 	client := &http.Client{Timeout: interval / 2}
 	healthURL := leaderURL + obs.HealthPath
@@ -627,7 +654,7 @@ func runStandby(landscapePath, listenAddr, leaderURL string, interval time.Durat
 		stop() // release the signal context; the coordinator installs its own
 		fmt.Printf("standby: lease expired after %d silent intervals — promoting over %s\n",
 			tracker.TTL(), journalDir)
-		return runCoordinator(landscapePath, listenAddr, interval, journalDir, codec, shards, workers, archiveDir, forecastMin, rulesDir, shadowDir, shadowLabel)
+		return runCoordinator(landscapePath, listenAddr, interval, journalDir, codec, shards, workers, archiveDir, forecastMin, rulesDir, shadowDir, shadowLabel, selWorkers, pprofOn)
 	}
 }
 
@@ -635,7 +662,7 @@ func runStandby(landscapePath, listenAddr, leaderURL string, interval time.Durat
 // declared landscape runs through the simulator's distributed mode over
 // the in-memory loopback, and the run ends with the control-plane panel
 // and the usual result summary.
-func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string, standbys, leaseTTL int) error {
+func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosSeed uint64, codec wire.Codec, shards, workers int, archiveDir string, forecastMin int, rulesDir, shadowDir, shadowLabel string, standbys, leaseTTL, selWorkers int, pprofOn bool) error {
 	l, err := loadLandscape(landscapePath)
 	if err != nil {
 		return err
@@ -662,6 +689,7 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 		c.Hours = hours
 		c.ArchiveDir = archiveDir
 		c.ForecastHorizon = forecastMin
+		c.Controller.SelectionWorkers = selWorkers
 		c.RulesDir = rulesDir
 		c.ShadowRulesDir = shadowDir
 		c.ShadowLabel = shadowLabel
@@ -736,9 +764,13 @@ func runDemo(landscapePath string, hours int, obsAddr, journalDir string, chaosS
 	// interrupted.
 	health := obs.NewHealth()
 	health.SetInfo("mode", "demo")
+	mux := obs.Handler(reg, tracer, health)
+	if pprofOn {
+		mountPprof(func(p string, h http.Handler) { mux.Handle(p, h) })
+	}
 	srv := &http.Server{
 		Addr:              obsAddr,
-		Handler:           obs.Handler(reg, tracer, health),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,

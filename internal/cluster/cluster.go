@@ -67,8 +67,25 @@ func (h Host) String() string {
 // Cluster is the pool of hosts available to the self-organizing
 // infrastructure. The zero value is an empty, usable cluster.
 type Cluster struct {
-	hosts map[string]Host
-	order []string
+	hosts    map[string]Host
+	order    []string
+	watchers []func(h Host, added bool)
+}
+
+// Watch registers an observer notified after every successful pool
+// mutation: Add reports the host with added=true, Remove with
+// added=false. Watchers let derived structures (e.g. the placement
+// feasibility index) stay incrementally consistent without the cluster
+// knowing about them. Observers run synchronously on the mutating
+// goroutine and must not mutate the cluster re-entrantly.
+func (c *Cluster) Watch(fn func(h Host, added bool)) {
+	c.watchers = append(c.watchers, fn)
+}
+
+func (c *Cluster) notify(h Host, added bool) {
+	for _, fn := range c.watchers {
+		fn(h, added)
+	}
 }
 
 // New returns a cluster containing the given hosts.
@@ -105,13 +122,15 @@ func (c *Cluster) Add(h Host) error {
 	}
 	c.hosts[h.Name] = h
 	c.order = append(c.order, h.Name)
+	c.notify(h, true)
 	return nil
 }
 
 // Remove unpools a host. It is the caller's responsibility to move or
 // stop service instances first; Remove only manages pool membership.
 func (c *Cluster) Remove(name string) error {
-	if _, ok := c.hosts[name]; !ok {
+	h, ok := c.hosts[name]
+	if !ok {
 		return fmt.Errorf("cluster: no host %q", name)
 	}
 	delete(c.hosts, name)
@@ -121,6 +140,7 @@ func (c *Cluster) Remove(name string) error {
 			break
 		}
 	}
+	c.notify(h, false)
 	return nil
 }
 

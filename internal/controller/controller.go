@@ -22,6 +22,7 @@ import (
 	"autoglobe/internal/fuzzy"
 	"autoglobe/internal/monitor"
 	"autoglobe/internal/obs"
+	"autoglobe/internal/placement"
 	"autoglobe/internal/service"
 )
 
@@ -75,6 +76,19 @@ type Config struct {
 	// controller predicts load over a horizon and raises forecast
 	// triggers ahead of measured overloads. See ForecastConfig.
 	Forecast *ForecastConfig
+	// SelectionWorkers bounds the worker pool scoring candidate hosts
+	// during server selection. 0 or 1 scores serially (the zero-alloc
+	// fast path); higher values fan candidates out over that many
+	// goroutines with a deterministic argmax reduction, so decisions
+	// are byte-identical at any worker count. Purely a throughput knob
+	// for very large landscapes.
+	SelectionWorkers int
+	// DisablePlacementIndex turns the incrementally maintained
+	// placement feasibility index off and falls back to the full
+	// cluster scan per selection — the reference path the index is
+	// parity-tested and benchmarked against. Decisions are identical
+	// either way; only enumeration cost changes.
+	DisablePlacementIndex bool
 	// Reservations, when set, lets the server-selection controller see
 	// capacity reserved for registered mission-critical tasks: the
 	// reserved fraction is added to a candidate host's CPU load, so the
@@ -224,6 +238,22 @@ type Controller struct {
 	events   []Event
 	pending  []*Decision
 
+	// pindex is the placement feasibility index behind candidateRefs
+	// (nil when Config.DisablePlacementIndex selects the full scan).
+	// It is maintained synchronously by the deployment's and cluster's
+	// mutation hooks and consults the controller's protection state at
+	// query time, so it is never a second source of truth.
+	pindex *placement.Index
+	// hostBuf, selVec, actVec and tried are recycled hot-path buffers:
+	// the candidate list, the bound input vectors of server and action
+	// selection, and the exclude set of the execute-with-fallback loop.
+	// The decision loop is single-goroutine, so plain reuse is safe;
+	// parallel scoring workers allocate their own vectors.
+	hostBuf []*placement.HostRef
+	selVec  []float64
+	actVec  []float64
+	tried   map[string]bool
+
 	metrics *controllerMetrics
 	tracer  *obs.Tracer
 }
@@ -251,6 +281,10 @@ func New(cfg Config, dep *service.Deployment, arch *archive.Archive, exec Execut
 		protSvc:  make(map[string]int),
 	}
 	c.rules.Store(newRuleSet(cfg.ActionRules, cfg.SelectionRules, cfg.ServiceRules))
+	if !cfg.DisablePlacementIndex {
+		c.pindex = placement.NewIndex(dep, archive.HostEntity)
+		c.pindex.SetProtection(c)
+	}
 	return c, nil
 }
 
@@ -368,7 +402,15 @@ func (c *Controller) HandleTrigger(tr monitor.Trigger) (*Decision, error) {
 // failure ("Another Host?" in Figure 6). It reports whether any attempt
 // succeeded.
 func (c *Controller) execute(d *Decision) bool {
-	tried := map[string]bool{}
+	// The exclude set is recycled across calls: fallback loops run a
+	// handful of times per executed decision, so a fresh map per call
+	// was pure allocator churn.
+	if c.tried == nil {
+		c.tried = make(map[string]bool, 8)
+	} else {
+		clear(c.tried)
+	}
+	tried := c.tried
 	for {
 		err := c.exec.Execute(d)
 		if err == nil {

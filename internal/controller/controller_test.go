@@ -559,9 +559,9 @@ func TestExclusiveHostNeverTargeted(t *testing.T) {
 	for _, h := range []string{"weak2", "mid1", "mid2", "big2"} {
 		tb.record(t, archive.HostEntity(h), 0.3, 0.2)
 	}
-	hosts := tb.ctl.candidateHosts(service.ActionScaleOut, "app", inst.ID, 10, nil)
-	for _, h := range hosts {
-		if h == "big1" {
+	refs := tb.ctl.candidateRefs(nil, service.ActionScaleOut, "app", inst.ID, 10, nil)
+	for _, r := range refs {
+		if r.Host.Name == "big1" {
 			t.Error("exclusive database host offered as placement target")
 		}
 	}

@@ -3,11 +3,13 @@ package controller
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"autoglobe/internal/archive"
 	"autoglobe/internal/fuzzy"
 	"autoglobe/internal/monitor"
+	"autoglobe/internal/placement"
 	"autoglobe/internal/service"
 )
 
@@ -50,15 +52,16 @@ func (c *Controller) selectActionsIn(rs *ruleSet, tr monitor.Trigger, live bool)
 		if !ok {
 			// A zero-value Service supports no action, so proceeding here
 			// would silently filter every candidate — fail loudly instead,
-			// like the unknown-host path in actionInputs.
+			// like the unknown-host path in fillActionVec.
 			return nil, fmt.Errorf("controller: instance %q of unknown service %q", inst.ID, inst.Service)
 		}
-		inputs, err := c.actionInputs(tr, inst)
-		if err != nil {
+		b := binderFor(rb)
+		vec := c.vecFor(&c.actVec, len(b.slots))
+		if err := c.fillActionVec(b, vec, tr, inst); err != nil {
 			return nil, err
 		}
 		start := time.Now()
-		res, err := c.engine.Infer(rb, inputs)
+		res, err := c.engine.InferVec(rb, vec)
 		if live {
 			c.metrics.inferred(start)
 		}
@@ -88,12 +91,21 @@ func (c *Controller) selectActionsIn(rs *ruleSet, tr monitor.Trigger, live bool)
 		}
 		res.Release()
 	}
+	// Deterministic candidate order, pinned as a contract so parallel
+	// scoring can never reorder ties: applicability descending, then
+	// the canonical action order (which remedy Figure 6 tries first),
+	// then (service, instance ID) — the instance identity fully breaks
+	// every remaining tie, so the sort is a strict total order over
+	// candidates and independent of evaluation timing.
 	sort.Slice(candidates, func(i, j int) bool {
 		if candidates[i].Applicability != candidates[j].Applicability {
 			return candidates[i].Applicability > candidates[j].Applicability
 		}
 		if candidates[i].Action != candidates[j].Action {
 			return candidates[i].Action < candidates[j].Action
+		}
+		if candidates[i].Service != candidates[j].Service {
+			return candidates[i].Service < candidates[j].Service
 		}
 		return candidates[i].InstanceID < candidates[j].InstanceID
 	})
@@ -150,31 +162,53 @@ func (c *Controller) avgMem(entity string, from, to int) float64 {
 	return 0
 }
 
-// actionInputs initializes the Table 1 input variables for one instance:
-// load variables from watch-window archive averages, the rest from
-// current measurements and meta data.
-func (c *Controller) actionInputs(tr monitor.Trigger, inst *service.Instance) (map[string]float64, error) {
+// fillActionVec initializes the Table 1 input variables for one
+// instance into the rule base's bound input vector: load variables from
+// watch-window archive averages, the rest from current measurements and
+// meta data. Slots the action path cannot supply — selection-only
+// variables, or forecast variables on a non-forecast trigger — produce
+// exactly the missing-measurement error the map-based Infer path
+// reported, detected in the same slot order.
+func (c *Controller) fillActionVec(b *binder, vec []float64, tr monitor.Trigger, inst *service.Instance) error {
 	h, ok := c.dep.Cluster().Host(inst.Host)
 	if !ok {
-		return nil, fmt.Errorf("controller: instance %q on unknown host %q", inst.ID, inst.Host)
+		return fmt.Errorf("controller: instance %q on unknown host %q", inst.ID, inst.Host)
 	}
 	from, to := tr.WatchedFrom, tr.Minute
-	inputs := map[string]float64{
-		VarCPULoad:            c.avg(archive.HostEntity(h.Name), from, to),
-		VarMemLoad:            c.avgMem(archive.HostEntity(h.Name), from, to),
-		VarPerformanceIndex:   h.PerformanceIndex,
-		VarInstanceLoad:       c.avg(archive.InstanceEntity(inst.ID), from, to),
-		VarServiceLoad:        c.avg(archive.ServiceEntity(inst.Service), from, to),
-		VarInstancesOnServer:  float64(c.dep.CountOn(h.Name)),
-		VarInstancesOfService: float64(c.dep.CountOf(inst.Service)),
+	forecast := tr.Kind.Forecast()
+	for i, slot := range b.slots {
+		switch slot {
+		case bindCPULoad:
+			vec[i] = c.avg(archive.HostEntity(h.Name), from, to)
+		case bindMemLoad:
+			vec[i] = c.avgMem(archive.HostEntity(h.Name), from, to)
+		case bindPerformanceIndex:
+			vec[i] = h.PerformanceIndex
+		case bindInstanceLoad:
+			vec[i] = c.avg(archive.InstanceEntity(inst.ID), from, to)
+		case bindServiceLoad:
+			vec[i] = c.avg(archive.ServiceEntity(inst.Service), from, to)
+		case bindInstancesOnServer:
+			vec[i] = float64(c.dep.CountOn(h.Name))
+		case bindInstancesOfService:
+			vec[i] = float64(c.dep.CountOf(inst.Service))
+		case bindForecastLoad:
+			// Forecast triggers carry the predicted peak and its evidence;
+			// only the forecast rule bases reference these variables.
+			if !forecast {
+				return b.prog.MissingInputError(i)
+			}
+			vec[i] = tr.AvgLoad
+		case bindForecastConfidence:
+			if !forecast {
+				return b.prog.MissingInputError(i)
+			}
+			vec[i] = tr.Confidence
+		default:
+			return b.prog.MissingInputError(i)
+		}
 	}
-	if tr.Kind.Forecast() {
-		// Forecast triggers carry the predicted peak and its evidence;
-		// only the forecast rule bases reference these variables.
-		inputs[VarForecastLoad] = tr.AvgLoad
-		inputs[VarForecastConfidence] = tr.Confidence
-	}
-	return inputs, nil
+	return nil
 }
 
 // feasible verifies a candidate action against the declarative
@@ -212,11 +246,42 @@ func (c *Controller) feasible(a service.Action, svcName, instID string, minute i
 	return false
 }
 
-// targetAllowed checks the performance-index relation between the
-// instance's current host and a candidate target: scale-up requires a
+// selRel maps an action to the performance-index relation its target
+// must satisfy relative to the instance's current host (scale-up: a
 // strictly more powerful host, scale-down a strictly less powerful one,
-// move an equivalently powerful one. Placement actions (scale-out,
-// start) accept any performance level.
+// move an equivalently powerful one; placement actions accept any
+// level). ok is false for actions without a target or when the instance
+// or its host cannot be resolved — no candidates exist then, matching
+// the per-host targetAllowed verdict of the full scan.
+func (c *Controller) selRel(a service.Action, instID string) (rel placement.Rel, srcPI float64, ok bool) {
+	switch a {
+	case service.ActionScaleOut, service.ActionStart:
+		return placement.RelAny, 0, true
+	case service.ActionScaleUp, service.ActionScaleDown, service.ActionMove:
+	default:
+		return 0, 0, false
+	}
+	inst, found := c.dep.Instance(instID)
+	if !found {
+		return 0, 0, false
+	}
+	src, found := c.dep.Cluster().Host(inst.Host)
+	if !found {
+		return 0, 0, false
+	}
+	switch a {
+	case service.ActionScaleUp:
+		return placement.RelAbove, src.PerformanceIndex, true
+	case service.ActionScaleDown:
+		return placement.RelBelow, src.PerformanceIndex, true
+	}
+	return placement.RelEqual, src.PerformanceIndex, true
+}
+
+// targetAllowed checks the performance-index relation between the
+// instance's current host and a candidate target — the per-host filter
+// of the full-scan reference path (the indexed path resolves the
+// relation once via selRel and walks matching PI buckets instead).
 func (c *Controller) targetAllowed(a service.Action, instID, target string) bool {
 	switch a {
 	case service.ActionScaleOut, service.ActionStart:
@@ -245,13 +310,30 @@ func (c *Controller) targetAllowed(a service.Action, instID, target string) bool
 	return false
 }
 
-// candidateHosts lists the hosts on which the action could place the
+// candidateRefs appends the hosts on which the action could place the
 // service: placeable under the constraints, not in protection mode, and
 // with the right performance relation. "Initially, these are all servers
 // on which an instance of the service can be started and that are not
 // in protection mode."
-func (c *Controller) candidateHosts(a service.Action, svcName, instID string, minute int, exclude map[string]bool) []string {
-	var out []string
+//
+// With the placement index (the default) this is O(candidates): the
+// index already bucketed the feasible hosts of the service by
+// performance index, so enumeration walks only the buckets matching the
+// action's relation. The full-scan reference path — kept selectable via
+// Config.DisablePlacementIndex for parity tests and benchmarks —
+// re-scans the entire cluster and re-runs CanPlace per host. Both paths
+// produce the same candidate SET; the index enumerates in canonical
+// bucket order rather than raw cluster order, which is decision-neutral
+// because every consumer reduces candidates with a total-order
+// comparator.
+func (c *Controller) candidateRefs(buf []*placement.HostRef, a service.Action, svcName, instID string, minute int, exclude map[string]bool) []*placement.HostRef {
+	if c.pindex != nil {
+		rel, srcPI, ok := c.selRel(a, instID)
+		if !ok {
+			return buf
+		}
+		return c.pindex.AppendCandidates(buf, svcName, rel, srcPI, minute, exclude)
+	}
 	for _, name := range c.dep.Cluster().Names() {
 		if exclude[name] || c.HostProtected(name, minute) {
 			continue
@@ -262,47 +344,165 @@ func (c *Controller) candidateHosts(a service.Action, svcName, instID string, mi
 		if err := c.dep.CanPlace(svcName, name); err != nil {
 			continue
 		}
-		out = append(out, name)
+		h, _ := c.dep.Cluster().Host(name)
+		buf = append(buf, &placement.HostRef{Host: h, Entity: archive.HostEntity(name)})
 	}
-	return out
+	return buf
 }
 
-// anyTarget reports whether at least one candidate host exists.
+// anyTarget reports whether at least one candidate host exists. The
+// indexed probe short-circuits on the first feasible bucket entry.
 func (c *Controller) anyTarget(a service.Action, svcName, instID string, minute int) bool {
-	return len(c.candidateHosts(a, svcName, instID, minute, nil)) > 0
+	if c.pindex != nil {
+		rel, srcPI, ok := c.selRel(a, instID)
+		if !ok {
+			return false
+		}
+		return c.pindex.AnyCandidate(svcName, rel, srcPI, minute, nil)
+	}
+	return len(c.candidateRefs(nil, a, svcName, instID, minute, nil)) > 0
 }
 
-// selectionInputs initializes the Table 3 input variables for one
-// candidate host with current measurements and meta data. Capacity
-// reserved for mission-critical tasks counts as CPU load, steering the
-// selection away from hosts a registered task is about to need.
-func (c *Controller) selectionInputs(host string, minute int) (map[string]float64, error) {
-	h, ok := c.dep.Cluster().Host(host)
-	if !ok {
-		return nil, fmt.Errorf("controller: unknown host %q", host)
-	}
+// scoreRef fills the bound input vector with the Table 3 variables of
+// one candidate host — current measurements and meta data, with
+// capacity reserved for mission-critical tasks counted as CPU load —
+// and runs the server-selection inference. ok is false when the host
+// cannot be scored (a slot the selection path cannot supply), which
+// skips the host exactly like the map path's missing-measurement error
+// did.
+func (c *Controller) scoreRef(b *binder, vec []float64, ref *placement.HostRef, minute int, live bool) (score float64, ok bool) {
 	var cpu, mem float64
-	if s, ok := c.arch.Latest(archive.HostEntity(host)); ok {
+	if s, ok := c.arch.Latest(ref.Entity); ok {
 		cpu, mem = s.CPU, s.Mem
 	}
 	if c.cfg.Reservations != nil {
-		cpu += c.cfg.Reservations.ReservedOn(host, minute)
+		cpu += c.cfg.Reservations.ReservedOn(ref.Host.Name, minute)
 		if cpu > 1 {
 			cpu = 1
 		}
 	}
-	return map[string]float64{
-		VarCPULoad:           cpu,
-		VarMemLoad:           mem,
-		VarInstancesOnServer: float64(c.dep.CountOn(host)),
-		VarPerformanceIndex:  h.PerformanceIndex,
-		VarNumberOfCpus:      float64(h.CPUs),
-		VarCPUClock:          float64(h.ClockMHz),
-		VarCPUCache:          float64(h.CacheKB),
-		VarMemory:            float64(h.MemoryMB),
-		VarSwapSpace:         float64(h.SwapMB),
-		VarTempSpace:         float64(h.TempMB),
-	}, nil
+	h := &ref.Host
+	for i, slot := range b.slots {
+		switch slot {
+		case bindCPULoad:
+			vec[i] = cpu
+		case bindMemLoad:
+			vec[i] = mem
+		case bindInstancesOnServer:
+			vec[i] = float64(c.dep.CountOn(h.Name))
+		case bindPerformanceIndex:
+			vec[i] = h.PerformanceIndex
+		case bindNumberOfCpus:
+			vec[i] = float64(h.CPUs)
+		case bindCPUClock:
+			vec[i] = float64(h.ClockMHz)
+		case bindCPUCache:
+			vec[i] = float64(h.CacheKB)
+		case bindMemory:
+			vec[i] = float64(h.MemoryMB)
+		case bindSwapSpace:
+			vec[i] = float64(h.SwapMB)
+		case bindTempSpace:
+			vec[i] = float64(h.TempMB)
+		default:
+			return 0, false
+		}
+	}
+	start := time.Now()
+	res, err := c.engine.InferVec(b.rb, vec)
+	if live {
+		c.metrics.inferred(start)
+	}
+	if err != nil {
+		return 0, false
+	}
+	score = res.Outputs[VarScore]
+	res.Release()
+	return score, true
+}
+
+// hostBest is one scored candidate — the unit of the argmax reduction.
+type hostBest struct {
+	ref   *placement.HostRef
+	score float64
+}
+
+// better reports whether (score, ref) beats the current best under the
+// selection comparator: higher score, then higher performance index,
+// then lexicographically smaller host name. The comparator is a strict
+// total order over candidates (host names are unique), so the argmax is
+// unique and every scan order — serial, chunked, parallel — reduces to
+// the same winner. This is the determinism argument for parallel
+// scoring.
+func better(score float64, ref *placement.HostRef, cur hostBest) bool {
+	if cur.ref == nil {
+		return true
+	}
+	if score != cur.score {
+		return score > cur.score
+	}
+	if ref.Host.PerformanceIndex != cur.ref.Host.PerformanceIndex {
+		return ref.Host.PerformanceIndex > cur.ref.Host.PerformanceIndex
+	}
+	return ref.Host.Name < cur.ref.Host.Name
+}
+
+// scoreRange scores a slice of candidates into a local best using the
+// caller's input vector. Candidates below MinHostScore or that cannot
+// be scored are skipped.
+func (c *Controller) scoreRange(b *binder, vec []float64, refs []*placement.HostRef, minute int, live bool) hostBest {
+	var best hostBest
+	for _, ref := range refs {
+		score, ok := c.scoreRef(b, vec, ref, minute, live)
+		if !ok || score < c.cfg.MinHostScore {
+			continue
+		}
+		if better(score, ref, best) {
+			best = hostBest{ref: ref, score: score}
+		}
+	}
+	return best
+}
+
+// scoreParallel fans candidate scoring out over SelectionWorkers
+// goroutines in contiguous chunks and reduces the per-chunk bests with
+// the same total-order comparator the chunks used internally — hence
+// byte-identical to the serial scan at any worker count (see better).
+// Everything a worker touches is read-only during selection: the
+// archive, the deployment maps and the compiled programs; the inference
+// scratch is pooled per call and the latency histogram is atomic.
+func (c *Controller) scoreParallel(b *binder, refs []*placement.HostRef, minute int, live bool) hostBest {
+	workers := c.cfg.SelectionWorkers
+	if workers > len(refs) {
+		workers = len(refs)
+	}
+	bests := make([]hostBest, workers)
+	chunk := (len(refs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(refs) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(refs) {
+			hi = len(refs)
+		}
+		wg.Add(1)
+		go func(w int, part []*placement.HostRef) {
+			defer wg.Done()
+			vec := make([]float64, len(b.slots))
+			bests[w] = c.scoreRange(b, vec, part, minute, live)
+		}(w, refs[lo:hi])
+	}
+	wg.Wait()
+	var best hostBest
+	for _, bb := range bests {
+		if bb.ref != nil && better(bb.score, bb.ref, best) {
+			best = bb
+		}
+	}
+	return best
 }
 
 // selectHost runs the server-selection fuzzy controller over all
@@ -310,6 +510,13 @@ func (c *Controller) selectionInputs(host string, minute int) (map[string]float6
 // second result), or "" when no host reaches the score threshold.
 func (c *Controller) selectHost(a service.Action, svcName, instID string, minute int, exclude map[string]bool) (string, float64) {
 	return c.selectHostIn(c.ruleset(), a, svcName, instID, minute, exclude, true)
+}
+
+// SelectHost is the exported selection entry point for benchmarks and
+// operational probes: the same candidate enumeration, scoring and
+// argmax reduction HandleTrigger uses, without executing anything.
+func (c *Controller) SelectHost(a service.Action, svcName, instID string, minute int) (string, float64) {
+	return c.selectHost(a, svcName, instID, minute, nil)
 }
 
 // selectHostIn is selectHost over an explicit rule set (live as in
@@ -333,38 +540,19 @@ func (c *Controller) selectHostIn(rs *ruleSet, a service.Action, svcName, instID
 	if rb == nil {
 		return "", 0
 	}
-	bestHost, bestScore, bestPI := "", -1.0, -1.0
-	for _, host := range c.candidateHosts(a, svcName, instID, minute, exclude) {
-		inputs, err := c.selectionInputs(host, minute)
-		if err != nil {
-			continue
-		}
-		start := time.Now()
-		res, err := c.engine.Infer(rb, inputs)
-		if live {
-			c.metrics.inferred(start)
-		}
-		if err != nil {
-			continue
-		}
-		score := res.Outputs[VarScore]
-		res.Release()
-		if score < c.cfg.MinHostScore {
-			continue
-		}
-		h, _ := c.dep.Cluster().Host(host)
-		// Ties go to the more powerful host, then to the lexicographically
-		// smaller name, keeping decisions deterministic.
-		if score > bestScore ||
-			(score == bestScore && h.PerformanceIndex > bestPI) ||
-			(score == bestScore && h.PerformanceIndex == bestPI && host < bestHost) {
-			bestHost, bestScore, bestPI = host, score, h.PerformanceIndex
-		}
+	b := binderFor(rb)
+	c.hostBuf = c.candidateRefs(c.hostBuf[:0], a, svcName, instID, minute, exclude)
+	refs := c.hostBuf
+	var best hostBest
+	if c.cfg.SelectionWorkers > 1 && len(refs) > 1 {
+		best = c.scoreParallel(b, refs, minute, live)
+	} else {
+		best = c.scoreRange(b, c.vecFor(&c.selVec, len(b.slots)), refs, minute, live)
 	}
-	if bestHost == "" {
+	if best.ref == nil {
 		return "", 0
 	}
-	return bestHost, bestScore
+	return best.ref.Host.Name, best.score
 }
 
 // resolve turns a candidate into an executable decision by selecting a

@@ -246,6 +246,33 @@ func (p *Program) newResult() *Result {
 	return res
 }
 
+// NumInputs returns the number of distinct input variables the compiled
+// program gathers — the length of the vector RunVec expects.
+func (p *Program) NumInputs() int { return len(p.inputs) }
+
+// Inputs returns the names of the program's distinct input variables in
+// slot order: the i-th element names the variable a vector-based
+// inference reads from vals[i]. Callers receive a copy; the ordering is
+// fixed at compile time (first-reference order over the rule list).
+func (p *Program) Inputs() []string {
+	out := make([]string, len(p.inputs))
+	for i := range p.inputs {
+		out[i] = p.inputs[i].name
+	}
+	return out
+}
+
+// MissingInputError builds the exact error the map-based Infer path
+// reports when the i-th input slot has no measurement, so callers that
+// gather inputs themselves (the vector path) surface byte-identical
+// error semantics.
+func (p *Program) MissingInputError(i int) error {
+	in := &p.inputs[i]
+	r := in.ruleIdx
+	return fmt.Errorf("fuzzy: rule base %q, rule %d (%s): fuzzy: no measurement for input variable %q",
+		p.rb.Name, r, p.rb.rules[r], in.name)
+}
+
 // run executes one fuzzification → inference → defuzzification cycle of
 // the compiled program.
 func (p *Program) run(e *Engine, inputs map[string]float64) (*Result, error) {
@@ -259,9 +286,7 @@ func (p *Program) run(e *Engine, inputs map[string]float64) (*Result, error) {
 		in := &p.inputs[i]
 		x, ok := inputs[in.name]
 		if !ok {
-			r := in.ruleIdx
-			return nil, fmt.Errorf("fuzzy: rule base %q, rule %d (%s): fuzzy: no measurement for input variable %q",
-				p.rb.Name, r, p.rb.rules[r], in.name)
+			return nil, p.MissingInputError(i)
 		}
 		if x < in.min {
 			x = in.min
@@ -270,7 +295,39 @@ func (p *Program) run(e *Engine, inputs map[string]float64) (*Result, error) {
 		}
 		sc.inVals[i] = x
 	}
+	return p.finish(e, sc), nil
+}
 
+// runVec is run over a caller-filled input vector: vals[i] is the
+// measurement for the i-th input slot (see Inputs). The caller must
+// fill every slot — slot resolution and missing-input detection happen
+// at bind time, not per inference — and retains vals; the program
+// copies the values into pooled scratch before clamping, so the same
+// recycled vector can back any number of inferences.
+func (p *Program) runVec(e *Engine, vals []float64) (*Result, error) {
+	if len(vals) != len(p.inputs) {
+		return nil, fmt.Errorf("fuzzy: rule base %q: input vector has %d slots, program expects %d",
+			p.rb.Name, len(vals), len(p.inputs))
+	}
+	sc := p.scratch.Get().(*inferScratch)
+	defer p.scratch.Put(sc)
+	for i := range p.inputs {
+		in := &p.inputs[i]
+		x := vals[i]
+		if x < in.min {
+			x = in.min
+		} else if x > in.max {
+			x = in.max
+		}
+		sc.inVals[i] = x
+	}
+	return p.finish(e, sc), nil
+}
+
+// finish runs fuzzification, rule evaluation and defuzzification over
+// gathered, clamped measurements — the shared tail of run and runVec,
+// guaranteeing the two entry points are bit-identical past the gather.
+func (p *Program) finish(e *Engine, sc *inferScratch) *Result {
 	// Fuzzify every distinct (variable, term) pair once — the compiled
 	// form of the interpreter's memo map.
 	for i := range p.atoms {
@@ -298,7 +355,7 @@ func (p *Program) run(e *Engine, inputs map[string]float64) (*Result, error) {
 	for i := range p.outputs {
 		res.Outputs[p.outputs[i].name] = e.defuzz.Defuzzify(res.sets[i])
 	}
-	return res, nil
+	return res
 }
 
 // evalCode runs one antecedent's postfix instruction sequence over the

@@ -208,6 +208,20 @@ func (e *Engine) Infer(rb *RuleBase, inputs map[string]float64) (*Result, error)
 	return rb.program().run(e, inputs)
 }
 
+// InferVec is Infer over a pre-bound input vector: vals[i] is the crisp
+// measurement for the i-th input slot of the rule base's compiled
+// program (slot order via Program.Inputs, resolved once per rule base,
+// not per call). Hot paths fill a recycled vector instead of building a
+// map[string]float64 per inference, which removes the last steady-state
+// allocation from the AutoGlobe server-selection loop. Every slot must
+// be filled — callers detect missing measurements at bind time and
+// report them with Program.MissingInputError, keeping error semantics
+// identical to the map path. InferVec is bit-identical to Infer given
+// equal inputs and safe for concurrent use.
+func (e *Engine) InferVec(rb *RuleBase, vals []float64) (*Result, error) {
+	return rb.program().runVec(e, vals)
+}
+
 // inferInterpreted is the reference tree-walking implementation the
 // compiled path is differential-tested against (see compile_test.go).
 func (e *Engine) inferInterpreted(rb *RuleBase, inputs map[string]float64) (*Result, error) {

@@ -1,0 +1,155 @@
+package fuzzy
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestInferVecMatchesInfer differential-tests the vector entry point
+// against the map path over a grid of inputs, inference methods and
+// defuzzifiers. Both run the same compiled program past the gather, so
+// results must be bit-identical.
+func TestInferVecMatchesInfer(t *testing.T) {
+	rb := compileRuleBase(t)
+	p := rb.Compile()
+	names := p.Inputs()
+	engines := []*Engine{
+		NewEngine(nil),
+		NewEngine(nil).WithInference(MaxProduct),
+		NewEngine(MeanOfMax{}),
+		NewEngine(Centroid{}).WithInference(MaxProduct),
+	}
+	vec := make([]float64, len(names))
+	for ei, e := range engines {
+		for cpu := -0.2; cpu <= 1.2; cpu += 0.1 {
+			for mem := 0.0; mem <= 1.0; mem += 0.25 {
+				for pi := 0.0; pi <= 10; pi += 2.5 {
+					in := map[string]float64{
+						"cpuLoad": cpu, "memLoad": mem, "performanceIndex": pi,
+					}
+					for i, n := range names {
+						vec[i] = in[n]
+					}
+					want, err := e.Infer(rb, in)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := e.InferVec(rb, vec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i := range want.Fired {
+						if want.Fired[i] != got.Fired[i] {
+							t.Fatalf("engine %d inputs %v: Fired[%d] = %v, map path %v",
+								ei, in, i, got.Fired[i], want.Fired[i])
+						}
+					}
+					for name, w := range want.Outputs {
+						if g, ok := got.Outputs[name]; !ok || g != w {
+							t.Fatalf("engine %d inputs %v: Outputs[%s] = %v, map path %v",
+								ei, in, name, g, w)
+						}
+					}
+					want.Release()
+					got.Release()
+				}
+			}
+		}
+	}
+}
+
+// TestProgramInputs pins the slot contract: Inputs lists every distinct
+// input variable in first-reference order, NumInputs agrees, and the
+// returned slice is a copy.
+func TestProgramInputs(t *testing.T) {
+	rb := compileRuleBase(t)
+	p := rb.Compile()
+	names := p.Inputs()
+	if len(names) != p.NumInputs() {
+		t.Fatalf("Inputs() has %d entries, NumInputs() = %d", len(names), p.NumInputs())
+	}
+	// compileRuleBase references cpuLoad first, then performanceIndex,
+	// then memLoad (first-reference order over the rule list).
+	want := []string{"cpuLoad", "performanceIndex", "memLoad"}
+	if len(names) != len(want) {
+		t.Fatalf("Inputs() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Inputs() = %v, want %v", names, want)
+		}
+	}
+	names[0] = "mutated"
+	if p.Inputs()[0] != "cpuLoad" {
+		t.Fatal("Inputs() must return a copy")
+	}
+}
+
+// TestMissingInputErrorMatchesMapPath pins that MissingInputError
+// produces byte-for-byte the error the map path reports for the same
+// missing variable, so vector-path callers keep error semantics.
+func TestMissingInputErrorMatchesMapPath(t *testing.T) {
+	rb := compileRuleBase(t)
+	p := rb.Compile()
+	e := NewEngine(nil)
+	for i, name := range p.Inputs() {
+		in := map[string]float64{"cpuLoad": 0.5, "memLoad": 0.5, "performanceIndex": 5}
+		delete(in, name)
+		_, err := e.Infer(rb, in)
+		if err == nil {
+			t.Fatalf("map path: no error for missing %q", name)
+		}
+		// The map path reports the first missing slot in slot order;
+		// here exactly one is missing, so the slot is i.
+		if got := p.MissingInputError(i).Error(); got != err.Error() {
+			t.Fatalf("MissingInputError(%d) = %q, map path %q", i, got, err.Error())
+		}
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not name variable %q", err, name)
+		}
+	}
+}
+
+// TestInferVecLengthMismatch rejects vectors of the wrong arity instead
+// of silently misbinding slots.
+func TestInferVecLengthMismatch(t *testing.T) {
+	rb := compileRuleBase(t)
+	e := NewEngine(nil)
+	_, err := e.InferVec(rb, make([]float64, rb.Compile().NumInputs()+1))
+	if err == nil || !strings.Contains(err.Error(), "input vector") {
+		t.Fatalf("want arity error, got %v", err)
+	}
+}
+
+// TestInferVecAllocs is the allocation guardrail for the vector path:
+// steady-state inference over a recycled vector with Release must not
+// allocate at all.
+func TestInferVecAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates inside sync.Pool")
+	}
+	rb := compileRuleBase(t)
+	p := rb.Compile()
+	e := NewEngine(nil)
+	vec := make([]float64, p.NumInputs())
+	for i := range vec {
+		vec[i] = 0.7
+	}
+	for i := 0; i < 100; i++ { // warm the pools
+		res, err := e.InferVec(rb, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		res, err := e.InferVec(rb, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state InferVec allocates %v times per run, want 0", allocs)
+	}
+}

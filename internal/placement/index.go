@@ -1,0 +1,338 @@
+// Package placement maintains an incrementally updated feasibility
+// index over a deployment: for every service, the set of hosts an
+// instance could be placed on right now (Deployment.CanPlace), bucketed
+// by performance index so the server-selection controller's
+// performance-relation filter (scale-up wants a strictly faster host,
+// scale-down a strictly slower one, move an equal one) is a bucket walk
+// instead of a full cluster scan.
+//
+// The index never re-derives placement logic: feasibility is always the
+// verdict of the deployment's own CanPlace, recomputed for exactly one
+// host column whenever a mutation touches that host (instance started,
+// stopped or moved; host pooled or unpooled) via the Cluster.Watch and
+// Deployment.Watch observer hooks. Protection mode is deliberately NOT
+// materialized — it is minute-scoped, self-expiring state owned by the
+// controller, so the index consults a Protection callback at query time
+// instead of chasing a second source of truth.
+//
+// Candidate enumeration order is canonical: performance-index buckets in
+// ascending PI order, hosts within a bucket in cluster insertion order.
+// This differs from the raw cluster order a full scan would produce, but
+// any consumer that reduces candidates with a total-order comparator
+// (the server-selection argmax does) is order-independent, and set
+// equality with the full scan is what the parity tests assert.
+package placement
+
+import (
+	"sort"
+
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/service"
+)
+
+// Protection reports minute-scoped host protection. The controller
+// implements it; a nil Protection protects nothing.
+type Protection interface {
+	HostProtected(host string, minute int) bool
+}
+
+// Rel is the performance-index relation a candidate host must satisfy
+// relative to a source performance index.
+type Rel int
+
+const (
+	// RelAny accepts every performance level (placement actions:
+	// scale-out, start).
+	RelAny Rel = iota
+	// RelAbove requires a strictly higher performance index (scale-up).
+	RelAbove
+	// RelBelow requires a strictly lower performance index (scale-down).
+	RelBelow
+	// RelEqual requires the same performance index (move).
+	RelEqual
+)
+
+// HostRef is the index's handle on one pooled host: the immutable host
+// attributes plus the precomputed archive entity key, so hot-path
+// consumers never re-derive either.
+type HostRef struct {
+	// Host is the host's static description (a value copy; cluster
+	// hosts are immutable once pooled).
+	Host cluster.Host
+	// Entity is the host's load-archive entity key, cached at pooling
+	// time because deriving it concatenates strings.
+	Entity string
+	// seq orders hosts within a bucket by cluster insertion order.
+	seq int64
+}
+
+// bucket holds the feasible hosts of one (service, performance index)
+// pair, ordered by seq.
+type bucket struct {
+	refs []*HostRef
+}
+
+// insert adds r keeping seq order. The common case — a freshly pooled
+// host carrying the highest seq so far — is an append.
+func (b *bucket) insert(r *HostRef) {
+	n := len(b.refs)
+	if n == 0 || b.refs[n-1].seq < r.seq {
+		b.refs = append(b.refs, r)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return b.refs[i].seq >= r.seq })
+	b.refs = append(b.refs, nil)
+	copy(b.refs[i+1:], b.refs[i:])
+	b.refs[i] = r
+}
+
+// remove deletes the ref with r's seq, if present.
+func (b *bucket) remove(r *HostRef) {
+	i := sort.Search(len(b.refs), func(i int) bool { return b.refs[i].seq >= r.seq })
+	if i >= len(b.refs) || b.refs[i].seq != r.seq {
+		return
+	}
+	b.refs = append(b.refs[:i], b.refs[i+1:]...)
+}
+
+// svcIndex is one service's candidate-host structure.
+type svcIndex struct {
+	// pis lists the performance indices with a non-empty bucket, sorted
+	// ascending — the walk order of AppendCandidates.
+	pis []float64
+	// buckets maps a performance index to its feasible hosts.
+	buckets map[float64]*bucket
+	// member marks the hosts currently indexed as feasible, so a host
+	// refresh knows whether to insert, remove or leave each service.
+	member map[string]bool
+}
+
+func newSvcIndex() *svcIndex {
+	return &svcIndex{buckets: make(map[float64]*bucket), member: make(map[string]bool)}
+}
+
+func (si *svcIndex) add(r *HostRef) {
+	pi := r.Host.PerformanceIndex
+	b, ok := si.buckets[pi]
+	if !ok {
+		b = &bucket{}
+		si.buckets[pi] = b
+		i := sort.SearchFloat64s(si.pis, pi)
+		si.pis = append(si.pis, 0)
+		copy(si.pis[i+1:], si.pis[i:])
+		si.pis[i] = pi
+	}
+	b.insert(r)
+	si.member[r.Host.Name] = true
+}
+
+func (si *svcIndex) drop(r *HostRef) {
+	pi := r.Host.PerformanceIndex
+	b, ok := si.buckets[pi]
+	if !ok {
+		return
+	}
+	b.remove(r)
+	delete(si.member, r.Host.Name)
+	if len(b.refs) == 0 {
+		delete(si.buckets, pi)
+		i := sort.SearchFloat64s(si.pis, pi)
+		if i < len(si.pis) && si.pis[i] == pi {
+			si.pis = append(si.pis[:i], si.pis[i+1:]...)
+		}
+	}
+}
+
+// Index is the feasibility index over one deployment. It is maintained
+// synchronously by the deployment's mutation hooks and therefore shares
+// the deployment's concurrency contract: mutations and index queries
+// must not race (the controller runs its decision loop on a single
+// goroutine; parallel candidate *scoring* only reads).
+type Index struct {
+	dep       *service.Deployment
+	entityKey func(host string) string
+	prot      Protection
+
+	services map[string]*svcIndex
+	refs     map[string]*HostRef
+	nextSeq  int64
+
+	// svcNames snapshots the catalog's service names once — the catalog
+	// is immutable after construction — so a host refresh loops a slice
+	// instead of copying names per mutation.
+	svcNames []string
+}
+
+// NewIndex builds the index over the deployment's current state and
+// hooks it into the deployment's and cluster's mutation observers so it
+// stays consistent from then on. entityKey derives a host's load-archive
+// entity key (e.g. archive.HostEntity); nil leaves Entity empty.
+func NewIndex(dep *service.Deployment, entityKey func(host string) string) *Index {
+	if entityKey == nil {
+		entityKey = func(string) string { return "" }
+	}
+	ix := &Index{
+		dep:       dep,
+		entityKey: entityKey,
+		services:  make(map[string]*svcIndex),
+		refs:      make(map[string]*HostRef),
+		svcNames:  dep.Catalog().Names(),
+	}
+	for _, name := range ix.svcNames {
+		ix.services[name] = newSvcIndex()
+	}
+	for _, h := range dep.Cluster().Hosts() {
+		ix.addHost(h)
+	}
+	dep.Cluster().Watch(func(h cluster.Host, added bool) {
+		if added {
+			ix.addHost(h)
+		} else {
+			ix.removeHost(h.Name)
+		}
+	})
+	dep.Watch(ix.RefreshHost)
+	return ix
+}
+
+// SetProtection installs the protection-mode oracle consulted at query
+// time. Nil protects nothing.
+func (ix *Index) SetProtection(p Protection) { ix.prot = p }
+
+// addHost pools a host: mint its ref and compute its feasibility column.
+func (ix *Index) addHost(h cluster.Host) {
+	ix.nextSeq++
+	ix.refs[h.Name] = &HostRef{Host: h, Entity: ix.entityKey(h.Name), seq: ix.nextSeq}
+	ix.RefreshHost(h.Name)
+}
+
+// removeHost unpools a host, dropping it from every service's buckets.
+func (ix *Index) removeHost(name string) {
+	r, ok := ix.refs[name]
+	if !ok {
+		return
+	}
+	for _, svc := range ix.svcNames {
+		if si := ix.services[svc]; si.member[name] {
+			si.drop(r)
+		}
+	}
+	delete(ix.refs, name)
+}
+
+// RefreshHost recomputes one host's feasibility for every catalog
+// service by asking the deployment's authoritative CanPlace. It is the
+// sole write path after construction — every mutation hook funnels here
+// — so index feasibility can never drift from CanPlace's verdict.
+func (ix *Index) RefreshHost(name string) {
+	r, ok := ix.refs[name]
+	if !ok {
+		return // mutation on an unpooled host (e.g. force-stop after host death)
+	}
+	for _, svc := range ix.svcNames {
+		si := ix.services[svc]
+		feasible := ix.dep.CanPlace(svc, name) == nil
+		switch {
+		case feasible && !si.member[name]:
+			si.add(r)
+		case !feasible && si.member[name]:
+			si.drop(r)
+		}
+	}
+}
+
+// Ref returns the index's handle on a pooled host.
+func (ix *Index) Ref(name string) (*HostRef, bool) {
+	r, ok := ix.refs[name]
+	return r, ok
+}
+
+// match reports whether a bucket's performance index satisfies the
+// relation against the source PI.
+func match(rel Rel, pi, srcPI float64) bool {
+	switch rel {
+	case RelAbove:
+		return pi > srcPI
+	case RelBelow:
+		return pi < srcPI
+	case RelEqual:
+		return pi == srcPI
+	}
+	return true
+}
+
+// AppendCandidates appends every host on which the service can be
+// placed right now, whose performance index satisfies rel against
+// srcPI, that is not excluded and not in protection mode at the given
+// minute. Candidates are appended in canonical index order (ascending
+// PI bucket, insertion order within the bucket); buf is reused
+// append-style so steady-state enumeration allocates nothing.
+func (ix *Index) AppendCandidates(buf []*HostRef, svc string, rel Rel, srcPI float64, minute int, exclude map[string]bool) []*HostRef {
+	si, ok := ix.services[svc]
+	if !ok {
+		return buf
+	}
+	if rel == RelEqual {
+		if b, ok := si.buckets[srcPI]; ok {
+			buf = ix.appendBucket(buf, b, minute, exclude)
+		}
+		return buf
+	}
+	for _, pi := range si.pis {
+		if !match(rel, pi, srcPI) {
+			continue
+		}
+		buf = ix.appendBucket(buf, si.buckets[pi], minute, exclude)
+	}
+	return buf
+}
+
+func (ix *Index) appendBucket(buf []*HostRef, b *bucket, minute int, exclude map[string]bool) []*HostRef {
+	for _, r := range b.refs {
+		if exclude[r.Host.Name] {
+			continue
+		}
+		if ix.prot != nil && ix.prot.HostProtected(r.Host.Name, minute) {
+			continue
+		}
+		buf = append(buf, r)
+	}
+	return buf
+}
+
+// AnyCandidate reports whether at least one candidate exists, short-
+// circuiting on the first hit — the feasibility probe behind the
+// controller's anyTarget, reduced from a full cluster scan to (usually)
+// one bucket peek.
+func (ix *Index) AnyCandidate(svc string, rel Rel, srcPI float64, minute int, exclude map[string]bool) bool {
+	si, ok := ix.services[svc]
+	if !ok {
+		return false
+	}
+	if rel == RelEqual {
+		b, ok := si.buckets[srcPI]
+		return ok && ix.anyInBucket(b, minute, exclude)
+	}
+	for _, pi := range si.pis {
+		if !match(rel, pi, srcPI) {
+			continue
+		}
+		if ix.anyInBucket(si.buckets[pi], minute, exclude) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ix *Index) anyInBucket(b *bucket, minute int, exclude map[string]bool) bool {
+	for _, r := range b.refs {
+		if exclude[r.Host.Name] {
+			continue
+		}
+		if ix.prot != nil && ix.prot.HostProtected(r.Host.Name, minute) {
+			continue
+		}
+		return true
+	}
+	return false
+}

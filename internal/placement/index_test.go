@@ -1,0 +1,272 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"autoglobe/internal/cluster"
+	"autoglobe/internal/service"
+)
+
+// protStub mirrors the controller's protection semantics: a host is
+// protected while the recorded minute is still in the future.
+type protStub map[string]int
+
+func (p protStub) HostProtected(host string, minute int) bool { return p[host] > minute }
+
+func testCatalog(t *testing.T) *service.Catalog {
+	t.Helper()
+	cat, err := service.NewCatalog(
+		&service.Service{Name: "web", Type: service.TypeInteractive,
+			MemoryMBPerInstance: 512, MaxInstances: 20},
+		&service.Service{Name: "app", Type: service.TypeInteractive,
+			MemoryMBPerInstance: 1024, MaxInstances: 20},
+		&service.Service{Name: "cache", Type: service.TypeInteractive,
+			MemoryMBPerInstance: 2048, MinPerfIndex: 2, MaxInstances: 20},
+		&service.Service{Name: "db", Type: service.TypeInteractive,
+			MemoryMBPerInstance: 8192, MinPerfIndex: 5, Exclusive: true, MaxInstances: 20},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func testHost(name string, pi float64, memMB int) cluster.Host {
+	return cluster.Host{Name: name, Category: fmt.Sprintf("PI%g", pi), PerformanceIndex: pi,
+		CPUs: 2, ClockMHz: 2000, CacheKB: 512, MemoryMB: memMB, SwapMB: 1024, TempMB: 4096}
+}
+
+// scanCandidates is the full-scan reference the index must agree with:
+// walk the whole cluster, apply CanPlace and the query-time filters.
+func scanCandidates(dep *service.Deployment, prot Protection, svc string, rel Rel, srcPI float64, minute int, exclude map[string]bool) []string {
+	var out []string
+	for _, name := range dep.Cluster().Names() {
+		if exclude[name] {
+			continue
+		}
+		if prot != nil && prot.HostProtected(name, minute) {
+			continue
+		}
+		h, _ := dep.Cluster().Host(name)
+		if !match(rel, h.PerformanceIndex, srcPI) {
+			continue
+		}
+		if dep.CanPlace(svc, name) != nil {
+			continue
+		}
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func indexedNames(ix *Index, svc string, rel Rel, srcPI float64, minute int, exclude map[string]bool) []string {
+	refs := ix.AppendCandidates(nil, svc, rel, srcPI, minute, exclude)
+	out := make([]string, 0, len(refs))
+	for _, r := range refs {
+		out = append(out, r.Host.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertParity(t *testing.T, dep *service.Deployment, ix *Index, prot Protection, minute int, step string) {
+	t.Helper()
+	pis := []float64{0, 1, 2, 5, 9}
+	for _, svc := range dep.Catalog().Names() {
+		for rel := RelAny; rel <= RelEqual; rel++ {
+			for _, src := range pis {
+				want := scanCandidates(dep, prot, svc, rel, src, minute, nil)
+				got := indexedNames(ix, svc, rel, src, minute, nil)
+				if len(want) != len(got) {
+					t.Fatalf("%s: svc=%s rel=%d src=%g: index %v != scan %v", step, svc, rel, src, got, want)
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s: svc=%s rel=%d src=%g: index %v != scan %v", step, svc, rel, src, got, want)
+					}
+				}
+				if any := ix.AnyCandidate(svc, rel, src, minute, nil); any != (len(want) > 0) {
+					t.Fatalf("%s: svc=%s rel=%d src=%g: AnyCandidate=%v, scan has %d", step, svc, rel, src, any, len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestIndexMatchesScanOnBasicMutations(t *testing.T) {
+	cl := cluster.MustNew(
+		testHost("weak1", 1, 2048), testHost("weak2", 1, 2048),
+		testHost("mid1", 2, 4096), testHost("big1", 9, 12288),
+	)
+	dep := service.NewDeployment(cl, testCatalog(t))
+	prot := protStub{}
+	ix := NewIndex(dep, func(h string) string { return "host/" + h })
+	ix.SetProtection(prot)
+	assertParity(t, dep, ix, prot, 0, "initial")
+
+	inst, err := dep.Start("db", "big1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, dep, ix, prot, 0, "after start db")
+
+	if _, err := dep.Start("app", "weak1"); err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, dep, ix, prot, 0, "after start app")
+
+	if err := dep.Stop(inst.ID, true); err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, dep, ix, prot, 0, "after stop db")
+
+	app := dep.InstancesOf("app")[0]
+	if err := dep.Move(app.ID, "weak2"); err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, dep, ix, prot, 0, "after move app")
+
+	if err := cl.Add(testHost("big2", 9, 12288)); err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, dep, ix, prot, 0, "after add host")
+
+	if err := cl.Remove("mid1"); err != nil {
+		t.Fatal(err)
+	}
+	assertParity(t, dep, ix, prot, 0, "after remove host")
+
+	prot["weak2"] = 100
+	assertParity(t, dep, ix, prot, 50, "protected minute 50")
+	assertParity(t, dep, ix, prot, 100, "protection expired")
+}
+
+func TestIndexExcludeAndEntityKey(t *testing.T) {
+	cl := cluster.MustNew(testHost("a", 1, 2048), testHost("b", 1, 2048))
+	dep := service.NewDeployment(cl, testCatalog(t))
+	ix := NewIndex(dep, func(h string) string { return "host/" + h })
+	got := indexedNames(ix, "web", RelAny, 0, 0, map[string]bool{"a": true})
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("exclude: got %v, want [b]", got)
+	}
+	r, ok := ix.Ref("a")
+	if !ok || r.Entity != "host/a" {
+		t.Fatalf("Ref(a) = %+v, %v", r, ok)
+	}
+}
+
+// TestIndexMatchesScanRandomized drives 10k random mutate/select steps
+// — instance starts, stops, moves, host pooling and unpooling,
+// protection-mode churn — and asserts after every step that the
+// incrementally maintained candidate sets equal the full-scan
+// reference for a random query, with periodic exhaustive sweeps.
+func TestIndexMatchesScanRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cl := cluster.MustNew()
+	hostSeq := 0
+	addHost := func() {
+		hostSeq++
+		pis := []float64{1, 1, 1, 2, 2, 5, 9}
+		pi := pis[rng.Intn(len(pis))]
+		mem := []int{2048, 4096, 8192, 12288}[rng.Intn(4)]
+		_ = cl.Add(testHost(fmt.Sprintf("h%03d", hostSeq), pi, mem))
+	}
+	for i := 0; i < 24; i++ {
+		addHost()
+	}
+	dep := service.NewDeployment(cl, testCatalog(t))
+	prot := protStub{}
+	ix := NewIndex(dep, func(h string) string { return "host/" + h })
+	ix.SetProtection(prot)
+
+	svcs := dep.Catalog().Names()
+	randHost := func() string {
+		names := cl.Names()
+		if len(names) == 0 {
+			return ""
+		}
+		return names[rng.Intn(len(names))]
+	}
+	minute := 0
+	for step := 0; step < 10000; step++ {
+		minute += rng.Intn(2)
+		switch op := rng.Intn(10); {
+		case op < 4: // start
+			if h := randHost(); h != "" {
+				_, _ = dep.Start(svcs[rng.Intn(len(svcs))], h)
+			}
+		case op < 6: // stop
+			if all := dep.Instances(); len(all) > 0 {
+				_ = dep.Stop(all[rng.Intn(len(all))].ID, rng.Intn(2) == 0)
+			}
+		case op < 8: // move
+			if all := dep.Instances(); len(all) > 0 {
+				if h := randHost(); h != "" {
+					_ = dep.Move(all[rng.Intn(len(all))].ID, h)
+				}
+			}
+		case op < 9: // pool or unpool a host
+			if rng.Intn(2) == 0 || cl.Len() < 8 {
+				addHost()
+			} else if h := randHost(); h != "" && dep.CountOn(h) == 0 {
+				_ = cl.Remove(h)
+			}
+		default: // protection churn
+			if h := randHost(); h != "" {
+				if rng.Intn(2) == 0 {
+					prot[h] = minute + rng.Intn(30)
+				} else {
+					delete(prot, h)
+				}
+			}
+		}
+
+		// Spot-check one random query per step, full sweep every 500.
+		svc := svcs[rng.Intn(len(svcs))]
+		rel := Rel(rng.Intn(4))
+		src := []float64{0, 1, 2, 5, 9}[rng.Intn(5)]
+		var exclude map[string]bool
+		if rng.Intn(4) == 0 {
+			if h := randHost(); h != "" {
+				exclude = map[string]bool{h: true}
+			}
+		}
+		want := scanCandidates(dep, prot, svc, rel, src, minute, exclude)
+		got := indexedNames(ix, svc, rel, src, minute, exclude)
+		if fmt.Sprint(want) != fmt.Sprint(got) {
+			t.Fatalf("step %d: svc=%s rel=%d src=%g: index %v != scan %v", step, svc, rel, src, got, want)
+		}
+		if any := ix.AnyCandidate(svc, rel, src, minute, exclude); any != (len(want) > 0) {
+			t.Fatalf("step %d: AnyCandidate=%v, scan has %d", step, any, len(want))
+		}
+		if step%500 == 0 {
+			assertParity(t, dep, ix, prot, minute, fmt.Sprintf("sweep@%d", step))
+		}
+	}
+}
+
+// TestAppendCandidatesReusesBuffer pins the zero-allocation contract of
+// steady-state candidate enumeration: appending into a warmed buffer
+// must not allocate.
+func TestAppendCandidatesCanonicalOrder(t *testing.T) {
+	cl := cluster.MustNew(
+		testHost("z9", 9, 12288), testHost("a1", 1, 2048),
+		testHost("m2", 2, 4096), testHost("b1", 1, 2048),
+	)
+	dep := service.NewDeployment(cl, testCatalog(t))
+	ix := NewIndex(dep, nil)
+	refs := ix.AppendCandidates(nil, "web", RelAny, 0, 0, nil)
+	var got []string
+	for _, r := range refs {
+		got = append(got, r.Host.Name)
+	}
+	// Ascending PI buckets, insertion order within: a1,b1 (PI 1), m2, z9.
+	want := []string{"a1", "b1", "m2", "z9"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("canonical order %v, want %v", got, want)
+	}
+}

@@ -36,6 +36,24 @@ type Deployment struct {
 	byHost    map[string][]string // host -> instance IDs
 	byService map[string][]string // service -> instance IDs
 	nextID    int
+
+	watchers []func(host string)
+}
+
+// Watch registers an observer notified with a host name after every
+// successful allocation mutation touching that host: Start and Stop
+// report the instance's host, Move reports both the old and the new
+// host. Observers run synchronously on the mutating goroutine and must
+// not mutate the deployment re-entrantly; the placement feasibility
+// index uses the hook to recompute one host column per mutation.
+func (d *Deployment) Watch(fn func(host string)) {
+	d.watchers = append(d.watchers, fn)
+}
+
+func (d *Deployment) notify(host string) {
+	for _, fn := range d.watchers {
+		fn(host)
+	}
 }
 
 // NewDeployment returns an empty deployment over the given cluster and
@@ -134,6 +152,7 @@ func (d *Deployment) Start(svcName, hostName string) (*Instance, error) {
 	d.instances[inst.ID] = inst
 	d.byHost[hostName] = append(d.byHost[hostName], inst.ID)
 	d.byService[svcName] = append(d.byService[svcName], inst.ID)
+	d.notify(hostName)
 	return inst, nil
 }
 
@@ -164,6 +183,7 @@ func (d *Deployment) Stop(instID string, force bool) error {
 	delete(d.instances, instID)
 	d.byHost[inst.Host] = removeString(d.byHost[inst.Host], instID)
 	d.byService[inst.Service] = removeString(d.byService[inst.Service], instID)
+	d.notify(inst.Host)
 	return nil
 }
 
@@ -181,9 +201,12 @@ func (d *Deployment) Move(instID, hostName string) error {
 	if err := d.CanPlace(inst.Service, hostName); err != nil {
 		return err
 	}
+	from := inst.Host
 	d.byHost[inst.Host] = removeString(d.byHost[inst.Host], instID)
 	inst.Host = hostName
 	d.byHost[hostName] = append(d.byHost[hostName], instID)
+	d.notify(from)
+	d.notify(hostName)
 	return nil
 }
 

@@ -49,18 +49,25 @@
 #      fault-free landscape, one epoch bump per takeover, gap-free day
 #      profiles); the wire fuzz seed corpus replayed in the robustness
 #      gate above already covers the lease/leaseAck envelopes
-#  11. the perf gate: the wire fuzz target replayed over its
+#  11. the selection gate: race-enabled byte-identity proofs for the
+#      server-selection access paths — the placement index vs the
+#      full-cluster scan (including the 10k-step randomized mutation
+#      property test) and parallel candidate scoring at 1 and 8
+#      workers — the claim that the index and SelectionWorkers are
+#      pure access-path/throughput knobs that never change a decision
+#  12. the perf gate: the wire fuzz target replayed over its
 #      checked-in seed corpus (hostile frames must keep failing
 #      cleanly), the zero-allocation guardrails on the steady-state
 #      heartbeat AND dispatch paths plus the archive append and
 #      forecast read paths (race-free runs, because race
 #      instrumentation allocates inside sync.Pool), and short smoke
 #      runs of the inference fast-path, 1,000-host ingest,
-#      single-action dispatch, 1,000-host fan-out and tsdb
-#      append/hot-read benchmarks, so a regression that breaks the
-#      compiled path, the pooled codec, the sharded merge, the pooled
-#      dispatch path or the pooled segment buffers shows up even when
-#      no test asserts on speed
+#      single-action dispatch, 1,000-host fan-out, 1,000-host server
+#      selection and tsdb append/hot-read benchmarks, so a regression
+#      that breaks the compiled path, the pooled codec, the sharded
+#      merge, the pooled dispatch path, the indexed selection path or
+#      the pooled segment buffers shows up even when no test asserts
+#      on speed
 #
 # Usage: scripts/check.sh   (from the repository root)
 set -eu
@@ -167,6 +174,18 @@ go test -race ./internal/lease/
 go test -race -run 'TestElectionFailover|TestElectionIsolatedLeaderFenced|TestLeaderDeathCrashPointSweep|TestReporterBuffersAndDrains|TestReporterBoundedRetry' ./internal/agent/
 go test -race -run 'TestFailoverConvergesToFaultFreeLandscape' ./internal/simulator/
 
+echo "== selection gate: index/worker byte-identity + randomized index parity"
+# Server selection at scale is an access-path optimization, never a
+# behavior change: a paper day decided through the placement index and
+# through the full-cluster scan, and with 1 vs 8 scoring workers, must
+# be byte-identical runs; the randomized property test drives the
+# incremental index through 10k mutation/protection steps against the
+# full-scan reference; and the controller-level sweep compares all
+# three access paths under random landscape churn.
+go test -race -run 'TestSelectionWorkersByteIdentical|TestPlacementIndexByteIdentical' ./internal/simulator/
+go test -race -run 'TestIndexMatchesScanRandomized' ./internal/placement/
+go test -race -run 'TestSelectHostParityAcrossConfigs|TestSelectActionsTieBreakPinned' ./internal/controller/
+
 echo "== go test -race ./..."
 go test -race ./...
 
@@ -180,8 +199,12 @@ echo "== perf gate: zero-alloc heartbeat + dispatch paths (race-free run)"
 # a dedicated race-free invocation here.
 go test -run 'TestHeartbeatPathZeroAlloc|TestDispatchPathZeroAlloc|TestTriggerQueueRecycling' -count=1 ./internal/agent/
 # The inference fast path must stay 0 allocs/op even after a rule-base
-# hot swap — the swap is a pointer store, never a de-optimization.
-go test -run 'TestInferZeroAllocAfterSwap' -count=1 ./internal/controller/
+# hot swap — the swap is a pointer store, never a de-optimization —
+# and the steady-state server-selection path (indexed candidate
+# enumeration, bound input vectors, pooled inference, argmax) must
+# allocate nothing end to end.
+go test -run 'TestInferZeroAllocAfterSwap|TestSelectionPathZeroAlloc' -count=1 ./internal/controller/
+go test -run 'TestInferVecAllocs' -count=1 ./internal/fuzzy/
 # The archive's steady-state write path — ring append, incremental day
 # profile, tsdb block write into pooled segment buffers — and the
 # forecaster's read path must also allocate nothing per sample.
@@ -203,5 +226,8 @@ go test -run XXX -bench 'BenchmarkActionDispatchLoopback$' -benchtime=1000x -ben
 
 echo "== benchmark smoke: DispatchFanout1k (one 1,000-host storm per width)"
 go test -run XXX -bench 'BenchmarkDispatchFanout1k' -benchtime=1x -benchmem .
+
+echo "== benchmark smoke: SelectHost1k (1,000-host server selection per access path)"
+go test -run XXX -bench 'BenchmarkSelectHost1k$' -benchtime=5x -benchmem .
 
 echo "check.sh: all gates passed"
